@@ -1,0 +1,41 @@
+"""Ablation: batch size sweep (Section 7.2).
+
+Batches amortize per-request overheads; too small wastes them, too
+large adds response-assembly latency.  The default (64) should sit in
+the flat part of the curve, far from the unbatched extreme.
+"""
+
+from repro.engine.job import JoinJob
+from repro.engine.strategies import Strategy
+from repro.sim.cluster import Cluster
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+def run_with_batch(batch_size):
+    workload = SyntheticWorkload.data_heavy(
+        n_keys=4000, n_tuples=4000, skew=0.5, seed=19
+    )
+    cluster = Cluster.homogeneous(6)
+    job = JoinJob(
+        cluster=cluster,
+        compute_nodes=[0, 1, 2],
+        data_nodes=[3, 4, 5],
+        table=workload.build_table(),
+        udf=workload.udf,
+        strategy=Strategy.fc(),  # pure fetch path: isolates batching
+        sizes=workload.sizes,
+        batch_size=batch_size,
+        seed=19,
+    )
+    return job.run(workload.keys()).makespan
+
+
+def test_ablation_batching(once):
+    def sweep():
+        return {size: run_with_batch(size) for size in (1, 8, 64, 256)}
+
+    results = once(sweep)
+    print()
+    for size, makespan in results.items():
+        print(f"  batch={size:>3d}: {makespan:.3f}s")
+    assert results[64] < results[1]

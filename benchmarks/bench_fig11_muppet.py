@@ -1,0 +1,15 @@
+"""Benchmarks: regenerate Figure 11 (Muppet synthetic throughput)."""
+
+import pytest
+
+from repro.experiments import fig11_synthetic_muppet
+
+
+@pytest.mark.parametrize("workload", ["DH", "CH", "DCH"])
+def test_fig11_panel(once, workload):
+    table = once(
+        fig11_synthetic_muppet.run_workload, workload, scale="smoke", seed=7
+    )
+    print()
+    print(table.render())
+    assert table.cell("FO", "z=1.5") > 0.5 * table.cell("FO", "z=0.0")

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 5 (ClueWeb entity annotation)."""
+
+from repro.experiments import fig5_clueweb
+
+
+def test_fig5_clueweb(once):
+    table = once(fig5_clueweb.run, scale="smoke", seed=7)
+    print()
+    print(table.render())
+    fo = table.cell("FO", "minutes")
+    assert table.cell("Hadoop", "minutes") > 5 * fo
+    assert table.cell("CSAW", "minutes") > fo
+    assert table.cell("FlowJoinLB", "minutes") > fo

@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 6 (Twitter annotation on Muppet)."""
+
+from repro.experiments import fig6_twitter
+
+
+def test_fig6_twitter(once):
+    table = once(fig6_twitter.run, scale="smoke", seed=7)
+    print()
+    print(table.render())
+    assert table.cell("FO", "normalized_vs_NO") > 1.5
+    # FC > NO at default/paper scales; at smoke scale they can tie.
+    assert table.cell("FC", "normalized_vs_NO") > 0.95

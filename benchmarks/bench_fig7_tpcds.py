@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 7 (TPC-DS multi-join, Spark)."""
+
+from repro.experiments import fig7_tpcds
+
+
+def test_fig7_tpcds(once):
+    table = once(fig7_tpcds.run, scale="smoke", seed=7)
+    print()
+    print(table.render())
+    for row in table.rows:
+        _query, _spark, _ours, speedup = row
+        assert speedup > 1.0

@@ -1,0 +1,20 @@
+"""Benchmarks: regenerate Figure 8 (Hadoop synthetic, one per panel)."""
+
+import pytest
+
+from repro.experiments import fig8_synthetic_hadoop
+
+
+@pytest.mark.parametrize("workload", ["DH", "CH", "DCH"])
+def test_fig8_panel(once, workload):
+    table = once(
+        fig8_synthetic_hadoop.run_workload, workload, scale="smoke", seed=7
+    )
+    print()
+    print(table.render())
+    # FO never loses badly to the best alternative at any skew.
+    for z in ("z=0.0", "z=0.5", "z=1.0", "z=1.5"):
+        best = min(
+            table.cell(s, z) for s in ("NO", "FC", "FD", "FR", "CO", "LO")
+        )
+        assert table.cell("FO", z) < 1.35 * best

@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 9 (adaptive vs non-adaptive)."""
+
+from repro.experiments import fig9_adaptive
+
+
+def test_fig9_adaptive(once):
+    table = once(fig9_adaptive.run, scale="smoke", seed=7)
+    print()
+    print(table.render())
+    assert table.cell("DH", "z=1.5") > 1.05

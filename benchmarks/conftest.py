@@ -1,0 +1,22 @@
+"""Shared pytest-benchmark configuration.
+
+Every benchmark regenerates one paper table/figure (at the ``smoke``
+scale so the whole suite stays in minutes) inside ``benchmark.pedantic``
+with a single round — these are end-to-end simulation harnesses, not
+microbenchmarks, and one deterministic run is exactly the quantity of
+interest.  Each benchmark also asserts the figure's headline shape so a
+performance regression that silently breaks the science fails loudly.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under the benchmark clock."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,70 @@
+"""Genome read alignment (CloudBurst, Appendix A) on the framework.
+
+Short reads join an n-gram index of a reference sequence; an
+approximate-matching UDF verifies every candidate location.  A planted
+tandem repeat makes a handful of n-grams both extremely frequent and
+extremely expensive to verify — the skew that makes the reduce-side
+CloudBurst implementation straggle, and that per-key runtime routing
+dissolves: hot n-grams get cached and verified across all compute
+nodes, cold ones verify at the data nodes.
+
+Run:  python examples/genome_alignment.py
+"""
+
+from collections import Counter
+
+from repro import Cluster, JoinJob, Strategy
+from repro.metrics.collector import collect_usage
+from repro.workloads.genome import GenomeWorkload
+
+
+def main() -> None:
+    workload = GenomeWorkload(
+        reference_length=60_000, n_reads=3000, repeat_fraction=0.1, seed=13
+    )
+    stream = workload.seed_stream()
+    counts = Counter(stream)
+    hottest, hottest_count = counts.most_common(1)[0]
+    hot_candidates = len(workload.index[hottest])
+    print(
+        f"Reference: {len(workload.reference)} bases; index: "
+        f"{len(workload.index)} n-grams; reads: {len(workload.reads)}"
+    )
+    print(
+        f"Seed stream: {len(stream)} seeds; hottest n-gram {hottest!r} "
+        f"appears {hottest_count} times and has {hot_candidates} candidate "
+        f"locations to verify per occurrence"
+    )
+
+    results = {}
+    for name in ("FD", "FC", "FO"):
+        cluster = Cluster.homogeneous(8)
+        job = JoinJob(
+            cluster=cluster,
+            compute_nodes=[0, 1, 2, 3],
+            data_nodes=[4, 5, 6, 7],
+            table=workload.build_table(),
+            udf=workload.udf,
+            strategy=Strategy.by_name(name),
+            sizes=workload.sizes,
+            memory_cache_bytes=50e6,
+            seed=13,
+        )
+        outcome = job.run(stream)
+        usage = collect_usage(cluster)
+        results[name] = outcome
+        print(
+            f"\n{name}: {outcome.makespan:6.2f}s  "
+            f"(CPU skew across nodes {usage.cpu_skew:.2f}, "
+            f"{outcome.cache_memory_hits} cache hits, "
+            f"{outcome.udfs_at_data_nodes} verifications at data nodes)"
+        )
+
+    print(
+        f"\nFO vs reduce-side FD: {results['FD'].makespan / results['FO'].makespan:.2f}x "
+        f"faster — the repeat's verification load spread over every node."
+    )
+
+
+if __name__ == "__main__":
+    main()

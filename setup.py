@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+Kept so ``pip install -e .`` works in offline environments whose
+setuptools cannot build PEP 660 editable wheels (no ``wheel`` package).
+All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,135 @@
+"""repro — runtime optimization of join location in parallel systems.
+
+A complete reproduction of Chandra & Sudarshan, "Runtime Optimization
+of Join Location in Parallel Data Management Systems" (2017): per-key
+ski-rental routing between map-side (fetch + cache) and reduce-side
+(ship the function) join execution, two-tier benefit-managed caching,
+runtime cost measurement, compute/data-node load balancing, batching
+and ``preMap`` prefetching — together with every substrate the paper's
+evaluation needs (cluster simulator, HBase-analog store, MapReduce and
+streaming engines, a mini SparkSQL, workload generators) and one
+experiment harness per paper figure.
+
+Quick start
+-----------
+>>> from repro import quickstart_demo
+>>> result = quickstart_demo(n_tuples=2000, skew=1.0, seed=7)
+>>> result.strategy
+'FO'
+"""
+
+from repro.core import (
+    BatchLoadBalancer,
+    CostModel,
+    CostParameters,
+    ExactCounter,
+    JoinLocationOptimizer,
+    LossyCounter,
+    RequestCosts,
+    Route,
+    RoutingDecision,
+    SizeProfile,
+    SkiRental,
+    SmoothedValue,
+    UpdateTracker,
+    buy_threshold,
+    competitive_ratio,
+)
+from repro.cache import LFUDAPolicy, TieredCache, CacheTier
+from repro.sim import Cluster, Network, NodeSpec, Resource, Simulator
+from repro.store import (
+    DataNodeServer,
+    HashPartitioner,
+    KVStore,
+    RangePartitioner,
+    RegionMap,
+    Row,
+    Table,
+)
+from repro.engine import (
+    BatchBuffer,
+    ComputeNodeRuntime,
+    JobResult,
+    JoinJob,
+    JoinStageSpec,
+    MultiJoinJob,
+    PreMapRunner,
+    ResultHashMap,
+    Strategy,
+    StrategyConfig,
+    StreamResult,
+    UDF,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BatchLoadBalancer",
+    "CostModel",
+    "CostParameters",
+    "ExactCounter",
+    "JoinLocationOptimizer",
+    "LossyCounter",
+    "RequestCosts",
+    "Route",
+    "RoutingDecision",
+    "SizeProfile",
+    "SkiRental",
+    "SmoothedValue",
+    "UpdateTracker",
+    "buy_threshold",
+    "competitive_ratio",
+    "LFUDAPolicy",
+    "TieredCache",
+    "CacheTier",
+    "Cluster",
+    "Network",
+    "NodeSpec",
+    "Resource",
+    "Simulator",
+    "DataNodeServer",
+    "HashPartitioner",
+    "KVStore",
+    "RangePartitioner",
+    "RegionMap",
+    "Row",
+    "Table",
+    "BatchBuffer",
+    "ComputeNodeRuntime",
+    "JobResult",
+    "JoinJob",
+    "JoinStageSpec",
+    "MultiJoinJob",
+    "PreMapRunner",
+    "ResultHashMap",
+    "Strategy",
+    "StrategyConfig",
+    "StreamResult",
+    "UDF",
+    "quickstart_demo",
+]
+
+
+def quickstart_demo(n_tuples: int = 2000, skew: float = 1.0, seed: int = 0):
+    """Run a tiny FO join job on a simulated cluster and return metrics.
+
+    A convenience wrapper used by the README and doctests; see
+    ``examples/quickstart.py`` for the expanded version.
+    """
+    from repro.workloads.synthetic import SyntheticWorkload
+
+    workload = SyntheticWorkload.data_heavy(
+        n_keys=500, n_tuples=n_tuples, skew=skew, seed=seed, value_size=20_000
+    )
+    cluster = Cluster.homogeneous(8)
+    job = JoinJob(
+        cluster=cluster,
+        compute_nodes=list(range(4)),
+        data_nodes=list(range(4, 8)),
+        table=workload.build_table(),
+        udf=workload.udf,
+        strategy=Strategy.fo(),
+        sizes=workload.sizes,
+        seed=seed,
+    )
+    return job.run(workload.keys())

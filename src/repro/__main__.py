@@ -1,0 +1,101 @@
+"""Command-line entry point.
+
+Usage::
+
+    python -m repro demo [--skew Z] [--tuples N]   quick FO run + metrics
+    python -m repro strategies                     list the paper's strategies
+    python -m repro workloads                      list workload generators
+    python -m repro experiments [...]              forwarded to repro.experiments
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.engine.strategies import Strategy
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro import quickstart_demo
+
+    result = quickstart_demo(n_tuples=args.tuples, skew=args.skew, seed=args.seed)
+    print(f"strategy        : {result.strategy}")
+    print(f"tuples          : {result.n_tuples}")
+    print(f"makespan        : {result.makespan:.3f} s")
+    print(f"throughput      : {result.throughput:.0f} tuples/s")
+    print(f"UDFs at data    : {result.udfs_at_data_nodes}")
+    print(f"UDFs at compute : {result.udfs_at_compute_nodes}")
+    print(f"cache hits      : {result.cache_memory_hits + result.cache_disk_hits}")
+    print(f"bytes moved     : {result.bytes_moved / 1e6:.1f} MB")
+    return 0
+
+
+def _cmd_strategies(_args: argparse.Namespace) -> int:
+    for name in ("NO", "FC", "FD", "FR", "CO", "LO", "FO"):
+        config = Strategy.by_name(name)
+        flags = []
+        if config.caching:
+            flags.append("ski-rental caching")
+        if config.load_balancing:
+            flags.append("load balancing")
+        if config.batching:
+            flags.append("batching/prefetch")
+        if config.blocking:
+            flags.append("blocking (naive)")
+        routing = config.routing.value
+        print(f"{name:3s}  routing={routing:<15s}  {', '.join(flags) or '-'}")
+    return 0
+
+
+def _cmd_workloads(_args: argparse.Namespace) -> int:
+    entries = [
+        ("synthetic DH/CH/DCH", "repro.workloads.synthetic",
+         "Zipf key streams over uniform stored rows (Figures 8, 9, 11)"),
+        ("entity annotation", "repro.workloads.annotation",
+         "ClueWeb-style corpus + heavy-tailed model store (Figure 5)"),
+        ("tweet stream", "repro.workloads.tweets",
+         "bursty drifting entity mentions (Figure 6)"),
+        ("TPC-DS-lite", "repro.workloads.tpcds",
+         "star schema + Q3/Q7/Q27/Q42 (Figure 7)"),
+        ("genome alignment", "repro.workloads.genome",
+         "CloudBurst n-gram index + reads (Appendix A)"),
+        ("parameter server", "repro.workloads.parameter_server",
+         "pull/push over sharded model (Section 2.2)"),
+    ]
+    for name, module, blurb in entries:
+        print(f"{name:<22s} {module:<38s} {blurb}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "experiments":
+        from repro.experiments.__main__ import main as experiments_main
+
+        return experiments_main(argv[1:])
+
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run a small FO job and print metrics")
+    demo.add_argument("--skew", type=float, default=1.0)
+    demo.add_argument("--tuples", type=int, default=2000)
+    demo.add_argument("--seed", type=int, default=7)
+    demo.set_defaults(handler=_cmd_demo)
+
+    strategies = sub.add_parser("strategies", help="list the paper's strategies")
+    strategies.set_defaults(handler=_cmd_strategies)
+
+    workloads = sub.add_parser("workloads", help="list workload generators")
+    workloads.set_defaults(handler=_cmd_workloads)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. piped into `head`
+        sys.exit(0)

@@ -1,0 +1,20 @@
+"""Two-tier (memory + disk) cache substrate (Section 4.2.2, Appendix B).
+
+The paper caches "bought" items in a composite cache (Ehcache in their
+implementation): a fast, size-limited memory tier backed by a much
+larger disk tier.  Eviction from memory to disk is benefit-driven using
+the weighted LFU-DA policy of Arlitt et al. [1], which favours recent
+and frequent accesses.
+
+This package is a faithful Python stand-in:
+
+* :class:`LFUDAPolicy` — dynamic-aging frequency benefit,
+* :class:`TieredCache` — the composite cache, implementing the paper's
+  ``condCacheInMemory`` for both uniform (Algorithm 2) and variable
+  (Algorithm 3) item sizes.
+"""
+
+from repro.cache.benefit import LFUDAPolicy
+from repro.cache.tiered import CacheTier, TieredCache
+
+__all__ = ["LFUDAPolicy", "TieredCache", "CacheTier"]

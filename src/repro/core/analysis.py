@@ -1,0 +1,93 @@
+"""Analysis utilities for the ski-rental guarantee (Section 4).
+
+The paper's worst-case bound is ``2 - br/r``: whatever the adversary
+does with the future access count, the threshold strategy never pays
+more than that multiple of the offline optimum.  These helpers make the
+guarantee inspectable — the worst-case sequence, the full ratio curve,
+and an empirical sweep used by tests and the playground example.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.ski_rental import SkiRental, buy_threshold, competitive_ratio
+
+
+@dataclass(frozen=True)
+class RatioSweep:
+    """Result of sweeping the adversary's access count."""
+
+    worst_ratio: float
+    worst_accesses: int
+    bound: float
+    curve: list[tuple[int, float]]
+
+    @property
+    def bound_is_respected(self) -> bool:
+        """Whether every point stays under the theoretical bound."""
+        return self.worst_ratio <= self.bound + 1e-9
+
+    @property
+    def bound_tightness(self) -> float:
+        """How close the adversary gets to the bound (1.0 = tight)."""
+        if self.bound == 0:
+            return 0.0
+        return self.worst_ratio / self.bound
+
+
+def worst_case_accesses(rent: float, buy: float, recurring: float = 0.0) -> int:
+    """The adversary's best move: stop right after the buy.
+
+    The threshold strategy buys on the first access beyond
+    ``b / (r - br)``; an adversary that ends the sequence exactly there
+    maximizes wasted purchase cost.  Returns 0 when buying never
+    happens (``rent <= recurring``) — then every sequence is optimal.
+    """
+    threshold = buy_threshold(rent, buy, recurring)
+    if math.isinf(threshold):
+        return 0
+    return int(math.floor(threshold)) + 1
+
+
+def ratio_curve(
+    rent: float,
+    buy: float,
+    recurring: float = 0.0,
+    max_accesses: int = 200,
+) -> list[tuple[int, float]]:
+    """Realized competitive ratio for every access count up to the max."""
+    if max_accesses < 0:
+        raise ValueError("max_accesses must be non-negative")
+    curve = []
+    for accesses in range(max_accesses + 1):
+        outcome = SkiRental.simulate(accesses, rent, buy, recurring)
+        curve.append((accesses, outcome.ratio))
+    return curve
+
+
+def sweep_competitive_ratio(
+    rent: float,
+    buy: float,
+    recurring: float = 0.0,
+    max_accesses: int = 200,
+) -> RatioSweep:
+    """Empirically verify the guarantee over all adversary choices.
+
+    Examples
+    --------
+    >>> sweep = sweep_competitive_ratio(1.0, 10.0, 0.5, max_accesses=100)
+    >>> sweep.bound_is_respected
+    True
+    >>> sweep.worst_accesses == worst_case_accesses(1.0, 10.0, 0.5)
+    True
+    """
+    curve = ratio_curve(rent, buy, recurring, max_accesses)
+    worst_accesses_seen, worst = max(curve, key=lambda point: point[1])
+    return RatioSweep(
+        worst_ratio=worst,
+        worst_accesses=worst_accesses_seen,
+        bound=competitive_ratio(rent, buy, recurring),
+        curve=curve,
+    )

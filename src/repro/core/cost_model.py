@@ -1,0 +1,256 @@
+"""Cost parameters and request cost formulas (Table 1, Section 4.3).
+
+All costs are normalized to seconds; sizes to bytes; bandwidth to
+bytes/second.  For a compute node ``i`` talking to a data node ``j``
+about key ``k``:
+
+    tCompute  = max(tDisk_j, (sk + sp + scv) / netBw_ij, tc_j)
+    tFetch    = max(tDisk_j, (sk + sv) / netBw_ij)
+    tRecMem   = tc_i
+    tRecDisk  = max(tc_i, tDisk_i)
+
+The maxima reflect asynchronous overlap: with many in-flight requests
+the disk, network and CPU pipelines overlap, so the *bottleneck*
+component dominates, not their sum.
+
+Because model sizes and UDF costs are key specific (e.g. the entity
+annotation models range from bytes to hundreds of megabytes), the model
+keeps per-key smoothed overrides for ``sv`` and the UDF CPU time on top
+of global smoothed averages; until a key's parameters are known the
+first request must be a compute request (Section 4.3), and the data
+node's response carries the measured parameters back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.core.smoothing import SmoothedValue
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """One observed set of cost parameters for a key at a data node.
+
+    Sent back by the data node with every compute-request response so
+    the compute node can make informed future decisions (Section 4.3).
+
+    ``compute_time`` and ``disk_time`` are *measured* values — wall
+    time per invocation / per fetch under the node's current load, the
+    way a real implementation timing its calls would observe them.  On
+    a congested data node they exceed the pure service times, which is
+    exactly what lets ski-rental prefer buying keys served by hot
+    nodes.  ``cpu_service_time`` carries the pure, load-independent UDF
+    cost (what a local execution of the same key would take).
+    """
+
+    key: Hashable
+    value_size: float
+    compute_time: float
+    disk_time: float
+    param_size: float = 0.0
+    key_size: float = 8.0
+    computed_size: float = 0.0
+    node_id: int = -1
+    cpu_service_time: float | None = None
+    hydration_time: float = 0.0
+
+    @property
+    def service_time(self) -> float:
+        """Pure UDF cost; defaults to ``compute_time`` when unset."""
+        if self.cpu_service_time is None:
+            return self.compute_time
+        return self.cpu_service_time
+
+
+@dataclass(frozen=True)
+class RequestCosts:
+    """The four decision costs for one (key, data node) pair."""
+
+    t_compute: float
+    t_fetch: float
+    t_rec_mem: float
+    t_rec_disk: float
+
+    @property
+    def rent(self) -> float:
+        """Ski-rental rent cost: one compute request."""
+        return self.t_compute
+
+    @property
+    def buy(self) -> float:
+        """Ski-rental buy cost: one data request (fetch + cache)."""
+        return self.t_fetch
+
+
+class _KeyEstimates:
+    """Per-key smoothed value size and UDF compute times.
+
+    ``compute_time`` is the measured (load-inclusive) remote cost;
+    ``service_time`` is the pure per-invocation UDF cost.
+    """
+
+    __slots__ = ("value_size", "compute_time", "service_time")
+
+    def __init__(self, alpha: float) -> None:
+        self.value_size = SmoothedValue(alpha=alpha)
+        self.compute_time = SmoothedValue(alpha=alpha)
+        self.service_time = SmoothedValue(alpha=alpha)
+
+
+class CostModel:
+    """Runtime cost estimation for one compute node.
+
+    Parameters
+    ----------
+    node_id:
+        The compute node this model belongs to.
+    bandwidth:
+        ``{data_node_id: netBw_ij}`` effective bandwidths, measured at
+        setup (Appendix D.4).
+    local_disk_time:
+        ``tDisk_i`` — average random-read time of the local disk, used
+        for the disk-cache recurring cost.
+    alpha:
+        Exponential smoothing weight (Section 3.2).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        bandwidth: dict[int, float],
+        local_disk_time: float,
+        alpha: float = 0.3,
+    ) -> None:
+        if local_disk_time < 0:
+            raise ValueError("local_disk_time must be non-negative")
+        if any(bw <= 0 for bw in bandwidth.values()):
+            raise ValueError("bandwidths must be positive")
+        self.node_id = node_id
+        self._bandwidth = dict(bandwidth)
+        self._local_disk_time = local_disk_time
+        self._alpha = alpha
+        # Global smoothed averages (Table 1).
+        self._key_size = SmoothedValue(alpha=alpha, initial=8.0)
+        self._param_size = SmoothedValue(alpha=alpha)
+        self._computed_size = SmoothedValue(alpha=alpha)
+        self._local_compute = SmoothedValue(alpha=alpha)
+        # Per-data-node measured disk times (tDisk_j; Table 1 keeps one
+        # per node — congestion on one data node must not pollute the
+        # estimates for the others).
+        self._remote_disk: dict[int, SmoothedValue] = {}
+        self._remote_compute = SmoothedValue(alpha=alpha)
+        # Per-key overrides for the key-specific quantities.
+        self._per_key: dict[Hashable, _KeyEstimates] = {}
+
+    # ------------------------------------------------------------------
+    # Observation side: fold measured parameters into the estimates.
+    # ------------------------------------------------------------------
+    def observe(self, params: CostParameters) -> None:
+        """Fold a data node's reported parameters into the estimates."""
+        self._key_size.observe(params.key_size)
+        self._param_size.observe(params.param_size)
+        if params.computed_size > 0:
+            self._computed_size.observe(params.computed_size)
+        node_disk = self._remote_disk.get(params.node_id)
+        if node_disk is None:
+            node_disk = SmoothedValue(alpha=self._alpha)
+            self._remote_disk[params.node_id] = node_disk
+        node_disk.observe(params.disk_time)
+        self._remote_compute.observe(params.compute_time)
+        per_key = self._per_key.get(params.key)
+        if per_key is None:
+            per_key = _KeyEstimates(self._alpha)
+            self._per_key[params.key] = per_key
+        per_key.value_size.observe(params.value_size)
+        per_key.compute_time.observe(params.compute_time)
+        per_key.service_time.observe(params.service_time)
+
+    def observe_local_compute(self, seconds: float) -> None:
+        """Record a locally measured UDF execution time (``tc_i``)."""
+        self._local_compute.observe(seconds)
+
+    def forget_key(self, key: Hashable) -> None:
+        """Drop per-key estimates (e.g. after a data-store update)."""
+        self._per_key.pop(key, None)
+
+    # ------------------------------------------------------------------
+    # Query side.
+    # ------------------------------------------------------------------
+    def knows_key(self, key: Hashable) -> bool:
+        """Whether per-key parameters for ``key`` have been observed.
+
+        Until this is true the first request for the key must go out as
+        a compute request (Section 4.3).
+        """
+        return key in self._per_key
+
+    def value_size(self, key: Hashable) -> float:
+        """Best estimate of the stored value size ``sv`` for ``key``."""
+        per_key = self._per_key.get(key)
+        if per_key is not None and per_key.value_size.initialized:
+            return per_key.value_size.value
+        raise KeyError(f"no size estimate for key {key!r}")
+
+    def bandwidth_to(self, data_node: int) -> float:
+        """Effective bandwidth ``netBw_ij`` to ``data_node``."""
+        try:
+            return self._bandwidth[data_node]
+        except KeyError:
+            raise KeyError(f"no bandwidth estimate for node {data_node}") from None
+
+    def costs(self, key: Hashable, data_node: int) -> RequestCosts:
+        """The four decision costs for ``key`` served by ``data_node``.
+
+        Requires per-key parameters; callers should check
+        :meth:`knows_key` first and issue a compute request when false.
+        """
+        per_key = self._per_key.get(key)
+        if per_key is None:
+            raise KeyError(f"no cost parameters yet for key {key!r}")
+        bw = self.bandwidth_to(data_node)
+        sk = self._key_size.value_or(8.0)
+        sp = self._param_size.value_or(0.0)
+        scv = self._computed_size.value_or(0.0)
+        sv = per_key.value_size.value
+        node_disk = self._remote_disk.get(data_node)
+        t_disk_remote = node_disk.value_or(0.0) if node_disk is not None else 0.0
+        tc_remote = per_key.compute_time.value
+        # Local UDF time: prefer a locally measured value; fall back to
+        # the key's *pure service* cost — an idle local CPU would take
+        # about that long (falling back to the load-inflated remote
+        # measurement would make r <= br and freeze buying forever).
+        tc_local = self._local_compute.value_or(per_key.service_time.value)
+        t_compute = max(t_disk_remote, (sk + sp + scv) / bw, tc_remote)
+        t_fetch = max(t_disk_remote, (sk + sv) / bw)
+        t_rec_mem = tc_local
+        t_rec_disk = max(tc_local, self._local_disk_time)
+        return RequestCosts(
+            t_compute=t_compute,
+            t_fetch=t_fetch,
+            t_rec_mem=t_rec_mem,
+            t_rec_disk=t_rec_disk,
+        )
+
+    def average_compute_time(self) -> float:
+        """Current estimate of the UDF CPU time (for load statistics)."""
+        return self._local_compute.value_or(self._remote_compute.value_or(0.0))
+
+    def average_sizes(self) -> tuple[float, float, float, float]:
+        """Average ``(sk, sp, sv, scv)`` across observed keys.
+
+        ``sv`` here is the mean over per-key estimates; used by the
+        load balancer's network-load formulas where the batch mixes
+        many keys.
+        """
+        sk = self._key_size.value_or(8.0)
+        sp = self._param_size.value_or(0.0)
+        scv = self._computed_size.value_or(0.0)
+        sizes = [
+            pk.value_size.value
+            for pk in self._per_key.values()
+            if pk.value_size.initialized
+        ]
+        sv = sum(sizes) / len(sizes) if sizes else 0.0
+        return sk, sp, sv, scv

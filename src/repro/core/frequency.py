@@ -1,0 +1,159 @@
+"""Approximate per-key access counts via Lossy Counting (Section 4.3).
+
+The ski-rental router needs per-key access counters, but the key space
+may be too large to count exactly.  The paper uses the Lossy Counting
+algorithm of Manku & Motwani [17]: the stream is divided into buckets
+of width ``w = ceil(1/epsilon)``; each tracked key carries a count and
+the maximum possible undercount ``delta`` (the bucket id at insertion
+minus one); at every bucket boundary, entries with
+``count + delta <= current_bucket`` are pruned.
+
+Guarantees (for true frequency ``f`` over ``N`` observed items):
+
+* estimated count ``c`` satisfies ``f - epsilon * N <= c <= f``;
+* every key with ``f > epsilon * N`` is present in the summary;
+* at most ``(1/epsilon) * log(epsilon * N)`` entries are retained.
+
+:class:`ExactCounter` offers the same interface with exact counts, for
+small key spaces and for the counting ablation benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterator
+
+
+class ExactCounter:
+    """Exact per-key counter with the same interface as LossyCounter."""
+
+    def __init__(self) -> None:
+        self._counts: dict[Hashable, int] = {}
+        self._total = 0
+
+    def add(self, key: Hashable) -> int:
+        """Record one occurrence of ``key``; returns its new count."""
+        count = self._counts.get(key, 0) + 1
+        self._counts[key] = count
+        self._total += 1
+        return count
+
+    def count(self, key: Hashable) -> int:
+        """Current count estimate (exact here) for ``key``."""
+        return self._counts.get(key, 0)
+
+    def reset(self, key: Hashable) -> None:
+        """Forget ``key``'s history (used on data-store updates)."""
+        self._counts.pop(key, None)
+
+    @property
+    def total(self) -> int:
+        """Number of ``add`` calls observed."""
+        return self._total
+
+    @property
+    def tracked(self) -> int:
+        """Number of keys currently retained."""
+        return len(self._counts)
+
+    def items(self) -> Iterator[tuple[Hashable, int]]:
+        """Iterate over ``(key, count)`` pairs currently tracked."""
+        return iter(self._counts.items())
+
+
+class _Entry:
+    """Mutable Lossy-Counting summary entry: (count, delta)."""
+
+    __slots__ = ("count", "delta")
+
+    def __init__(self, count: int, delta: int) -> None:
+        self.count = count
+        self.delta = delta
+
+
+class LossyCounter:
+    """Lossy Counting frequency summary.
+
+    Parameters
+    ----------
+    epsilon:
+        Maximum relative undercount.  Bucket width is ``ceil(1/epsilon)``.
+
+    Examples
+    --------
+    >>> lc = LossyCounter(epsilon=0.1)
+    >>> for _ in range(30):
+    ...     _ = lc.add("hot")
+    >>> lc.count("hot") >= 30 - int(0.1 * lc.total)
+    True
+    """
+
+    def __init__(self, epsilon: float = 0.001) -> None:
+        if not 0.0 < epsilon < 1.0:
+            raise ValueError(f"epsilon must be in (0, 1), got {epsilon!r}")
+        self.epsilon = epsilon
+        self.bucket_width = math.ceil(1.0 / epsilon)
+        self._entries: dict[Hashable, _Entry] = {}
+        self._total = 0
+        self._current_bucket = 1
+
+    @property
+    def total(self) -> int:
+        """Number of stream items observed."""
+        return self._total
+
+    @property
+    def tracked(self) -> int:
+        """Number of keys currently retained in the summary."""
+        return len(self._entries)
+
+    def add(self, key: Hashable) -> int:
+        """Record one occurrence of ``key``; returns its estimated count."""
+        self._total += 1
+        entry = self._entries.get(key)
+        if entry is not None:
+            entry.count += 1
+        else:
+            entry = _Entry(count=1, delta=self._current_bucket - 1)
+            self._entries[key] = entry
+        if self._total % self.bucket_width == 0:
+            self._prune()
+            self._current_bucket += 1
+        return entry.count
+
+    def count(self, key: Hashable) -> int:
+        """Estimated count for ``key`` (0 if pruned or never seen).
+
+        The estimate never exceeds the true count and undercounts by at
+        most ``epsilon * total``.
+        """
+        entry = self._entries.get(key)
+        return entry.count if entry is not None else 0
+
+    def reset(self, key: Hashable) -> None:
+        """Forget ``key``'s history (used on data-store updates)."""
+        self._entries.pop(key, None)
+
+    def frequent_keys(self, support: float) -> list[Hashable]:
+        """Keys whose true frequency may exceed ``support * total``.
+
+        Standard Lossy-Counting output rule: report keys with
+        ``count >= (support - epsilon) * total``.
+        """
+        if not 0.0 < support <= 1.0:
+            raise ValueError(f"support must be in (0, 1], got {support!r}")
+        threshold = (support - self.epsilon) * self._total
+        return [k for k, e in self._entries.items() if e.count >= threshold]
+
+    def items(self) -> Iterator[tuple[Hashable, int]]:
+        """Iterate over ``(key, estimated_count)`` pairs retained."""
+        return iter((k, e.count) for k, e in self._entries.items())
+
+    def _prune(self) -> None:
+        doomed = [
+            key
+            for key, entry in self._entries.items()
+            if entry.count + entry.delta <= self._current_bucket
+        ]
+        for key in doomed:
+            del self._entries[key]

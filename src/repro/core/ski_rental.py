@@ -1,0 +1,168 @@
+"""Basic and extended ski-rental decisions (Section 4).
+
+Classical ski-rental: with rent cost ``r`` and buy cost ``b``, rent for
+the first ``b / r`` uses and then buy; total cost never exceeds twice
+the offline optimum (competitive ratio 2).
+
+The paper's extension adds a *recurring cost after buying* ``br``
+(CPU work still happens on every access to a cached item).  Renting
+remains cheaper while
+
+    r * m <= b + br * m    =>    m <= b / (r - br)   (when r > br)
+
+so the buy point is ``M = b / (r - br)`` and the competitive ratio
+becomes ``2 - br / r`` (Section 4.2.1).  If ``r <= br`` it is always
+cheaper to rent — buying can never pay off.
+
+In the join-location setting, "rent" is a compute request (function
+shipped to the data node), "buy" is a data request (value fetched and
+cached at the compute node), and ``br`` is the local recurring cost
+``tRecMem`` (memory-cached) or ``tRecDisk`` (disk-cached).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def buy_threshold(rent: float, buy: float, recurring: float = 0.0) -> float:
+    """Number of accesses ``M`` after which buying is worthwhile.
+
+    Returns ``inf`` when buying can never pay off (``rent <= recurring``).
+
+    Examples
+    --------
+    >>> buy_threshold(rent=1.0, buy=10.0)
+    10.0
+    >>> buy_threshold(rent=1.0, buy=10.0, recurring=0.5)
+    20.0
+    >>> buy_threshold(rent=1.0, buy=10.0, recurring=1.0)
+    inf
+    """
+    if rent < 0 or buy < 0 or recurring < 0:
+        raise ValueError("costs must be non-negative")
+    if rent <= recurring:
+        return math.inf
+    return buy / (rent - recurring)
+
+
+def competitive_ratio(rent: float, buy: float, recurring: float = 0.0) -> float:
+    """Worst-case total/optimal cost ratio of the threshold strategy.
+
+    For the extended problem this is ``2 - recurring / rent``
+    (Section 4.2.1); with ``recurring = 0`` it reduces to the classical
+    ratio of 2.  When buying never pays off the strategy always rents,
+    which is optimal, so the ratio is 1.
+
+    Examples
+    --------
+    >>> competitive_ratio(rent=1.0, buy=10.0)
+    2.0
+    >>> competitive_ratio(rent=2.0, buy=10.0, recurring=1.0)
+    1.5
+    """
+    if rent <= 0:
+        raise ValueError("rent must be positive")
+    if recurring < 0 or buy < 0:
+        raise ValueError("costs must be non-negative")
+    if rent <= recurring:
+        return 1.0
+    return 2.0 - recurring / rent
+
+
+@dataclass(frozen=True)
+class SkiRentalOutcome:
+    """Cost bookkeeping of a simulated access sequence (for analysis)."""
+
+    accesses: int
+    bought_at: int | None
+    online_cost: float
+    offline_cost: float
+
+    @property
+    def ratio(self) -> float:
+        """Realized competitive ratio for this sequence."""
+        if self.offline_cost == 0:
+            return 1.0
+        return self.online_cost / self.offline_cost
+
+
+class SkiRental:
+    """Stateful ski-rental decision for one item.
+
+    Tracks the access count and answers "should this access rent or
+    buy?".  The decision rule matches Algorithm 1's test
+    ``counter(k) <= b / (r - br)``: accesses up to and including the
+    threshold rent; the first access beyond it buys.
+
+    Examples
+    --------
+    >>> sr = SkiRental(rent=1.0, buy=3.0)
+    >>> [sr.should_buy_next() or sr.record_rent() for _ in range(3)]
+    [None, None, None]
+    >>> sr.should_buy_next()
+    True
+    """
+
+    def __init__(self, rent: float, buy: float, recurring: float = 0.0) -> None:
+        self.rent = rent
+        self.buy = buy
+        self.recurring = recurring
+        self.threshold = buy_threshold(rent, buy, recurring)
+        self.accesses = 0
+        self.bought = False
+
+    def should_buy_next(self) -> bool:
+        """Whether the *next* access should trigger a buy.
+
+        Mirrors Algorithm 1: keep renting while
+        ``counter(k) <= b / (r - br)`` where ``counter`` counts this
+        access too, i.e. buy once ``accesses + 1 > threshold``.
+        """
+        if self.bought:
+            return False
+        return self.accesses + 1 > self.threshold
+
+    def record_rent(self) -> None:
+        """Record one rented access."""
+        self.accesses += 1
+
+    def record_buy(self) -> None:
+        """Record the purchase (access count also advances)."""
+        self.accesses += 1
+        self.bought = True
+
+    @staticmethod
+    def simulate(
+        total_accesses: int, rent: float, buy: float, recurring: float = 0.0
+    ) -> SkiRentalOutcome:
+        """Run the threshold strategy over ``total_accesses`` and report costs.
+
+        Used by tests and the analysis notebook-style examples to check
+        the ``2 - br/r`` competitive-ratio guarantee empirically.
+        """
+        if total_accesses < 0:
+            raise ValueError("total_accesses must be non-negative")
+        threshold = buy_threshold(rent, buy, recurring)
+        online = 0.0
+        bought_at: int | None = None
+        for access in range(1, total_accesses + 1):
+            if bought_at is None and access > threshold:
+                online += buy + recurring
+                bought_at = access
+            elif bought_at is not None:
+                online += recurring
+            else:
+                online += rent
+        # Offline optimum: either rent everything, or buy before the
+        # first access and pay the recurring cost each time.
+        rent_all = rent * total_accesses
+        buy_first = buy + recurring * total_accesses
+        offline = min(rent_all, buy_first)
+        return SkiRentalOutcome(
+            accesses=total_accesses,
+            bought_at=bought_at,
+            online_cost=online,
+            offline_cost=offline,
+        )

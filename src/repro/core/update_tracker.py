@@ -1,0 +1,69 @@
+"""Handling of data-store updates (Section 4.2.3).
+
+Updates break the ski-rental assumption that a bought item stays
+usable.  Two complementary signals keep the compute node honest:
+
+* **Notifications** — the data node remembers which compute nodes
+  cached each row and sends a targeted invalidation when it changes
+  (``notify_update``).
+* **Timestamp piggybacking** — every compute-request response carries
+  the row's last-update timestamp; if the timestamp moved between two
+  requests the compute node missed an update, so the access counter is
+  reset (the key is treated as brand new) and any stale cache entry is
+  invalidated (``observe_timestamp``).
+
+Resetting the counter is not needed for the worst-case guarantee (the
+``2 - br/r`` bound holds regardless) but avoids buying frequently
+updated items that would immediately be invalidated again.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable
+
+
+class UpdateTracker:
+    """Per-compute-node record of last-seen update timestamps.
+
+    Parameters
+    ----------
+    on_stale:
+        Callback invoked with the key whenever an update is detected;
+        the owner uses it to reset the access counter and invalidate
+        the cache entry.
+    """
+
+    def __init__(self, on_stale: Callable[[Hashable], None]) -> None:
+        self._on_stale = on_stale
+        self._last_seen: dict[Hashable, float] = {}
+        self._invalidations = 0
+
+    @property
+    def invalidations(self) -> int:
+        """Number of staleness events detected so far."""
+        return self._invalidations
+
+    def observe_timestamp(self, key: Hashable, updated_at: float) -> bool:
+        """Fold a piggybacked row timestamp; returns True if stale.
+
+        The first observation just records the timestamp.  A later,
+        larger timestamp means the row changed since the previous
+        request, which fires the staleness callback.
+        """
+        previous = self._last_seen.get(key)
+        self._last_seen[key] = updated_at
+        if previous is not None and updated_at > previous:
+            self._invalidations += 1
+            self._on_stale(key)
+            return True
+        return False
+
+    def notify_update(self, key: Hashable, updated_at: float) -> None:
+        """Apply a direct invalidation notification from a data node."""
+        self._last_seen[key] = updated_at
+        self._invalidations += 1
+        self._on_stale(key)
+
+    def forget(self, key: Hashable) -> None:
+        """Drop tracking state for a key."""
+        self._last_seen.pop(key, None)

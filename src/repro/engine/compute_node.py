@@ -1,0 +1,537 @@
+"""Simulated compute node: routing, batching, prefetching, local UDFs.
+
+One :class:`ComputeNodeRuntime` models everything Figure 4 shows on the
+compute side: the optimizer routing each tuple (Algorithm 1 or a fixed
+strategy policy), per-data-node batch buffers, in-flight bookkeeping
+(which doubles as the Appendix C statistics piggybacked on batches),
+the local compute queue, and the tiered cache.
+
+The runtime is event-driven: the job driver calls :meth:`submit` for
+each input tuple (scheduled on the simulator), responses re-enter via
+scheduled callbacks, and every completed tuple fires ``on_complete``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Hashable
+
+import numpy as np
+
+from repro.cache.tiered import CacheTier, TieredCache
+from repro.core.cost_model import CostModel
+from repro.core.frequency import ExactCounter, LossyCounter
+from repro.core.load_balancer import ComputeNodeStats, SizeProfile
+from repro.core.optimizer import JoinLocationOptimizer, Route
+from repro.core.smoothing import SmoothedValue
+from repro.engine.batching import AdaptiveBatchBuffer, BatchBuffer
+from repro.engine.requests import (
+    BatchRequest,
+    BatchResponse,
+    RequestItem,
+    RequestKind,
+    UDF,
+)
+from repro.engine.strategies import RoutingPolicy, StrategyConfig
+from repro.sim.cluster import Cluster
+from repro.store.datanode import DataNodeServer
+from repro.store.kvstore import KVStore
+
+if False:  # pragma: no cover - import for type checkers only
+    from repro.metrics.trace import RoutingTrace
+
+
+class _RowInfo:
+    """What the compute node has learned about one stored row."""
+
+    __slots__ = ("size", "compute_cost", "hydration_cost")
+
+    def __init__(
+        self, size: float, compute_cost: float, hydration_cost: float = 0.0
+    ) -> None:
+        self.size = size
+        self.compute_cost = compute_cost
+        self.hydration_cost = hydration_cost
+
+
+class ComputeNodeRuntime:
+    """The compute-node side of the join for one node.
+
+    Parameters
+    ----------
+    cluster, node_id:
+        The simulated node this runtime occupies.
+    kvstore:
+        Client handle to the parallel store (used for key routing).
+    servers:
+        Data-node servers by node id (the simulated RPC targets).
+    udf:
+        The user function being computed on join results.
+    config:
+        Strategy switches (NO/FC/FD/FR/CO/LO/FO).
+    sizes:
+        Average message sizes for batch statistics.
+    on_complete:
+        Callback ``(tuple_id, finish_time)`` fired per finished tuple.
+    memory_cache_bytes:
+        Memory-tier capacity of the local cache.
+    batch_size, max_wait:
+        Batching parameters (Section 7.2).
+    expected_inputs:
+        Total tuples this node will receive; needed to implement the
+        non-adaptive freeze of Figure 9 (``config.adaptive_fraction``).
+    seed:
+        Seed for the FR coin and gradient-descent starting points.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        node_id: int,
+        kvstore: KVStore,
+        servers: dict[int, DataNodeServer],
+        udf: UDF,
+        config: StrategyConfig,
+        sizes: SizeProfile,
+        on_complete: Callable[[int, float], None],
+        memory_cache_bytes: float = 100e6,
+        batch_size: int = 64,
+        max_wait: float | None = None,
+        expected_inputs: int | None = None,
+        counter: LossyCounter | ExactCounter | None = None,
+        fixed_threshold: float | None = None,
+        reset_count_on_update: bool = True,
+        update_notifications: bool = False,
+        trace: "RoutingTrace | None" = None,
+        adaptive_batching: bool = False,
+        seed: int = 0,
+    ) -> None:
+        self.cluster = cluster
+        self.node_id = node_id
+        self.kvstore = kvstore
+        self.servers = servers
+        self.udf = udf
+        self.config = config
+        self.sizes = sizes
+        self.on_complete = on_complete
+        # Section 4.2.3: with notifications on, the data node records
+        # which compute nodes cached each row and pushes a targeted
+        # invalidation on update; otherwise staleness is detected via
+        # the timestamps piggybacked on compute responses.
+        self.update_notifications = update_notifications
+        #: Optional decision recorder (repro.metrics.trace).
+        self.trace = trace
+        self._node = cluster.node(node_id)
+        self._rng = np.random.default_rng(seed)
+        self._data_nodes = sorted(servers)
+        bandwidths = {
+            dn: cluster.network.effective_bandwidth(node_id, dn)
+            for dn in self._data_nodes
+        }
+        local_disk_time = self._node.spec.cache_disk_time(sizes.value_size)
+        self.cost_model = CostModel(node_id, bandwidths, local_disk_time)
+        self.cache = TieredCache(memory_bytes=memory_cache_bytes)
+        self.optimizer: JoinLocationOptimizer | None = None
+        if config.routing is RoutingPolicy.SKI_RENTAL:
+            self.optimizer = JoinLocationOptimizer(
+                self.cost_model, self.cache, counter=counter,
+                fixed_threshold=fixed_threshold,
+                reset_count_on_update=reset_count_on_update,
+            )
+        # Batch buffers per data node, separate for compute and data
+        # requests (Algorithm 1 routes to distinct queues).
+        self._compute_buffers: dict[int, BatchBuffer] = {}
+        self._data_buffers: dict[int, BatchBuffer] = {}
+        effective_batch = batch_size if config.batching else 1
+
+        def make_buffer(dn: int, kind: RequestKind) -> BatchBuffer:
+            if adaptive_batching and config.batching and max_wait is not None:
+                return AdaptiveBatchBuffer(
+                    cluster.sim,
+                    effective_batch,
+                    on_flush=self._make_flusher(dn, kind),
+                    max_wait=max_wait,
+                )
+            return BatchBuffer(
+                cluster.sim,
+                effective_batch,
+                on_flush=self._make_flusher(dn, kind),
+                max_wait=max_wait if config.batching else None,
+            )
+
+        for dn in self._data_nodes:
+            self._compute_buffers[dn] = make_buffer(dn, RequestKind.COMPUTE)
+            self._data_buffers[dn] = make_buffer(dn, RequestKind.DATA)
+        # Appendix C bookkeeping.
+        self._pending_local = 0  # lcc_i
+        self._inflight_data = 0  # ndrc_i
+        self._inflight_compute: dict[int, int] = {dn: 0 for dn in self._data_nodes}
+        self._frac_computed: dict[int, SmoothedValue] = {
+            dn: SmoothedValue(alpha=0.3, initial=1.0) for dn in self._data_nodes
+        }
+        self._tcc = SmoothedValue(alpha=0.3)
+        # Learned row properties (independent of the optimizer so the
+        # fixed strategies also know local execution costs).
+        self._row_info: dict[Hashable, _RowInfo] = {}
+        # In-flight data fetches: key -> waiting tuple ids.
+        self._fetch_waiters: dict[Hashable, list[int]] = {}
+        # Blocking (NO) machinery: one synchronous request in flight
+        # per worker thread.  Engines run more I/O-blocked threads than
+        # cores (a modest 2x here), but each thread still stalls for
+        # its full fetch round trip — the inefficiency batching and
+        # prefetching remove.
+        self._input_queue: deque[tuple[int, Hashable]] = deque()
+        self._free_workers = self._node.spec.cores * 2
+        # Figure 9 freeze.
+        self._submitted = 0
+        self._freeze_after: int | None = None
+        if expected_inputs is not None and config.adaptive_fraction < 1.0:
+            self._freeze_after = int(expected_inputs * config.adaptive_fraction)
+        self._completed = 0
+        #: Real UDF results by tuple id (populated when the UDF has an
+        #: ``apply_fn``; empty in pure-timing runs).
+        self.outputs: dict[int, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Input
+    # ------------------------------------------------------------------
+    def submit(self, tuple_id: int, key: Hashable, params: Any = None) -> None:
+        """Feed one input tuple (called at its arrival event).
+
+        ``params`` is the tuple's extra UDF argument ``p``; it rides
+        along on compute requests and is used for real UDF execution
+        when the UDF defines ``apply_fn``.
+        """
+        self._submitted += 1
+        if self.config.blocking:
+            self._input_queue.append((tuple_id, key, params))
+            self._dispatch_blocking()
+            return
+        self._route_and_dispatch(tuple_id, key, params)
+
+    def finish_input(self) -> None:
+        """Flush every partially filled batch (end of a batch job)."""
+        for buffer in self._compute_buffers.values():
+            buffer.flush()
+        for buffer in self._data_buffers.values():
+            buffer.flush()
+
+    @property
+    def completed(self) -> int:
+        """Tuples fully processed by this node."""
+        return self._completed
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _record(self, tuple_id: int, key: Hashable, route: str) -> None:
+        if self.trace is not None:
+            self.trace.record(
+                self.cluster.sim.now, self.node_id, tuple_id, key, route
+            )
+
+    def _route_and_dispatch(
+        self, tuple_id: int, key: Hashable, params: Any = None
+    ) -> None:
+        dst = self.kvstore.node_for_key(key)
+        if not self.udf.side_effect_free:
+            # Side-effecting UDFs must run exactly once at the row's
+            # owner: always a compute request, never cached, never
+            # bounced (the batch omits the statistics the balancer
+            # would need, so the data node executes everything).
+            self._record(tuple_id, key, Route.COMPUTE_REQUEST.value)
+            self._enqueue(dst, tuple_id, key, RequestKind.COMPUTE,
+                          Route.COMPUTE_REQUEST, params)
+            return
+        policy = self.config.routing
+        if policy is RoutingPolicy.SKI_RENTAL:
+            assert self.optimizer is not None
+            if self._frozen():
+                cached = self.cache.lookup(key)
+                if cached is not None:
+                    value, tier = cached
+                    self._record(tuple_id, key,
+                                 "local-memory" if tier is CacheTier.MEMORY
+                                 else "local-disk")
+                    self._execute_local(tuple_id, key, tier,
+                                        value=value, params=params)
+                else:
+                    self._record(tuple_id, key, Route.COMPUTE_REQUEST.value)
+                    self._enqueue(dst, tuple_id, key, RequestKind.COMPUTE,
+                                  Route.COMPUTE_REQUEST, params)
+                return
+            decision = self.optimizer.route(key, dst)
+            self._record(tuple_id, key, decision.route.value)
+            if decision.route.is_local:
+                tier = (
+                    CacheTier.MEMORY
+                    if decision.route is Route.LOCAL_MEMORY
+                    else CacheTier.DISK
+                )
+                self._execute_local(tuple_id, key, tier,
+                                    value=decision.value, params=params)
+            elif decision.route is Route.COMPUTE_REQUEST:
+                self._enqueue(dst, tuple_id, key, RequestKind.COMPUTE,
+                              decision.route, params)
+            else:
+                self._enqueue_fetch(dst, tuple_id, key, decision.route, params)
+            return
+        if policy is RoutingPolicy.ALWAYS_COMPUTE:
+            self._record(tuple_id, key, Route.COMPUTE_REQUEST.value)
+            self._enqueue(dst, tuple_id, key, RequestKind.COMPUTE,
+                          Route.COMPUTE_REQUEST, params)
+        elif policy is RoutingPolicy.ALWAYS_DATA:
+            self._record(tuple_id, key, Route.DATA_REQUEST_DISK.value)
+            self._enqueue(dst, tuple_id, key, RequestKind.DATA,
+                          Route.DATA_REQUEST_DISK, params)
+        else:  # RANDOM (FR): fair coin per request.
+            if self._rng.random() < 0.5:
+                self._record(tuple_id, key, Route.COMPUTE_REQUEST.value)
+                self._enqueue(dst, tuple_id, key, RequestKind.COMPUTE,
+                              Route.COMPUTE_REQUEST, params)
+            else:
+                self._record(tuple_id, key, Route.DATA_REQUEST_DISK.value)
+                self._enqueue(dst, tuple_id, key, RequestKind.DATA,
+                              Route.DATA_REQUEST_DISK, params)
+
+    def _frozen(self) -> bool:
+        return self._freeze_after is not None and self._submitted > self._freeze_after
+
+    def _enqueue(
+        self, dst: int, tuple_id: int, key: Hashable, kind: RequestKind,
+        route: Route, params: Any = None,
+    ) -> None:
+        item = RequestItem(key=key, kind=kind, route=route, tuple_id=tuple_id,
+                           params=params)
+        if kind is RequestKind.COMPUTE:
+            self._compute_buffers[dst].add(item)
+        else:
+            self._data_buffers[dst].add(item)
+
+    def _enqueue_fetch(
+        self, dst: int, tuple_id: int, key: Hashable, route: Route,
+        params: Any = None,
+    ) -> None:
+        """Issue a caching data request, deduplicating in-flight keys.
+
+        Two tuples for the same key arriving before the fetch lands
+        share one wire request (the Result HashMap of Figure 4 keys
+        pending computations by item, so duplicates coalesce).
+        """
+        waiters = self._fetch_waiters.get(key)
+        if waiters is not None:
+            waiters.append((tuple_id, params))
+            return
+        self._fetch_waiters[key] = [(tuple_id, params)]
+        self._enqueue(dst, tuple_id, key, RequestKind.DATA, route, params)
+
+    # ------------------------------------------------------------------
+    # Blocking (NO) mode
+    # ------------------------------------------------------------------
+    def _dispatch_blocking(self) -> None:
+        while self._free_workers > 0 and self._input_queue:
+            self._free_workers -= 1
+            tuple_id, key, params = self._input_queue.popleft()
+            self._route_and_dispatch(tuple_id, key, params)
+
+    def _release_worker(self) -> None:
+        if self.config.blocking:
+            self._free_workers += 1
+            self._dispatch_blocking()
+
+    # ------------------------------------------------------------------
+    # Local execution
+    # ------------------------------------------------------------------
+    def _execute_local(
+        self,
+        tuple_id: int,
+        key: Hashable,
+        tier: CacheTier | None,
+        ready_at: float | None = None,
+        hydrate: bool | None = None,
+        value: Any = None,
+        params: Any = None,
+    ) -> None:
+        """Run the UDF locally for one tuple.
+
+        ``tier`` is where the value lives: DISK charges a local disk
+        read before the CPU work; None means the value just arrived
+        over the network (no storage access needed).  ``hydrate``
+        forces/forgoes the deserialization cost; by default anything
+        not already a live object in the memory cache hydrates.
+        ``value``/``params`` enable real UDF execution when the UDF
+        defines ``apply_fn``.
+        """
+        sim = self.cluster.sim
+        at = sim.now if ready_at is None else ready_at
+        info = self._row_info.get(key)
+        if info is None:
+            raise KeyError(
+                f"local execution for {key!r} before its parameters are known"
+            )
+        start = at
+        if tier is CacheTier.DISK:
+            _s, start = self._node.disk.acquire(
+                at, self._node.spec.cache_disk_time(info.size)
+            )
+        if hydrate is None:
+            hydrate = tier is not CacheTier.MEMORY
+        cpu_time = info.compute_cost + (info.hydration_cost if hydrate else 0.0)
+        cpu_start, finish = self._node.cpu.acquire(start, cpu_time)
+        if self.udf.apply_fn is not None:
+            self.outputs[tuple_id] = self.udf.apply(key, params, value)
+        self._pending_local += 1
+        self._tcc.observe(cpu_time)
+        # The local recurring-cost estimate is the *measured* wall time
+        # per invocation (queueing included), matching how the remote
+        # side reports its costs — both sides of the ski-rental
+        # comparison see load the same way.
+        self.cost_model.observe_local_compute(finish - start)
+
+        def complete() -> None:
+            self._pending_local -= 1
+            self._completed += 1
+            self.on_complete(tuple_id, finish)
+            self._release_worker()
+
+        sim.schedule_at(finish, complete)
+
+    # ------------------------------------------------------------------
+    # Batch send / receive
+    # ------------------------------------------------------------------
+    def _make_flusher(self, dst: int, kind: RequestKind):
+        def flush(items: list[RequestItem]) -> None:
+            self._send_batch(dst, kind, items)
+
+        return flush
+
+    def _send_batch(self, dst: int, kind: RequestKind, items: list[RequestItem]) -> None:
+        sim = self.cluster.sim
+        if kind is RequestKind.COMPUTE:
+            batch = BatchRequest(
+                src=self.node_id,
+                dst=dst,
+                compute_items=items,
+                comp_stats=(
+                    self._snapshot_stats(dst)
+                    if self.udf.side_effect_free
+                    else None
+                ),
+            )
+            self._inflight_compute[dst] += len(items)
+        else:
+            batch = BatchRequest(src=self.node_id, dst=dst, data_items=items)
+            self._inflight_data += len(items)
+        wire_bytes = batch.request_bytes(self.udf.key_size, self.udf.param_size)
+        transfer = self.cluster.network.transfer(sim.now, self.node_id, dst, wire_bytes)
+        sim.schedule_at(transfer.arrive, lambda: self._deliver_batch(batch))
+
+    def _deliver_batch(self, batch: BatchRequest) -> None:
+        sim = self.cluster.sim
+        server = self.servers[batch.dst]
+        served = server.serve(sim.now, batch, self.sizes)
+        response = served.response
+
+        def send_response() -> None:
+            transfer = self.cluster.network.transfer(
+                sim.now, batch.dst, self.node_id, response.payload_bytes
+            )
+            sim.schedule_at(transfer.arrive, lambda: self._handle_response(response))
+
+        sim.schedule_at(served.ready_at, send_response)
+
+    def _handle_response(self, response: BatchResponse) -> None:
+        for item in response.items:
+            self._row_info[item.key] = _RowInfo(
+                size=item.cost_params.value_size,
+                compute_cost=item.cost_params.service_time,
+                hydration_cost=item.cost_params.hydration_time,
+            )
+            if item.route is Route.COMPUTE_REQUEST:
+                self._inflight_compute[response.src] -= 1
+                self._frac_computed[response.src].observe(1.0 if item.computed else 0.0)
+            else:
+                self._inflight_data -= 1
+            if self.optimizer is not None:
+                self.optimizer.observe_response(item.cost_params, item.updated_at)
+            if item.computed:
+                if self.udf.apply_fn is not None:
+                    self.outputs[item.tuple_id] = item.value
+                self._completed += 1
+                self.on_complete(item.tuple_id, self.cluster.sim.now)
+                self._release_worker()
+                continue
+            if item.route.is_data_request:
+                self._complete_fetch(item)
+            else:
+                # Compute request bounced back by load balancing: the
+                # value arrived uncomputed; run the UDF locally.
+                self._execute_local(
+                    item.tuple_id, item.key, tier=None,
+                    value=item.value, params=item.params,
+                )
+
+    def _complete_fetch(self, item) -> None:
+        """A fetched value arrived: cache it and serve all waiters."""
+        key = item.key
+        if self.config.caching and self.optimizer is not None and not self._frozen():
+            if item.route is Route.DATA_REQUEST_DISK:
+                # Writing the fetched value into the disk cache costs a
+                # disk write at the compute node.
+                self._node.disk.acquire(
+                    self.cluster.sim.now,
+                    self._node.spec.cache_disk_time(item.cost_params.value_size),
+                )
+            self.optimizer.complete_fetch(key, item.value, item.route, item.updated_at)
+            if self.update_notifications:
+                self.kvstore.subscribe(
+                    key,
+                    subscriber_id=self.node_id,
+                    listener=self._on_update_notification,
+                )
+        waiters = self._fetch_waiters.pop(key, [(item.tuple_id, item.params)])
+        for index, (tuple_id, params) in enumerate(waiters):
+            # The value is in a network buffer right now; waiters
+            # compute from memory regardless of the cache tier chosen.
+            # Hydration happens once per fetch — the first waiter
+            # deserializes; the live object serves the rest.
+            self._execute_local(tuple_id, key, tier=None, hydrate=index == 0,
+                                value=item.value, params=params)
+
+    def _on_update_notification(self, key: Hashable, updated_at: float) -> None:
+        """Targeted invalidation pushed by a data node (Section 4.2.3)."""
+        if self.optimizer is not None:
+            self.optimizer.updates.notify_update(key, updated_at)
+        self._row_info.pop(key, None)
+
+    # ------------------------------------------------------------------
+    # Appendix C statistics
+    # ------------------------------------------------------------------
+    def _snapshot_stats(self, dst: int) -> ComputeNodeStats:
+        pending_compute_elsewhere = sum(
+            count for dn, count in self._inflight_compute.items() if dn != dst
+        )
+        expected_computed = sum(
+            int(count * self._frac_computed[dn].value_or(1.0))
+            for dn, count in self._inflight_compute.items()
+            if dn != dst
+        )
+        queued_data = sum(len(buf) for buf in self._data_buffers.values())
+        queued_compute = sum(len(buf) for buf in self._compute_buffers.values())
+        return ComputeNodeStats(
+            pending_local_computations=self._pending_local,
+            pending_data_requests=queued_data,
+            pending_compute_requests=queued_compute,
+            pending_data_responses=self._inflight_data,
+            pending_at_other_data_nodes=pending_compute_elsewhere,
+            expected_computed_elsewhere=expected_computed,
+            compute_time=self._tcc.value_or(self.sizes_compute_hint()),
+            net_bandwidth=self.cluster.network.node_bandwidth(self.node_id),
+        )
+
+    def sizes_compute_hint(self) -> float:
+        """Fallback ``tcc`` before any local execution has happened."""
+        if self._row_info:
+            costs = [info.compute_cost for info in self._row_info.values()]
+            return sum(costs) / len(costs)
+        return 0.0

@@ -1,0 +1,235 @@
+"""Elastic compute-node membership (Section 1, contribution 3).
+
+Because compute nodes hold no join state — only transiently cached
+data — nodes can join or leave a running job freely: a joining node
+starts pulling input immediately (and warms its own cache via the same
+ski-rental decisions); a leaving node simply stops pulling, drains its
+in-flight tuples and flushes its batches.  Nothing migrates.
+
+:class:`ElasticJoinJob` runs a join over a *shared* input queue with a
+schedule of membership events, the mechanism behind "add resources to
+handle peak load, while using less resources at low load".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.frequency import LossyCounter
+from repro.core.load_balancer import BatchLoadBalancer, SizeProfile
+from repro.engine.compute_node import ComputeNodeRuntime
+from repro.engine.strategies import StrategyConfig
+from repro.sim.cluster import Cluster
+from repro.sim.rng import derive_seed
+from repro.store.datanode import DataNodeServer
+from repro.store.kvstore import KVStore
+from repro.store.messages import UDF
+from repro.store.partitioner import HashPartitioner, RegionMap
+from repro.store.table import Table
+
+
+@dataclass(frozen=True)
+class MembershipEvent:
+    """One planned membership change."""
+
+    time: float
+    action: str  # "add" | "remove"
+    node_id: int
+
+    def __post_init__(self) -> None:
+        if self.action not in ("add", "remove"):
+            raise ValueError(f"action must be 'add' or 'remove', got {self.action!r}")
+        if self.time < 0:
+            raise ValueError("time must be non-negative")
+
+
+@dataclass(frozen=True)
+class ElasticResult:
+    """Outcome of an elastic run."""
+
+    n_tuples: int
+    makespan: float
+    completed_per_node: dict[int, int]
+    completion_times: list[float] = field(repr=False)
+
+    def throughput_in(self, start: float, end: float) -> float:
+        """Tuples/second completed within ``[start, end)``."""
+        if end <= start:
+            raise ValueError("end must exceed start")
+        count = sum(1 for t in self.completion_times if start <= t < end)
+        return count / (end - start)
+
+
+class ElasticJoinJob:
+    """A join job whose compute-node set changes mid-run.
+
+    Parameters
+    ----------
+    cluster:
+        Must contain every node that may ever participate.
+    initial_compute_nodes:
+        Nodes active from time zero.
+    events:
+        Scheduled :class:`MembershipEvent` additions/removals.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        initial_compute_nodes: Sequence[int],
+        data_nodes: Sequence[int],
+        table: Table,
+        udf: UDF,
+        strategy: StrategyConfig,
+        sizes: SizeProfile,
+        events: Sequence[MembershipEvent] = (),
+        batch_size: int = 64,
+        max_wait: float | None = 0.01,
+        memory_cache_bytes: float = 100e6,
+        pipeline_window: int = 128,
+        regions_per_node: int = 4,
+        block_cache_bytes: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if not initial_compute_nodes or not data_nodes:
+            raise ValueError("need initial compute nodes and data nodes")
+        self.cluster = cluster
+        self.data_nodes = list(data_nodes)
+        self.initial_compute_nodes = list(initial_compute_nodes)
+        self.events = sorted(events, key=lambda e: e.time)
+        self.strategy = strategy
+        self.udf = udf
+        self.sizes = sizes
+        self.batch_size = batch_size
+        self.max_wait = max_wait
+        self.memory_cache_bytes = memory_cache_bytes
+        self.pipeline_window = pipeline_window
+        self.seed = seed
+        partitioner = HashPartitioner(regions_per_node * len(self.data_nodes))
+        region_map = RegionMap.round_robin(partitioner, self.data_nodes)
+        self.kvstore = KVStore(table, region_map)
+        self.servers = {
+            dn: DataNodeServer(
+                cluster=cluster,
+                node_id=dn,
+                kvstore=self.kvstore,
+                udf=udf,
+                balancer=BatchLoadBalancer(
+                    enabled=strategy.load_balancing,
+                    rng=np.random.default_rng(derive_seed(seed, f"lb:{dn}")),
+                ),
+                block_cache_bytes=block_cache_bytes,
+            )
+            for dn in self.data_nodes
+        }
+
+    def run(self, keys: Iterable[Hashable]) -> ElasticResult:
+        """Run to completion, applying the membership schedule."""
+        pending: deque[tuple[int, Hashable]] = deque(enumerate(keys))
+        n_tuples = len(pending)
+        completed_per_node: dict[int, int] = {}
+        completion_times: list[float] = []
+        active: dict[int, _SharedFeeder] = {}
+        sim = self.cluster.sim
+
+        def activate(node_id: int) -> None:
+            if node_id in active:
+                raise ValueError(f"node {node_id} is already active")
+            runtime = ComputeNodeRuntime(
+                cluster=self.cluster,
+                node_id=node_id,
+                kvstore=self.kvstore,
+                servers=self.servers,
+                udf=self.udf,
+                config=self.strategy,
+                sizes=self.sizes,
+                on_complete=lambda tid, finish, nid=node_id: record(nid, finish),
+                memory_cache_bytes=self.memory_cache_bytes,
+                batch_size=self.batch_size,
+                max_wait=self.max_wait,
+                counter=LossyCounter(1e-4),
+                seed=derive_seed(self.seed, f"cn:{node_id}"),
+            )
+            feeder = _SharedFeeder(runtime, pending, self.pipeline_window)
+            active[node_id] = feeder
+            completed_per_node.setdefault(node_id, 0)
+            feeder.prime()
+
+        def deactivate(node_id: int) -> None:
+            feeder = active.pop(node_id, None)
+            if feeder is None:
+                raise ValueError(f"node {node_id} is not active")
+            feeder.retire()
+
+        def record(node_id: int, finish: float) -> None:
+            completed_per_node[node_id] = completed_per_node.get(node_id, 0) + 1
+            completion_times.append(finish)
+            feeder = active.get(node_id)
+            if feeder is not None:
+                feeder.on_completion()
+
+        for event in self.events:
+            if event.action == "add":
+                sim.schedule_at(event.time, lambda nid=event.node_id: activate(nid))
+            else:
+                sim.schedule_at(event.time, lambda nid=event.node_id: deactivate(nid))
+
+        for node_id in self.initial_compute_nodes:
+            activate(node_id)
+        sim.run()
+
+        done = sum(completed_per_node.values())
+        if done != n_tuples:
+            raise RuntimeError(f"elastic job stalled: {done}/{n_tuples} completed")
+        return ElasticResult(
+            n_tuples=n_tuples,
+            makespan=max(completion_times) if completion_times else 0.0,
+            completed_per_node=dict(completed_per_node),
+            completion_times=sorted(completion_times),
+        )
+
+
+class _SharedFeeder:
+    """Window-bounded feeder pulling from the shared input queue."""
+
+    def __init__(
+        self,
+        runtime: ComputeNodeRuntime,
+        pending: deque[tuple[int, Hashable]],
+        window: int,
+    ) -> None:
+        self.runtime = runtime
+        self.pending = pending
+        self.window = window
+        self._outstanding = 0
+        self._retired = False
+        self._flushed = False
+
+    def prime(self) -> None:
+        self._feed()
+
+    def on_completion(self) -> None:
+        self._outstanding -= 1
+        self._feed()
+
+    def retire(self) -> None:
+        """Stop pulling new work; drain what is in flight."""
+        self._retired = True
+        self.runtime.finish_input()
+
+    def _feed(self) -> None:
+        while (
+            not self._retired
+            and self.pending
+            and self._outstanding < self.window
+        ):
+            tuple_id, key = self.pending.popleft()
+            self._outstanding += 1
+            self.runtime.submit(tuple_id, key)
+        if not self.pending and not self._flushed:
+            self._flushed = True
+            self.runtime.finish_input()

@@ -1,0 +1,474 @@
+"""Job drivers: run a join workload through the simulated cluster.
+
+:class:`JoinJob` wires together the store side (regions + data-node
+servers) and the compute side (one :class:`ComputeNodeRuntime` per
+compute node), feeds the input with a bounded pipeline window (the Map
+queue of Figure 4 is finite — routing decisions interleave with
+responses, which is what lets ski-rental observe access counts), and
+reports completion time / throughput plus rich per-component metrics.
+
+Batch jobs (Hadoop-style, Figure 5/8) report the **makespan**;
+streaming jobs (Muppet-style, Figures 6/11) report **throughput** —
+the paper's "number of input tuples processed per unit time" under
+saturation feeding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.frequency import ExactCounter, LossyCounter
+from repro.core.load_balancer import BatchLoadBalancer, SizeProfile
+from repro.engine.compute_node import ComputeNodeRuntime
+from repro.engine.requests import UDF
+from repro.engine.strategies import StrategyConfig
+from repro.sim.cluster import Cluster
+from repro.sim.rng import derive_seed
+from repro.store.datanode import DataNodeServer
+from repro.store.kvstore import KVStore
+from repro.store.partitioner import HashPartitioner, RegionMap
+from repro.store.table import Table
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Outcome of one batch job run."""
+
+    strategy: str
+    n_tuples: int
+    makespan: float
+    bytes_moved: float
+    udfs_at_data_nodes: int
+    udfs_at_compute_nodes: int
+    cache_memory_hits: int
+    cache_disk_hits: int
+    compute_requests: int
+    data_requests: int
+    lb_kept_fraction: float
+    events: int
+
+    @property
+    def throughput(self) -> float:
+        """Input tuples processed per second."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.n_tuples / self.makespan
+
+
+@dataclass(frozen=True)
+class StreamResult:
+    """Outcome of one streaming run (same fields, throughput first-class)."""
+
+    strategy: str
+    n_tuples: int
+    duration: float
+    throughput: float
+    bytes_moved: float
+
+
+@dataclass(frozen=True)
+class RateRunResult:
+    """Outcome of a fixed-arrival-rate streaming run with latencies.
+
+    Section 7.2: throughput wants large batches, latency wants small
+    ones; ``max_wait`` is the knob.  This result carries the per-tuple
+    latency distribution (arrival to completion) needed to see it.
+    """
+
+    strategy: str
+    n_tuples: int
+    arrival_rate: float
+    duration: float
+    latencies: list[float] = field(repr=False, default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        """Achieved tuples/second over the whole run."""
+        if self.duration <= 0:
+            return 0.0
+        return self.n_tuples / self.duration
+
+    def latency_percentile(self, percentile: float) -> float:
+        """Latency at ``percentile`` in [0, 100]."""
+        if not 0.0 <= percentile <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        index = min(int(len(ordered) * percentile / 100.0), len(ordered) - 1)
+        return ordered[index]
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean arrival-to-completion latency."""
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+
+@dataclass
+class JoinJob:
+    """One configured join job over the simulated cluster.
+
+    Parameters
+    ----------
+    cluster:
+        The simulated hardware.
+    compute_nodes, data_nodes:
+        Node-id partitions (the paper's 10 + 10 split).
+    table:
+        The stored, indexed join relation.
+    udf:
+        The user function computed per joined tuple.
+    strategy:
+        NO/FC/FD/FR/CO/LO/FO configuration.
+    sizes:
+        Average message sizes for load statistics.
+    batch_size, max_wait:
+        Batching parameters.  ``max_wait`` also guards the pipeline
+        against partially filled batches stalling a batch job.
+    memory_cache_bytes:
+        Memory cache per compute node (the paper limits it to 100 MB).
+    pipeline_window:
+        Maximum tuples in flight per compute node (Map queue depth).
+    regions_per_node:
+        HBase-style multiple regions per data node.
+    exact_counting:
+        Use exact counters instead of Lossy Counting (ablation).
+    use_exact_balancer:
+        Use the exact convex minimizer instead of gradient descent.
+    seed:
+        Root seed for all stochastic components.
+    """
+
+    cluster: Cluster
+    compute_nodes: Sequence[int]
+    data_nodes: Sequence[int]
+    table: Table
+    udf: UDF
+    strategy: StrategyConfig
+    sizes: SizeProfile
+    batch_size: int = 64
+    max_wait: float | None = 0.01
+    memory_cache_bytes: float = 100e6
+    pipeline_window: int = 256
+    regions_per_node: int = 4
+    block_cache_bytes: float = 0.0
+    fixed_threshold: float | None = None
+    reset_count_on_update: bool = True
+    update_notifications: bool = False
+    adaptive_batching: bool = False
+    trace: Any = None
+    exact_counting: bool = False
+    use_exact_balancer: bool = False
+    seed: int = 0
+    kvstore: KVStore = field(init=False)
+    servers: dict[int, DataNodeServer] = field(init=False)
+    runtimes: dict[int, ComputeNodeRuntime] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not self.compute_nodes or not self.data_nodes:
+            raise ValueError("need at least one compute node and one data node")
+        partitioner = HashPartitioner(
+            n_regions=self.regions_per_node * len(self.data_nodes)
+        )
+        region_map = RegionMap.round_robin(partitioner, list(self.data_nodes))
+        self.kvstore = KVStore(self.table, region_map)
+        self.servers = {
+            dn: DataNodeServer(
+                cluster=self.cluster,
+                node_id=dn,
+                kvstore=self.kvstore,
+                udf=self.udf,
+                balancer=BatchLoadBalancer(
+                    enabled=self.strategy.load_balancing,
+                    use_exact=self.use_exact_balancer,
+                    rng=np.random.default_rng(derive_seed(self.seed, f"lb:{dn}")),
+                ),
+                block_cache_bytes=self.block_cache_bytes,
+            )
+            for dn in self.data_nodes
+        }
+        self._completions = 0
+        self._last_finish = 0.0
+        self.runtimes = {}
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        keys: Iterable[Hashable],
+        updates: Sequence[tuple[float, Hashable, Any]] | None = None,
+        params: Sequence[Any] | None = None,
+    ) -> JobResult:
+        """Run the job to completion over the input key stream.
+
+        ``updates`` is an optional list of ``(time, key, new_value)``
+        data-store updates applied mid-run (Section 4.2.3): cached
+        copies are invalidated via timestamps piggybacked on responses
+        or, with ``update_notifications``, via targeted pushes.
+
+        ``params`` optionally supplies each tuple's extra UDF argument
+        ``p`` (aligned with ``keys``); when the UDF defines
+        ``apply_fn``, real results become available through
+        :meth:`collected_outputs`.
+        """
+        key_list = list(keys)
+        n_tuples = len(key_list)
+        self._completions = 0
+        self._last_finish = 0.0
+
+        # Round-robin input distribution across compute nodes — the
+        # framework assumes the source balances compute-node load
+        # (Section 3.1).
+        if params is not None and len(params) != n_tuples:
+            raise ValueError("params must align one-to-one with keys")
+        per_node_input: dict[int, list[tuple[int, Hashable, Any]]] = {
+            cn: [] for cn in self.compute_nodes
+        }
+        for tuple_id, key in enumerate(key_list):
+            target = self.compute_nodes[tuple_id % len(self.compute_nodes)]
+            p = params[tuple_id] if params is not None else None
+            per_node_input[target].append((tuple_id, key, p))
+
+        feeders: dict[int, _Feeder] = {}
+
+        def on_complete(tuple_id: int, finish: float) -> None:
+            self._completions += 1
+            self._last_finish = max(self._last_finish, finish)
+
+        for cn in self.compute_nodes:
+            counter: LossyCounter | ExactCounter
+            counter = ExactCounter() if self.exact_counting else LossyCounter(1e-4)
+            runtime = ComputeNodeRuntime(
+                cluster=self.cluster,
+                node_id=cn,
+                kvstore=self.kvstore,
+                servers=self.servers,
+                udf=self.udf,
+                config=self.strategy,
+                sizes=self.sizes,
+                on_complete=on_complete,
+                memory_cache_bytes=self.memory_cache_bytes,
+                batch_size=self.batch_size,
+                max_wait=self.max_wait,
+                expected_inputs=len(per_node_input[cn]),
+                counter=counter,
+                fixed_threshold=self.fixed_threshold,
+                reset_count_on_update=self.reset_count_on_update,
+                update_notifications=self.update_notifications,
+                trace=self.trace,
+                adaptive_batching=self.adaptive_batching,
+                seed=derive_seed(self.seed, f"cn:{cn}"),
+            )
+            self.runtimes[cn] = runtime
+            feeders[cn] = _Feeder(
+                runtime, per_node_input[cn], window=self.pipeline_window
+            )
+
+        # Chain feeding onto completions so the pipeline window holds.
+        for cn, feeder in feeders.items():
+            runtime = self.runtimes[cn]
+            original = runtime.on_complete
+
+            def chained(tuple_id: int, finish: float, _f=feeder, _o=original) -> None:
+                _o(tuple_id, finish)
+                _f.on_completion()
+
+            runtime.on_complete = chained
+
+        for time, key, new_value in updates or ():
+            def apply_update(k=key, v=new_value, t=time) -> None:
+                self.kvstore.update_value(k, v, at_time=t)
+
+            self.cluster.sim.schedule_at(time, apply_update)
+
+        for feeder in feeders.values():
+            feeder.prime()
+        self.cluster.sim.run()
+
+        if self._completions != n_tuples:
+            raise RuntimeError(
+                f"job stalled: {self._completions}/{n_tuples} tuples completed"
+            )
+        return self._collect(n_tuples)
+
+    def run_streaming(self, keys: Iterable[Hashable]) -> StreamResult:
+        """Saturation-feed the stream and report throughput."""
+        result = self.run(keys)
+        return StreamResult(
+            strategy=result.strategy,
+            n_tuples=result.n_tuples,
+            duration=result.makespan,
+            throughput=result.throughput,
+            bytes_moved=result.bytes_moved,
+        )
+
+    def run_at_rate(
+        self, keys: Iterable[Hashable], arrivals_per_second: float
+    ) -> RateRunResult:
+        """Feed tuples at a fixed arrival rate and measure latency.
+
+        Unlike :meth:`run` there is no pipeline window: tuple ``i``
+        arrives at ``i / rate`` seconds and its latency is the time
+        from arrival to completion — the quantity the max-wait batching
+        knob trades against throughput (Section 7.2).
+        """
+        if arrivals_per_second <= 0:
+            raise ValueError("arrivals_per_second must be positive")
+        key_list = list(keys)
+        n_tuples = len(key_list)
+        arrival_time = [i / arrivals_per_second for i in range(n_tuples)]
+        latencies: list[float] = [0.0] * n_tuples
+        last_finish = 0.0
+        completions = 0
+
+        def on_complete(tuple_id: int, finish: float) -> None:
+            nonlocal last_finish, completions
+            completions += 1
+            last_finish = max(last_finish, finish)
+            latencies[tuple_id] = finish - arrival_time[tuple_id]
+
+        runtimes: dict[int, ComputeNodeRuntime] = {}
+        for cn in self.compute_nodes:
+            counter: LossyCounter | ExactCounter
+            counter = ExactCounter() if self.exact_counting else LossyCounter(1e-4)
+            runtimes[cn] = ComputeNodeRuntime(
+                cluster=self.cluster,
+                node_id=cn,
+                kvstore=self.kvstore,
+                servers=self.servers,
+                udf=self.udf,
+                config=self.strategy,
+                sizes=self.sizes,
+                on_complete=on_complete,
+                memory_cache_bytes=self.memory_cache_bytes,
+                batch_size=self.batch_size,
+                max_wait=self.max_wait,
+                counter=counter,
+                fixed_threshold=self.fixed_threshold,
+                reset_count_on_update=self.reset_count_on_update,
+                update_notifications=self.update_notifications,
+                trace=self.trace,
+                adaptive_batching=self.adaptive_batching,
+                seed=derive_seed(self.seed, f"cn:{cn}"),
+            )
+        self.runtimes.update(runtimes)
+        sim = self.cluster.sim
+        for tuple_id, key in enumerate(key_list):
+            target = self.compute_nodes[tuple_id % len(self.compute_nodes)]
+            sim.schedule_at(
+                arrival_time[tuple_id],
+                lambda tid=tuple_id, k=key, cn=target: runtimes[cn].submit(tid, k),
+            )
+        if n_tuples:
+            last_arrival = arrival_time[-1]
+
+            def flush_all() -> None:
+                for runtime in runtimes.values():
+                    runtime.finish_input()
+
+            sim.schedule_at(last_arrival, flush_all)
+        sim.run()
+        if completions != n_tuples:
+            raise RuntimeError(
+                f"rate run stalled: {completions}/{n_tuples} tuples completed"
+            )
+        return RateRunResult(
+            strategy=self.strategy.name,
+            n_tuples=n_tuples,
+            arrival_rate=arrivals_per_second,
+            duration=last_finish,
+            latencies=latencies,
+        )
+
+    def collected_outputs(self) -> dict[int, Any]:
+        """Real UDF results by tuple id (requires ``udf.apply_fn``).
+
+        Because the function is side-effect free, the result for a
+        tuple is identical whether it executed at a compute node, at a
+        data node, or from cache — the locational-transparency
+        invariant the tests verify.
+        """
+        merged: dict[int, Any] = {}
+        for runtime in self.runtimes.values():
+            merged.update(runtime.outputs)
+        return merged
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def _collect(self, n_tuples: int) -> JobResult:
+        udfs_data = sum(server.udfs_executed for server in self.servers.values())
+        udfs_compute = 0
+        mem_hits = disk_hits = compute_reqs = data_reqs = 0
+        for runtime in self.runtimes.values():
+            stats = runtime.cache.stats()
+            mem_hits += stats.memory_hits
+            disk_hits += stats.disk_hits
+            if runtime.optimizer is not None:
+                ostats = runtime.optimizer.stats()
+                compute_reqs += ostats.compute_requests
+                data_reqs += (
+                    ostats.data_requests_memory + ostats.data_requests_disk
+                )
+        udfs_compute = n_tuples - udfs_data
+        kept = [
+            server.balancer.mean_kept_fraction
+            for server in self.servers.values()
+            if server.balancer.decisions > 0
+        ]
+        return JobResult(
+            strategy=self.strategy.name,
+            n_tuples=n_tuples,
+            makespan=self._last_finish,
+            bytes_moved=self.cluster.network.bytes_moved,
+            udfs_at_data_nodes=udfs_data,
+            udfs_at_compute_nodes=udfs_compute,
+            cache_memory_hits=mem_hits,
+            cache_disk_hits=disk_hits,
+            compute_requests=compute_reqs,
+            data_requests=data_reqs,
+            lb_kept_fraction=sum(kept) / len(kept) if kept else 0.0,
+            events=self.cluster.sim.events_processed,
+        )
+
+
+class _Feeder:
+    """Bounded-window input feeder for one compute node."""
+
+    def __init__(
+        self,
+        runtime: ComputeNodeRuntime,
+        items: list[tuple[int, Hashable, Any]],
+        window: int,
+    ) -> None:
+        self.runtime = runtime
+        self.items = items
+        self.window = window
+        self._next = 0
+        self._outstanding = 0
+        self._finished_input = False
+
+    def prime(self) -> None:
+        """Initial fill at time zero."""
+        self._feed()
+
+    def on_completion(self) -> None:
+        """One tuple finished: top the window back up."""
+        self._outstanding -= 1
+        self._feed()
+
+    def _feed(self) -> None:
+        while self._next < len(self.items) and self._outstanding < self.window:
+            tuple_id, key, params = self.items[self._next]
+            self._next += 1
+            self._outstanding += 1
+            self.runtime.submit(tuple_id, key, params)
+        if self._next >= len(self.items) and not self._finished_input:
+            self._finished_input = True
+            self.runtime.finish_input()

@@ -1,0 +1,290 @@
+"""Pipelined multi-join execution (Section 6).
+
+The input stream may join with several stored relations, left-deep:
+each join's result feeds the next join.  The paper pipelines one
+``<preMap, map>`` pair per join; ski-rental and load balancing run
+independently per join, while node load is naturally combined because
+all stages share the same simulated CPUs, disks and NICs.
+
+:class:`MultiJoinJob` models this: each input tuple carries one join
+key per stage; completing stage ``s`` immediately submits the tuple to
+stage ``s + 1`` on the same compute node — no shuffle, no staging of
+intermediate results (the compute nodes hold no state, Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.core.frequency import LossyCounter
+from repro.core.load_balancer import BatchLoadBalancer, SizeProfile
+from repro.engine.compute_node import ComputeNodeRuntime
+from repro.engine.job import JobResult
+from repro.engine.requests import UDF
+from repro.engine.strategies import StrategyConfig
+from repro.sim.cluster import Cluster
+from repro.sim.rng import derive_seed
+from repro.store.datanode import DataNodeServer
+from repro.store.kvstore import KVStore
+from repro.store.partitioner import HashPartitioner, RegionMap
+from repro.store.table import Table
+
+
+@dataclass(frozen=True)
+class JoinStageSpec:
+    """One join stage: a stored relation plus its per-tuple UDF."""
+
+    name: str
+    table: Table
+    udf: UDF
+    sizes: SizeProfile
+
+
+class MultiJoinJob:
+    """Left-deep pipelined multi-join over the simulated cluster.
+
+    Parameters
+    ----------
+    cluster, compute_nodes, data_nodes:
+        Hardware and the node split.
+    stages:
+        Ordered join stages; tuple ``i``'s key for stage ``s`` is
+        ``keys[i][s]``.  A key of ``None`` means the tuple does not
+        survive that join (selectivity) and leaves the pipeline.
+    strategy:
+        Routing strategy shared by all stages.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        compute_nodes: Sequence[int],
+        data_nodes: Sequence[int],
+        stages: Sequence[JoinStageSpec],
+        strategy: StrategyConfig,
+        batch_size: int = 64,
+        max_wait: float | None = 0.01,
+        memory_cache_bytes: float = 100e6,
+        pipeline_window: int = 256,
+        regions_per_node: int = 4,
+        block_cache_bytes: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if not stages:
+            raise ValueError("need at least one join stage")
+        self.cluster = cluster
+        self.compute_nodes = list(compute_nodes)
+        self.data_nodes = list(data_nodes)
+        self.stages = list(stages)
+        self.strategy = strategy
+        self.batch_size = batch_size
+        self.max_wait = max_wait
+        self.memory_cache_bytes = memory_cache_bytes
+        self.pipeline_window = pipeline_window
+        self.regions_per_node = regions_per_node
+        self.block_cache_bytes = block_cache_bytes
+        self.seed = seed
+        self._stage_servers: list[dict[int, DataNodeServer]] = []
+        self._stage_stores: list[KVStore] = []
+        for s, stage in enumerate(self.stages):
+            partitioner = HashPartitioner(
+                n_regions=regions_per_node * len(self.data_nodes)
+            )
+            region_map = RegionMap.round_robin(partitioner, self.data_nodes)
+            kvstore = KVStore(stage.table, region_map)
+            servers = {
+                dn: DataNodeServer(
+                    cluster=cluster,
+                    node_id=dn,
+                    kvstore=kvstore,
+                    udf=stage.udf,
+                    balancer=BatchLoadBalancer(
+                        enabled=strategy.load_balancing,
+                        rng=np.random.default_rng(
+                            derive_seed(seed, f"lb:{s}:{dn}")
+                        ),
+                    ),
+                    block_cache_bytes=block_cache_bytes,
+                )
+                for dn in self.data_nodes
+            }
+            self._stage_stores.append(kvstore)
+            self._stage_servers.append(servers)
+
+    def run(self, stage_keys: Sequence[Sequence[Hashable | None]]) -> JobResult:
+        """Run all tuples through the pipeline; returns batch metrics.
+
+        ``stage_keys[i][s]`` is tuple ``i``'s join key at stage ``s``
+        (``None`` = dropped by that join's predicate).
+        """
+        n_tuples = len(stage_keys)
+        n_stages = len(self.stages)
+        completions = 0
+        last_finish = 0.0
+        # runtimes[s][cn]
+        runtimes: list[dict[int, ComputeNodeRuntime]] = [dict() for _ in self.stages]
+        # Window control at the pipeline entrance only; inner stages
+        # drain as fast as their resources allow.
+        per_node_input: dict[int, list[int]] = {cn: [] for cn in self.compute_nodes}
+        for tuple_id in range(n_tuples):
+            target = self.compute_nodes[tuple_id % len(self.compute_nodes)]
+            per_node_input[target].append(tuple_id)
+        home_node = {
+            tuple_id: self.compute_nodes[tuple_id % len(self.compute_nodes)]
+            for tuple_id in range(n_tuples)
+        }
+
+        def advance(tuple_id: int, stage: int, finish: float) -> None:
+            nonlocal completions, last_finish
+            next_stage = stage + 1
+            while next_stage < n_stages and stage_keys[tuple_id][next_stage] is None:
+                next_stage += 1
+            if next_stage >= n_stages:
+                completions += 1
+                last_finish = max(last_finish, finish)
+                return
+            cn = home_node[tuple_id]
+            runtimes[next_stage][cn].submit(
+                tuple_id, stage_keys[tuple_id][next_stage]
+            )
+
+        def make_on_complete(stage: int):
+            def on_complete(tuple_id: int, finish: float) -> None:
+                advance(tuple_id, stage, finish)
+
+            return on_complete
+
+        for s, stage in enumerate(self.stages):
+            for cn in self.compute_nodes:
+                runtimes[s][cn] = ComputeNodeRuntime(
+                    cluster=self.cluster,
+                    node_id=cn,
+                    kvstore=self._stage_stores[s],
+                    servers=self._stage_servers[s],
+                    udf=stage.udf,
+                    config=self.strategy,
+                    sizes=stage.sizes,
+                    on_complete=make_on_complete(s),
+                    memory_cache_bytes=self.memory_cache_bytes / max(n_stages, 1),
+                    batch_size=self.batch_size,
+                    max_wait=self.max_wait,
+                    counter=LossyCounter(1e-4),
+                    seed=derive_seed(self.seed, f"cn:{s}:{cn}"),
+                )
+
+        # Entrance feeding with a bounded window per compute node;
+        # entrance completions are tracked at the *pipeline exit*.
+        exit_counts: dict[int, int] = {cn: 0 for cn in self.compute_nodes}
+        feeders: dict[int, _EntranceFeeder] = {}
+
+        original_advance = advance
+
+        def advance_and_feed(tuple_id: int, stage: int, finish: float) -> None:
+            pre = completions
+            original_advance(tuple_id, stage, finish)
+            if completions > pre:
+                cn = home_node[tuple_id]
+                exit_counts[cn] += 1
+                feeders[cn].on_completion()
+
+        # Rebind stage callbacks to the feeding-aware variant.
+        for s in range(n_stages):
+            for cn in self.compute_nodes:
+                runtimes[s][cn].on_complete = (
+                    lambda tuple_id, finish, _s=s: advance_and_feed(
+                        tuple_id, _s, finish
+                    )
+                )
+
+        for cn in self.compute_nodes:
+            feeders[cn] = _EntranceFeeder(
+                entrance=runtimes[0][cn],
+                tuple_ids=per_node_input[cn],
+                first_keys=[stage_keys[t][0] for t in per_node_input[cn]],
+                window=self.pipeline_window,
+                all_stage_runtimes=[runtimes[s][cn] for s in range(n_stages)],
+            )
+        for feeder in feeders.values():
+            feeder.prime()
+        self.cluster.sim.run()
+
+        if completions != n_tuples:
+            raise RuntimeError(
+                f"pipeline stalled: {completions}/{n_tuples} tuples completed"
+            )
+        udfs_data = sum(
+            server.udfs_executed
+            for servers in self._stage_servers
+            for server in servers.values()
+        )
+        total_udfs = sum(
+            1
+            for tuple_id in range(n_tuples)
+            for s in range(n_stages)
+            if stage_keys[tuple_id][s] is not None
+        )
+        return JobResult(
+            strategy=self.strategy.name,
+            n_tuples=n_tuples,
+            makespan=last_finish,
+            bytes_moved=self.cluster.network.bytes_moved,
+            udfs_at_data_nodes=udfs_data,
+            udfs_at_compute_nodes=total_udfs - udfs_data,
+            cache_memory_hits=sum(
+                runtimes[s][cn].cache.stats().memory_hits
+                for s in range(n_stages)
+                for cn in self.compute_nodes
+            ),
+            cache_disk_hits=sum(
+                runtimes[s][cn].cache.stats().disk_hits
+                for s in range(n_stages)
+                for cn in self.compute_nodes
+            ),
+            compute_requests=0,
+            data_requests=0,
+            lb_kept_fraction=0.0,
+            events=self.cluster.sim.events_processed,
+        )
+
+
+class _EntranceFeeder:
+    """Bounded-window feeder at the first pipeline stage."""
+
+    def __init__(
+        self,
+        entrance: ComputeNodeRuntime,
+        tuple_ids: list[int],
+        first_keys: list[Hashable],
+        window: int,
+        all_stage_runtimes: list[ComputeNodeRuntime],
+    ) -> None:
+        self.entrance = entrance
+        self.tuple_ids = tuple_ids
+        self.first_keys = first_keys
+        self.window = window
+        self.all_stage_runtimes = all_stage_runtimes
+        self._next = 0
+        self._outstanding = 0
+        self._finished = False
+
+    def prime(self) -> None:
+        self._feed()
+
+    def on_completion(self) -> None:
+        self._outstanding -= 1
+        self._feed()
+
+    def _feed(self) -> None:
+        while self._next < len(self.tuple_ids) and self._outstanding < self.window:
+            tuple_id = self.tuple_ids[self._next]
+            key = self.first_keys[self._next]
+            self._next += 1
+            self._outstanding += 1
+            self.entrance.submit(tuple_id, key)
+        if self._next >= len(self.tuple_ids) and not self._finished:
+            self._finished = True
+            for runtime in self.all_stage_runtimes:
+                runtime.finish_input()

@@ -1,0 +1,182 @@
+"""The execution strategies evaluated in Section 9.
+
+Each strategy is a configuration of four independent switches:
+
+=========  ==========  ========  ============  ===========
+Strategy   Routing     Caching   Load balance  Batching
+=========  ==========  ========  ============  ===========
+NO         data        no        --            no (blocking)
+FC         data        no        --            yes
+FD         compute     no        no (d = b)    yes
+FR         random      no        no (d = b)    yes
+CO         ski-rental  yes       no (d = b)    yes
+LO         compute     no        yes           yes
+FO         ski-rental  yes       yes           yes
+=========  ==========  ========  ============  ===========
+
+* *data* — always fetch the value and execute at the compute node.
+* *compute* — always ship the function to the data node.
+* *random* — fair coin per request (FR).
+* *ski-rental* — Algorithm 1 decides per key at runtime.
+
+``NO`` additionally disables asynchrony: each worker thread blocks on
+its single outstanding request, modelling the naive default-API access
+pattern the paper describes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class RoutingPolicy(enum.Enum):
+    """How requests are routed to the data store."""
+
+    ALWAYS_DATA = "always-data"
+    ALWAYS_COMPUTE = "always-compute"
+    RANDOM = "random"
+    SKI_RENTAL = "ski-rental"
+
+
+@dataclass(frozen=True)
+class StrategyConfig:
+    """Full configuration of one execution strategy."""
+
+    name: str
+    routing: RoutingPolicy
+    caching: bool
+    load_balancing: bool
+    batching: bool
+    blocking: bool = False
+    #: Fraction of the input during which caching decisions may change;
+    #: 1.0 = fully adaptive (Figure 9's non-adaptive variant uses 0.1).
+    adaptive_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.caching and self.routing is not RoutingPolicy.SKI_RENTAL:
+            raise ValueError("caching requires ski-rental routing")
+        if not 0.0 < self.adaptive_fraction <= 1.0:
+            raise ValueError("adaptive_fraction must be in (0, 1]")
+        if self.blocking and self.batching:
+            raise ValueError("blocking mode models unbatched access")
+
+
+class Strategy:
+    """Named strategy constructors matching the paper's abbreviations."""
+
+    @staticmethod
+    def no() -> StrategyConfig:
+        """NO — map-side join via default APIs, no optimizations."""
+        return StrategyConfig(
+            name="NO",
+            routing=RoutingPolicy.ALWAYS_DATA,
+            caching=False,
+            load_balancing=False,
+            batching=False,
+            blocking=True,
+        )
+
+    @staticmethod
+    def fc() -> StrategyConfig:
+        """FC — function at compute nodes; batching/prefetch only."""
+        return StrategyConfig(
+            name="FC",
+            routing=RoutingPolicy.ALWAYS_DATA,
+            caching=False,
+            load_balancing=False,
+            batching=True,
+        )
+
+    @staticmethod
+    def fd() -> StrategyConfig:
+        """FD — function at data nodes; batching/prefetch only."""
+        return StrategyConfig(
+            name="FD",
+            routing=RoutingPolicy.ALWAYS_COMPUTE,
+            caching=False,
+            load_balancing=False,
+            batching=True,
+        )
+
+    @staticmethod
+    def fr() -> StrategyConfig:
+        """FR — random compute/data choice with equal probability."""
+        return StrategyConfig(
+            name="FR",
+            routing=RoutingPolicy.RANDOM,
+            caching=False,
+            load_balancing=False,
+            batching=True,
+        )
+
+    @staticmethod
+    def co() -> StrategyConfig:
+        """CO — ski-rental caching only (no load balancing)."""
+        return StrategyConfig(
+            name="CO",
+            routing=RoutingPolicy.SKI_RENTAL,
+            caching=True,
+            load_balancing=False,
+            batching=True,
+        )
+
+    @staticmethod
+    def lo() -> StrategyConfig:
+        """LO — load balancing only (no caching)."""
+        return StrategyConfig(
+            name="LO",
+            routing=RoutingPolicy.ALWAYS_COMPUTE,
+            caching=False,
+            load_balancing=True,
+            batching=True,
+        )
+
+    @staticmethod
+    def fo() -> StrategyConfig:
+        """FO — all optimizations: caching + load balancing + batching."""
+        return StrategyConfig(
+            name="FO",
+            routing=RoutingPolicy.SKI_RENTAL,
+            caching=True,
+            load_balancing=True,
+            batching=True,
+        )
+
+    @staticmethod
+    def fo_non_adaptive(adaptive_fraction: float = 0.1) -> StrategyConfig:
+        """Figure 9's non-adaptive FO: caching frozen after a prefix."""
+        return StrategyConfig(
+            name="FO-NA",
+            routing=RoutingPolicy.SKI_RENTAL,
+            caching=True,
+            load_balancing=True,
+            batching=True,
+            adaptive_fraction=adaptive_fraction,
+        )
+
+    @staticmethod
+    def by_name(name: str) -> StrategyConfig:
+        """Look a strategy up by its paper abbreviation."""
+        factories = {
+            "NO": Strategy.no,
+            "FC": Strategy.fc,
+            "FD": Strategy.fd,
+            "FR": Strategy.fr,
+            "CO": Strategy.co,
+            "LO": Strategy.lo,
+            "FO": Strategy.fo,
+            "FO-NA": Strategy.fo_non_adaptive,
+        }
+        try:
+            return factories[name.upper()]()
+        except KeyError:
+            raise ValueError(
+                f"unknown strategy {name!r}; expected one of {sorted(factories)}"
+            ) from None
+
+
+#: The strategy set compared in the synthetic-workload experiments.
+ALL_STRATEGIES = ("NO", "FC", "FD", "FR", "CO", "LO", "FO")
+#: The subset applicable to streaming (Figures 6 and 11).
+STREAMING_STRATEGIES = ("NO", "FC", "FD", "FR", "FO")

@@ -1,0 +1,35 @@
+"""Experiment harnesses — one module per paper figure.
+
+Each module exposes ``run(scale=..., seed=...)`` returning an
+:class:`~repro.metrics.report.ExperimentTable` whose rows are the same
+series the paper's figure plots, plus a ``main()`` that prints it.
+``python -m repro.experiments`` runs everything and emits the
+EXPERIMENTS.md body.
+
+Scales
+------
+``smoke``
+    Seconds; used by the test suite and pytest-benchmark targets.
+``default``
+    A few minutes total; the scale EXPERIMENTS.md records.
+"""
+
+from repro.experiments import (  # noqa: F401  (registry import)
+    fig5_clueweb,
+    fig6_twitter,
+    fig7_tpcds,
+    fig8_synthetic_hadoop,
+    fig9_adaptive,
+    fig11_synthetic_muppet,
+)
+
+ALL_EXPERIMENTS = {
+    "fig5": fig5_clueweb,
+    "fig6": fig6_twitter,
+    "fig7": fig7_tpcds,
+    "fig8": fig8_synthetic_hadoop,
+    "fig9": fig9_adaptive,
+    "fig11": fig11_synthetic_muppet,
+}
+
+__all__ = ["ALL_EXPERIMENTS"]

@@ -1,0 +1,63 @@
+"""Run every experiment and print the EXPERIMENTS.md body.
+
+Usage::
+
+    python -m repro.experiments [--scale smoke|default|paper] [--seed N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.metrics.charts import render_bars, render_series
+from repro.metrics.report import ExperimentTable
+
+
+def _render_chart(table: ExperimentTable) -> str:
+    """Pick the figure-appropriate text chart for a table."""
+    if len(table.columns) > 2 and all(
+        c.startswith("z=") for c in table.columns[1:]
+    ):
+        return render_series(table)
+    numeric = table.columns[1]
+    return render_bars(table, numeric)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", default="default",
+                        choices=["smoke", "default", "paper"])
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--only", default=None,
+                        help="comma-separated experiment ids (e.g. fig5,fig8)")
+    parser.add_argument("--charts", action="store_true",
+                        help="render a text chart under each table")
+    args = parser.parse_args(argv)
+
+    selected = (
+        {name: ALL_EXPERIMENTS[name] for name in args.only.split(",")}
+        if args.only
+        else ALL_EXPERIMENTS
+    )
+    for name, module in selected.items():
+        start = time.time()
+        outcome = module.run(scale=args.scale, seed=args.seed)
+        tables = outcome if isinstance(outcome, list) else [outcome]
+        for table in tables:
+            print(table.render())
+            print()
+            if args.charts:
+                print("```")
+                print(_render_chart(table))
+                print("```")
+                print()
+        print(f"<!-- {name} took {time.time() - start:.1f}s wall -->")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""Shared plumbing for the experiment harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.job import JoinJob, JobResult
+from repro.engine.strategies import Strategy
+from repro.sim.cluster import Cluster, NodeSpec
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+@dataclass(frozen=True)
+class ScalePreset:
+    """One experiment scale: cluster size and workload volume."""
+
+    n_compute: int
+    n_data: int
+    n_tuples: int
+    n_keys: int
+    memory_cache_bytes: float
+
+    @property
+    def n_nodes(self) -> int:
+        return self.n_compute + self.n_data
+
+
+#: Named presets shared by the synthetic-workload experiments.  The
+#: paper runs 10+10 nodes; ``smoke`` shrinks everything for tests.
+SCALES: dict[str, ScalePreset] = {
+    "smoke": ScalePreset(
+        n_compute=3, n_data=3, n_tuples=3000, n_keys=3000,
+        memory_cache_bytes=8e6,
+    ),
+    "default": ScalePreset(
+        n_compute=5, n_data=5, n_tuples=10000, n_keys=10000,
+        memory_cache_bytes=15e6,
+    ),
+    "paper": ScalePreset(
+        n_compute=10, n_data=10, n_tuples=20000, n_keys=20000,
+        memory_cache_bytes=20e6,
+    ),
+}
+
+#: The paper's skew sweep (Figures 8, 9, 11).
+SKEWS = (0.0, 0.5, 1.0, 1.5)
+
+
+def scale_preset(scale: str) -> ScalePreset:
+    """Look up a preset; raises with the valid names on a typo."""
+    try:
+        return SCALES[scale]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {scale!r}; expected one of {sorted(SCALES)}"
+        ) from None
+
+
+def run_synthetic_job(
+    workload_name: str,
+    strategy_name: str,
+    skew: float,
+    preset: ScalePreset,
+    seed: int,
+    shifts: int = 0,
+    adaptive: bool = True,
+    pipeline_window: int | None = None,
+) -> JobResult:
+    """One synthetic-workload run on a fresh cluster (Figures 8/9/11)."""
+    workload = SyntheticWorkload.by_name(
+        workload_name,
+        n_keys=preset.n_keys,
+        n_tuples=preset.n_tuples,
+        skew=skew,
+        seed=seed,
+        shifts=shifts,
+    )
+    if adaptive:
+        strategy = Strategy.by_name(strategy_name)
+    else:
+        strategy = Strategy.fo_non_adaptive()
+    cluster = Cluster.homogeneous(preset.n_nodes, NodeSpec())
+    kwargs = {}
+    if pipeline_window is not None:
+        kwargs["pipeline_window"] = pipeline_window
+    job = JoinJob(
+        cluster=cluster,
+        compute_nodes=list(range(preset.n_compute)),
+        data_nodes=list(range(preset.n_compute, preset.n_nodes)),
+        table=workload.build_table(),
+        udf=workload.udf,
+        strategy=strategy,
+        sizes=workload.sizes,
+        memory_cache_bytes=preset.memory_cache_bytes,
+        seed=seed,
+        **kwargs,
+    )
+    return job.run(workload.keys())

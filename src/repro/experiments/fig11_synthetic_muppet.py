@@ -1,0 +1,58 @@
+"""Figure 11 (appendix) — Muppet synthetic workloads: throughput vs skew.
+
+The same DH / CH / DCH workloads fed as streams through the Muppet
+analog; the metric is normalized throughput (NO at z=0 = 1.0, higher is
+better).  Only the streaming-applicable strategies run: NO, FC, FD,
+FR, FO.
+
+Expected shapes (Appendix E): mirrors Figure 8 inverted — FD's
+throughput decays with skew while FO's grows (DH); FR beats FO at low
+skew on CH but collapses at high skew; FO dips slightly at z=1.5 on CH
+(cached hot keys concentrate compute at the stream nodes); FC beats NO
+everywhere.
+"""
+
+from __future__ import annotations
+
+from repro.engine.strategies import STREAMING_STRATEGIES
+from repro.experiments.common import SKEWS, run_synthetic_job, scale_preset
+from repro.metrics.report import ExperimentTable
+
+WORKLOADS = ("DH", "CH", "DCH")
+
+
+def run_workload(
+    workload: str, scale: str = "default", seed: int = 7
+) -> ExperimentTable:
+    """One Figure 11 panel: normalized throughput for ``workload``."""
+    preset = scale_preset(scale)
+    table = ExperimentTable(
+        title=f"Figure 11 ({workload}) - normalized throughput vs skew ({scale})",
+        columns=["strategy"] + [f"z={z}" for z in SKEWS],
+        notes="Throughput normalized to NO at z=0 (higher is better).",
+    )
+    baseline: float | None = None
+    for strategy in STREAMING_STRATEGIES:
+        row: list = [strategy]
+        for skew in SKEWS:
+            result = run_synthetic_job(workload, strategy, skew, preset, seed)
+            if baseline is None:
+                baseline = result.throughput
+            row.append(result.throughput / baseline)
+        table.add_row(row)
+    return table
+
+
+def run(scale: str = "default", seed: int = 7) -> list[ExperimentTable]:
+    """All three Figure 11 panels."""
+    return [run_workload(w, scale=scale, seed=seed) for w in WORKLOADS]
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    for table in run():
+        print(table.render())
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

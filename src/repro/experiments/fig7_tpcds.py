@@ -1,0 +1,88 @@
+"""Figure 7 — TPC-DS multi-join queries: SparkSQL vs our framework.
+
+Q3, Q7, Q27 and Q42 on the TPC-DS-lite data.  SparkSQL executes every
+join as a shuffle hash join over all nodes; our framework keeps the
+fact stream at the compute nodes and runs the dimension joins as
+pipelined indexed lookups (ski-rental cached, load balanced) against
+data nodes — no shuffle.  Both use the same (planner-chosen) join
+order, as in the paper.
+
+Expected shape: our framework faster on all four queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.metrics.report import ExperimentTable
+from repro.sim.cluster import Cluster, NodeSpec
+from repro.sparklite.indexed_exec import IndexedExecutor
+from repro.sparklite.planner import order_joins
+from repro.sparklite.shuffle_exec import ShuffleExecutor
+from repro.workloads.tpcds import TPCDSLite
+
+QUERIES = ("Q3", "Q7", "Q27", "Q42")
+
+
+@dataclass(frozen=True)
+class Fig7Scale:
+    """Fact-table volume and node split for one run."""
+
+    fact_rows: int
+    n_compute: int
+    n_data: int
+
+    @property
+    def n_nodes(self) -> int:
+        return self.n_compute + self.n_data
+
+
+SCALES = {
+    "smoke": Fig7Scale(fact_rows=15000, n_compute=3, n_data=3),
+    "default": Fig7Scale(fact_rows=30000, n_compute=5, n_data=5),
+    "paper": Fig7Scale(fact_rows=60000, n_compute=10, n_data=10),
+}
+
+
+def run(scale: str = "default", seed: int = 7) -> ExperimentTable:
+    """The Figure 7 bars at the requested scale."""
+    try:
+        preset = SCALES[scale]
+    except KeyError:
+        raise ValueError(
+            f"unknown scale {scale!r}; expected one of {sorted(SCALES)}"
+        ) from None
+    data = TPCDSLite(fact_rows=preset.fact_rows, seed=seed)
+    table = ExperimentTable(
+        title=f"Figure 7 - TPC-DS multi-join queries on Spark ({scale})",
+        columns=["query", "sparksql_seconds", "framework_seconds", "speedup"],
+        notes=(
+            f"store_sales has {preset.fact_rows} rows; both sides use the "
+            "same left-deep join order."
+        ),
+    )
+    for name in QUERIES:
+        query = data.queries()[name]
+        order = order_joins(query)
+        spark_cluster = Cluster.homogeneous(preset.n_nodes, NodeSpec())
+        spark = ShuffleExecutor(spark_cluster).run(query, join_order=order)
+        ours_cluster = Cluster.homogeneous(preset.n_nodes, NodeSpec())
+        ours = IndexedExecutor(
+            ours_cluster,
+            compute_nodes=list(range(preset.n_compute)),
+            data_nodes=list(range(preset.n_compute, preset.n_nodes)),
+            pipeline_window=max(64, preset.fact_rows // preset.n_compute // 8),
+            seed=seed,
+        ).run(query, join_order=order)
+        table.add_row(
+            [name, spark.makespan, ours.makespan, spark.makespan / ours.makespan]
+        )
+    return table
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    print(run().render())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

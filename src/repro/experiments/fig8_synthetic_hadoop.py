@@ -1,0 +1,61 @@
+"""Figure 8 — Hadoop synthetic workloads: normalized time vs skew.
+
+For each workload (DH, CH, DCH) and each skew z in {0, 0.5, 1.0, 1.5},
+run NO / FC / FD / FR / CO / LO / FO and report the completion time
+normalized so that NO at z=0 equals 1.0 — exactly the paper's axes.
+
+Expected shapes (paper Section 9.3.1):
+
+* DH  — FD/LO best at z=0; FO marginally worse than FD at z=0 but far
+  better at high skew; CO tracks FO; NO worst; FC beats NO.
+* CH  — NO and FC overlap; FD/CO degrade with skew; FR great at z=0
+  then collapses; LO/FO beat CO; FO dips slightly vs LO at z=1.5.
+* DCH — FO best or tied everywhere; LO degrades with skew; CO improves
+  mid-skew.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import SKEWS, run_synthetic_job, scale_preset
+from repro.metrics.report import ExperimentTable
+
+#: The strategies of Figure 8, in the paper's legend order.
+STRATEGIES = ("NO", "FC", "FD", "FR", "CO", "LO", "FO")
+WORKLOADS = ("DH", "CH", "DCH")
+
+
+def run_workload(
+    workload: str, scale: str = "default", seed: int = 7
+) -> ExperimentTable:
+    """One Figure 8 panel: ``workload`` across strategies and skews."""
+    preset = scale_preset(scale)
+    table = ExperimentTable(
+        title=f"Figure 8 ({workload}) - normalized time vs skew ({scale})",
+        columns=["strategy"] + [f"z={z}" for z in SKEWS],
+        notes="Time normalized to NO at z=0 (lower is better).",
+    )
+    baseline: float | None = None
+    for strategy in STRATEGIES:
+        row: list = [strategy]
+        for skew in SKEWS:
+            result = run_synthetic_job(workload, strategy, skew, preset, seed)
+            if baseline is None:
+                baseline = result.makespan
+            row.append(result.makespan / baseline)
+        table.add_row(row)
+    return table
+
+
+def run(scale: str = "default", seed: int = 7) -> list[ExperimentTable]:
+    """All three Figure 8 panels."""
+    return [run_workload(w, scale=scale, seed=seed) for w in WORKLOADS]
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    for table in run():
+        print(table.render())
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

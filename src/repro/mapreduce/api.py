@@ -1,0 +1,85 @@
+"""MapReduce programming interface (Hadoop analog).
+
+A job is three callables plus a partitioner, mirroring the Hadoop API
+the paper extends:
+
+* ``map_fn(key, value) -> iterable of (k2, v2)``
+* ``reduce_fn(k2, values) -> iterable of outputs``
+* ``partition(key, n_reducers) -> reducer index`` (or a
+  :class:`Partitioner` object with that method — the hook the CSAW and
+  FlowJoinLB baselines replace)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Iterable, Protocol, runtime_checkable
+
+from repro.store.partitioner import stable_hash
+
+
+@runtime_checkable
+class Partitioner(Protocol):
+    """Routes intermediate keys to reducers."""
+
+    def partition(self, key: Hashable, n_reducers: int) -> int:
+        """Reducer index in ``[0, n_reducers)`` for ``key``."""
+        ...
+
+
+class HashPartitioner:
+    """Hadoop's default: stable hash modulo reducer count."""
+
+    def partition(self, key: Hashable, n_reducers: int) -> int:
+        return stable_hash(key) % n_reducers
+
+
+def hash_partition(key: Hashable, n_reducers: int) -> int:
+    """Convenience function form of the default partitioner."""
+    return stable_hash(key) % n_reducers
+
+
+@dataclass(frozen=True)
+class MapReduceSpec:
+    """A complete MapReduce job description.
+
+    With the paper's ``preMap`` extension (Appendix D.2), ``pre_map``
+    names the data-store keys one input record needs and
+    ``bulk_fetch`` resolves a window of them in a single batched call;
+    the executor then hands ``map_fn`` a third argument — the fetched
+    ``{key: value}`` mapping — so map bodies never block per lookup.
+
+    Examples
+    --------
+    >>> spec = MapReduceSpec(
+    ...     map_fn=lambda k, v: [(w, 1) for w in v.split()],
+    ...     reduce_fn=lambda k, vs: [(k, sum(vs))],
+    ... )
+    >>> spec.route("word", 4) in range(4)
+    True
+    """
+
+    map_fn: Callable[..., Iterable[tuple[Hashable, Any]]]
+    reduce_fn: Callable[[Hashable, list[Any]], Iterable[Any]]
+    partitioner: Partitioner | None = None
+    combiner: Callable[[Hashable, list[Any]], list[Any]] | None = None
+    pre_map: Callable[[Any, Any], Iterable[Hashable]] | None = None
+    bulk_fetch: Callable[[list[Hashable]], dict[Hashable, Any]] | None = None
+    prefetch_window: int = 64
+
+    def __post_init__(self) -> None:
+        if (self.pre_map is None) != (self.bulk_fetch is None):
+            raise ValueError("pre_map and bulk_fetch must be supplied together")
+        if self.prefetch_window < 1:
+            raise ValueError("prefetch_window must be >= 1")
+
+    @property
+    def prefetching(self) -> bool:
+        """Whether this job uses the preMap extension."""
+        return self.pre_map is not None
+
+    def route(self, key: Hashable, n_reducers: int) -> int:
+        """Reducer index for ``key`` under this job's partitioner."""
+        if self.partitioner is not None:
+            return self.partitioner.partition(key, n_reducers)
+        return hash_partition(key, n_reducers)

@@ -1,0 +1,200 @@
+"""Simulated reduce-side join execution (the Figure 5 baselines).
+
+Models the entity-annotation MapReduce job of Section 2.1 on the
+cluster simulator:
+
+1. **Map** — documents are processed round-robin across all nodes;
+   each spot costs a little CPU to extract and emits a
+   ``(token, context)`` pair.
+2. **Shuffle** — pairs travel from their map node to the reducer
+   chosen by the partitioner (hash / CSAW / FlowJoinLB).  Hadoop's
+   sort barrier applies: reducers start after all map output arrives.
+3. **Reduce** — for every distinct token routed to a reducer, the
+   stored model is loaded from local disk once (models are partitioned
+   amongst reducers; replicated tokens load wherever they land), then
+   every pair pays the token's classification CPU cost.
+
+Stragglers under skew emerge naturally: a reducer that receives a
+heavy-hitter token (or expensive models) finishes late and stretches
+the makespan, which is precisely the effect CSAW/FlowJoinLB mitigate
+and the paper's framework side-steps.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+from repro.mapreduce.api import Partitioner, hash_partition
+from repro.sim.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class ReduceSideCosts:
+    """Per-record cost parameters of the simulated job."""
+
+    map_cpu_per_spot: float = 0.0002
+    context_bytes: float = 512.0
+    output_bytes: float = 64.0
+
+    def __post_init__(self) -> None:
+        if self.map_cpu_per_spot < 0 or self.context_bytes < 0 or self.output_bytes < 0:
+            raise ValueError("costs must be non-negative")
+
+
+@dataclass(frozen=True)
+class ReduceSideResult:
+    """Outcome of one simulated reduce-side run."""
+
+    makespan: float
+    map_finish: float
+    shuffle_finish: float
+    n_pairs: int
+    bytes_shuffled: float
+    reducer_finish_times: list[float]
+
+    @property
+    def straggler_ratio(self) -> float:
+        """Slowest reducer finish over the mean — the skew signature."""
+        if not self.reducer_finish_times:
+            return 1.0
+        mean = sum(self.reducer_finish_times) / len(self.reducer_finish_times)
+        if mean == 0:
+            return 1.0
+        return max(self.reducer_finish_times) / mean
+
+
+class ReduceSideJoinJob:
+    """One reduce-side join (annotation-style) on the simulated cluster.
+
+    Parameters
+    ----------
+    cluster:
+        The simulated hardware; every node maps and reduces (the
+        paper's baselines use all 20 nodes).
+    model_sizes, model_costs:
+        Stored model size (bytes) and per-tuple classification cost
+        (seconds) for each join key.
+    partitioner:
+        Object with ``partition(key, n_reducers)``; if it also exposes
+        ``is_replicated(key)``, replicated keys pay a model load on
+        every reducer they reach (CSAW / FlowJoinLB replication).
+    costs:
+        Map/shuffle cost parameters.
+    reducers_per_node:
+        Reduce task slots per node.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        model_sizes: dict[Hashable, float],
+        model_costs: dict[Hashable, float],
+        partitioner: Partitioner | None = None,
+        costs: ReduceSideCosts | None = None,
+        reducers_per_node: int = 1,
+        model_hydration: dict[Hashable, float] | None = None,
+    ) -> None:
+        if reducers_per_node < 1:
+            raise ValueError("reducers_per_node must be >= 1")
+        self.cluster = cluster
+        self.model_sizes = model_sizes
+        self.model_costs = model_costs
+        # A reducer deserializes each model once per key group it owns
+        # and then reuses the live object for the whole group.
+        self.model_hydration = dict(model_hydration or {})
+        self.partitioner = partitioner
+        self.costs = costs if costs is not None else ReduceSideCosts()
+        self.n_reducers = reducers_per_node * len(cluster)
+
+    def route(self, key: Hashable) -> int:
+        if self.partitioner is not None:
+            return self.partitioner.partition(key, self.n_reducers)
+        return hash_partition(key, self.n_reducers)
+
+    def run(self, documents: Sequence[Sequence[Hashable]]) -> ReduceSideResult:
+        """Execute the job over ``documents`` (each a list of spot keys)."""
+        cluster = self.cluster
+        n_nodes = len(cluster)
+        costs = self.costs
+
+        # ------------------------------------------------------------
+        # Map phase: documents round-robin across nodes.
+        # ------------------------------------------------------------
+        map_finish_per_node = [0.0] * n_nodes
+        # pairs_out[(map_node, reducer)] -> list of keys
+        pairs_out: dict[tuple[int, int], list[Hashable]] = defaultdict(list)
+        n_pairs = 0
+        for doc_index, spots in enumerate(documents):
+            node = doc_index % n_nodes
+            cpu_time = costs.map_cpu_per_spot * len(spots)
+            _s, finish = cluster.node(node).cpu.acquire(0.0, cpu_time)
+            map_finish_per_node[node] = max(map_finish_per_node[node], finish)
+            for key in spots:
+                pairs_out[(node, self.route(key))].append(key)
+                n_pairs += 1
+        map_finish = max(map_finish_per_node) if documents else 0.0
+
+        # ------------------------------------------------------------
+        # Shuffle: one transfer per (map node, reducer) cell; local
+        # cells are free.  Hadoop's barrier: reduce waits for all input.
+        # ------------------------------------------------------------
+        arrival_per_reducer = [map_finish] * self.n_reducers
+        bytes_shuffled = 0.0
+        for (map_node, reducer), keys in sorted(
+            pairs_out.items(), key=lambda kv: (kv[0][0], kv[0][1])
+        ):
+            reduce_node = reducer % n_nodes
+            size = len(keys) * costs.context_bytes
+            transfer = cluster.network.transfer(
+                map_finish_per_node[map_node], map_node, reduce_node, size
+            )
+            if map_node != reduce_node:
+                bytes_shuffled += size
+            arrival_per_reducer[reducer] = max(
+                arrival_per_reducer[reducer], transfer.arrive
+            )
+        shuffle_finish = max(arrival_per_reducer) if pairs_out else map_finish
+
+        # ------------------------------------------------------------
+        # Reduce: per reducer, model loads (disk) + classification (CPU).
+        # ------------------------------------------------------------
+        reducer_inputs: dict[int, dict[Hashable, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+        for (_map_node, reducer), keys in pairs_out.items():
+            for key in keys:
+                reducer_inputs[reducer][key] += 1
+
+        reducer_finish = [0.0] * self.n_reducers
+        for reducer in range(self.n_reducers):
+            groups = reducer_inputs.get(reducer)
+            if not groups:
+                reducer_finish[reducer] = arrival_per_reducer[reducer]
+                continue
+            node = cluster.node(reducer % n_nodes)
+            start = arrival_per_reducer[reducer]
+            finish = start
+            for key, count in groups.items():
+                size = self.model_sizes.get(key, 0.0)
+                _ds, disk_done = node.disk.acquire(start, node.spec.disk_time(size))
+                cpu_time = (
+                    self.model_hydration.get(key, 0.0)
+                    + count * self.model_costs.get(key, 0.0)
+                )
+                _cs, cpu_done = node.cpu.acquire(disk_done, cpu_time)
+                finish = max(finish, cpu_done)
+            reducer_finish[reducer] = finish
+
+        makespan = max(
+            [map_finish, shuffle_finish] + reducer_finish
+        )
+        return ReduceSideResult(
+            makespan=makespan,
+            map_finish=map_finish,
+            shuffle_finish=shuffle_finish,
+            n_pairs=n_pairs,
+            bytes_shuffled=bytes_shuffled,
+            reducer_finish_times=reducer_finish,
+        )

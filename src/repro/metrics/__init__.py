@@ -1,0 +1,17 @@
+"""Metrics collection, experiment tables, and text chart rendering."""
+
+from repro.metrics.collector import ClusterUsage, collect_usage, skew_ratio
+from repro.metrics.report import ExperimentTable
+from repro.metrics.charts import render_bars, render_series
+from repro.metrics.trace import RouteEvent, RoutingTrace
+
+__all__ = [
+    "ClusterUsage",
+    "collect_usage",
+    "skew_ratio",
+    "ExperimentTable",
+    "render_bars",
+    "render_series",
+    "RouteEvent",
+    "RoutingTrace",
+]

@@ -1,0 +1,101 @@
+"""Text chart rendering: make experiment output look like the figures.
+
+The paper's evaluation is bar charts (Figures 5-7) and line plots over
+skew (Figures 8, 9, 11).  These helpers render both as fixed-width
+text so ``python -m repro.experiments`` output can be eyeballed against
+the paper directly, with no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.report import ExperimentTable
+
+#: Glyphs for multi-series charts, in legend order.
+_MARKS = "o+x*#@%&"
+
+
+def render_bars(
+    table: ExperimentTable,
+    value_column: str,
+    width: int = 48,
+    label_column: str | None = None,
+) -> str:
+    """Horizontal bar chart of one numeric column.
+
+    Examples
+    --------
+    >>> t = ExperimentTable("demo", ["tech", "time"])
+    >>> t.add_row(["A", 4.0]); t.add_row(["B", 2.0])
+    >>> print(render_bars(t, "time", width=8))  # doctest: +NORMALIZE_WHITESPACE
+    A | ######## 4
+    B | ####     2
+    """
+    label_idx = 0 if label_column is None else table.columns.index(label_column)
+    value_idx = table.columns.index(value_column)
+    rows = [(str(r[label_idx]), float(r[value_idx])) for r in table.rows]
+    if not rows:
+        return "(no rows)"
+    peak = max(value for _label, value in rows)
+    label_width = max(len(label) for label, _value in rows)
+    lines = []
+    for label, value in rows:
+        filled = 0 if peak <= 0 else max(int(round(value / peak * width)), 0)
+        filled = min(filled, width)
+        if value > 0 and filled == 0:
+            filled = 1  # visible sliver for tiny non-zero bars
+        bar = "#" * filled + " " * (width - filled)
+        lines.append(
+            f"{label:<{label_width}} | {bar} {ExperimentTable._format(value)}"
+        )
+    return "\n".join(lines)
+
+
+def render_series(
+    table: ExperimentTable,
+    width: int = 56,
+    height: int = 14,
+) -> str:
+    """Scatter-style line chart: first column = series, rest = points.
+
+    Each remaining column is one x position (the skew sweep); each row
+    becomes a series drawn with its own glyph.  Built for the Figure
+    8/9/11 tables, whose columns are ``z=...`` values.
+    """
+    if len(table.columns) < 2 or not table.rows:
+        return "(no data)"
+    x_labels = table.columns[1:]
+    n_x = len(x_labels)
+    series = [(str(r[0]), [float(v) for v in r[1:]]) for r in table.rows]
+    peak = max(v for _name, values in series for v in values)
+    floor = min(v for _name, values in series for v in values)
+    span = peak - floor or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, values) in enumerate(series):
+        mark = _MARKS[index % len(_MARKS)]
+        for xi, value in enumerate(values):
+            x = int(xi / max(n_x - 1, 1) * (width - 1))
+            y = int((peak - value) / span * (height - 1))
+            grid[y][x] = mark
+    lines = []
+    lines.append(f"{ExperimentTable._format(peak):>8} ┤" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 8 + "│" + "".join(row))
+    lines.append(f"{ExperimentTable._format(floor):>8} ┤" + "".join(grid[-1]))
+    axis = " " * 9
+    positions = [int(i / max(n_x - 1, 1) * (width - 1)) for i in range(n_x)]
+    marks_line = [" "] * width
+    for pos in positions:
+        marks_line[pos] = "+"
+    lines.append(axis + "".join(marks_line))
+    # x labels, left/right aligned at the extremes.
+    label_line = [" "] * width
+    first, last = x_labels[0], x_labels[-1]
+    label_line[: len(first)] = first
+    label_line[width - len(last):] = last
+    lines.append(axis + "".join(label_line))
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]} {name}" for i, (name, _v) in enumerate(series)
+    )
+    lines.append("")
+    lines.append(" " * 9 + legend)
+    return "\n".join(lines)

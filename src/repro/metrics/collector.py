@@ -1,0 +1,53 @@
+"""Cluster usage summaries and skew statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class ClusterUsage:
+    """Aggregate resource usage over one simulation run."""
+
+    makespan: float
+    cpu_busy: list[float]
+    disk_busy: list[float]
+    bytes_moved: float
+
+    def cpu_utilization(self, node: int) -> float:
+        """CPU busy fraction of ``node`` over the makespan."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.cpu_busy[node] / self.makespan
+
+    @property
+    def cpu_skew(self) -> float:
+        """Max-over-mean CPU busy time across nodes (1.0 = balanced)."""
+        return skew_ratio(self.cpu_busy)
+
+    @property
+    def disk_skew(self) -> float:
+        """Max-over-mean disk busy time across nodes."""
+        return skew_ratio(self.disk_busy)
+
+
+def skew_ratio(values: list[float]) -> float:
+    """Max over mean; 1.0 means perfectly balanced, higher is skewed."""
+    if not values:
+        return 1.0
+    mean = sum(values) / len(values)
+    if mean == 0:
+        return 1.0
+    return max(values) / mean
+
+
+def collect_usage(cluster: Cluster) -> ClusterUsage:
+    """Snapshot per-node busy times and network volume."""
+    return ClusterUsage(
+        makespan=cluster.makespan(),
+        cpu_busy=[node.cpu.stats().busy_time for node in cluster.nodes],
+        disk_busy=[node.disk.stats().busy_time for node in cluster.nodes],
+        bytes_moved=cluster.network.bytes_moved,
+    )

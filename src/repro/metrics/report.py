@@ -1,0 +1,71 @@
+"""Fixed-width table rendering for experiment output.
+
+Every experiment harness prints the same rows/series its paper figure
+plots; this module gives them one consistent, dependency-free format
+(also valid Markdown, so EXPERIMENTS.md embeds the output verbatim).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass
+class ExperimentTable:
+    """A titled table of experiment rows.
+
+    Examples
+    --------
+    >>> t = ExperimentTable("demo", ["technique", "time"])
+    >>> t.add_row(["FO", 1.25])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    ## demo
+    <BLANKLINE>
+    | technique | time |
+    | --- | --- |
+    | FO | 1.25 |
+    """
+
+    title: str
+    columns: list[str]
+    rows: list[list[Any]] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, row: list[Any]) -> None:
+        """Append one row (must match the column count)."""
+        if len(row) != len(self.columns):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(row))
+
+    @staticmethod
+    def _format(cell: Any) -> str:
+        if isinstance(cell, float):
+            if cell == 0:
+                return "0"
+            if abs(cell) >= 1000 or abs(cell) < 0.01:
+                return f"{cell:.3g}"
+            return f"{cell:.3f}".rstrip("0").rstrip(".")
+        return str(cell)
+
+    def render(self) -> str:
+        """Markdown rendering of the table."""
+        lines = [f"## {self.title}", ""]
+        lines.append("| " + " | ".join(self.columns) + " |")
+        lines.append("| " + " | ".join("---" for _ in self.columns) + " |")
+        for row in self.rows:
+            lines.append("| " + " | ".join(self._format(c) for c in row) + " |")
+        if self.notes:
+            lines.append("")
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+    def cell(self, row_key: Any, column: str) -> Any:
+        """Look up a cell by first-column value and column name."""
+        col_idx = self.columns.index(column)
+        for row in self.rows:
+            if row[0] == row_key:
+                return row[col_idx]
+        raise KeyError(f"no row with first cell {row_key!r}")

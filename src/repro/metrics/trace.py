@@ -1,0 +1,90 @@
+"""Opt-in routing trace: watch the optimizer's decisions over time.
+
+The framework's behaviour is a trajectory — first-contact rents, then
+buys as counts cross thresholds, cache hits once values land, resets on
+updates.  A :class:`RoutingTrace` handed to the runtime records one
+event per routed tuple so that trajectory can be inspected: the route
+mix over time windows, the cache-hit-rate curve, per-key histories.
+Used by tests and for debugging experiments; off by default (tracing a
+million-tuple run costs memory).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Hashable
+
+
+@dataclass(frozen=True)
+class RouteEvent:
+    """One routing decision."""
+
+    time: float
+    node_id: int
+    tuple_id: int
+    key: Hashable
+    route: str
+
+
+class RoutingTrace:
+    """Recorder of routing decisions with summary views."""
+
+    def __init__(self) -> None:
+        self._events: list[RouteEvent] = []
+
+    def record(
+        self, time: float, node_id: int, tuple_id: int, key: Hashable, route: str
+    ) -> None:
+        """Append one decision (called by the runtime)."""
+        self._events.append(RouteEvent(time, node_id, tuple_id, key, route))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def events(self) -> list[RouteEvent]:
+        """All recorded events in arrival order."""
+        return list(self._events)
+
+    def route_mix(self) -> dict[str, int]:
+        """Total decisions per route."""
+        return dict(Counter(e.route for e in self._events))
+
+    def key_history(self, key: Hashable) -> list[str]:
+        """The route sequence one key experienced."""
+        return [e.route for e in self._events if e.key == key]
+
+    def windowed_mix(self, n_windows: int) -> list[dict[str, int]]:
+        """Route mixes over ``n_windows`` equal time slices.
+
+        The Figure-9 story in one view: after a distribution shift the
+        early windows fill with compute requests (re-learning) and the
+        late windows with local hits.
+        """
+        if n_windows < 1:
+            raise ValueError("n_windows must be >= 1")
+        if not self._events:
+            return [dict() for _ in range(n_windows)]
+        end = max(e.time for e in self._events) or 1.0
+        buckets: list[Counter] = [Counter() for _ in range(n_windows)]
+        for event in self._events:
+            index = min(int(event.time / end * n_windows), n_windows - 1)
+            buckets[index][event.route] += 1
+        return [dict(b) for b in buckets]
+
+    def local_hit_rate_curve(self, n_windows: int = 10) -> list[float]:
+        """Fraction of locally served tuples per time window."""
+        curve = []
+        for mix in self.windowed_mix(n_windows):
+            total = sum(mix.values())
+            local = mix.get("local-memory", 0) + mix.get("local-disk", 0)
+            curve.append(local / total if total else 0.0)
+        return curve
+
+    def per_node_counts(self) -> dict[int, int]:
+        """Decisions per compute node."""
+        counts: dict[int, int] = defaultdict(int)
+        for event in self._events:
+            counts[event.node_id] += 1
+        return dict(counts)

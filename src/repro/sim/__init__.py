@@ -1,0 +1,40 @@
+"""Discrete-event cluster simulator substrate.
+
+The paper's experiments run on a 20-node cluster (Hadoop YARN / Muppet /
+Spark as compute frameworks, HBase as the data store).  This package
+provides the hardware substitute: a deterministic discrete-event
+simulation of nodes, each with a multi-core CPU, a disk and a
+full-duplex network interface.  All of the paper's observable effects
+(straggler reducers under skew, network/CPU/disk bottleneck crossovers,
+throughput of streaming pipelines) are queueing phenomena over exactly
+these resources, so the simulator reproduces the *shape* of every
+result even though absolute numbers differ from the authors' testbed.
+
+Public classes
+--------------
+Simulator          event loop with a monotonically increasing clock
+Resource           FCFS multi-server resource (CPU cores, disk arms, NIC)
+NodeSpec, Node     hardware description and its simulated instance
+Network            bandwidth matrix + transfer scheduling
+Cluster            a set of nodes wired to one simulator and network
+"""
+
+from repro.sim.events import Simulator, SimulationError
+from repro.sim.resources import Resource, ResourceStats
+from repro.sim.network import Network, TransferResult
+from repro.sim.cluster import Cluster, Node, NodeSpec
+from repro.sim.rng import make_rng, derive_seed
+
+__all__ = [
+    "Simulator",
+    "SimulationError",
+    "Resource",
+    "ResourceStats",
+    "Network",
+    "TransferResult",
+    "Cluster",
+    "Node",
+    "NodeSpec",
+    "make_rng",
+    "derive_seed",
+]

@@ -1,0 +1,139 @@
+"""Network model: full-duplex NICs and a bandwidth matrix.
+
+Each node owns two :class:`~repro.sim.resources.Resource` instances —
+``tx`` (egress) and ``rx`` (ingress).  A transfer of ``size`` bytes from
+node ``i`` to node ``j`` occupies ``i``'s egress for ``size / bw_i``
+seconds and ``j``'s ingress for ``size / bw_j`` seconds; the payload is
+delivered when both legs complete.  The *effective* point-to-point
+bandwidth used by the paper's cost model (``netBw_ij``, Appendix D.4)
+is the minimum of the two NIC rates, optionally scaled per pair to
+model inter-rack links.
+
+Bandwidth estimation (Appendix D.4) is reproduced by
+:meth:`Network.estimate_bandwidth`, which reports the average effective
+bandwidth from a node to every peer in a destination set — matching the
+paper's "average across all destinations" rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.resources import Resource
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    """Outcome of scheduling one network transfer."""
+
+    src: int
+    dst: int
+    size: float
+    start: float
+    arrive: float
+
+    @property
+    def duration(self) -> float:
+        return self.arrive - self.start
+
+
+class Network:
+    """Bandwidth matrix plus per-node full-duplex NIC resources.
+
+    Parameters
+    ----------
+    bandwidths:
+        Per-node NIC bandwidth in bytes/second.
+    pair_scale:
+        Optional ``{(i, j): scale}`` multipliers applied to the
+        effective bandwidth of specific ordered pairs (e.g. ``0.5`` for
+        inter-rack links).  Defaults to 1.0 everywhere.
+    latency:
+        Fixed one-way propagation delay added to every transfer.
+    """
+
+    def __init__(
+        self,
+        bandwidths: list[float],
+        pair_scale: dict[tuple[int, int], float] | None = None,
+        latency: float = 0.0,
+    ) -> None:
+        if not bandwidths:
+            raise ValueError("at least one node bandwidth required")
+        if any(bw <= 0 for bw in bandwidths):
+            raise ValueError("bandwidths must be positive")
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self._bandwidths = list(bandwidths)
+        self._pair_scale = dict(pair_scale or {})
+        self.latency = latency
+        self._tx = [Resource(f"tx[{i}]") for i in range(len(bandwidths))]
+        self._rx = [Resource(f"rx[{i}]") for i in range(len(bandwidths))]
+        self._bytes_moved = 0.0
+        self._transfers = 0
+
+    def __len__(self) -> int:
+        return len(self._bandwidths)
+
+    def node_bandwidth(self, node: int) -> float:
+        """NIC line rate of ``node`` in bytes/second."""
+        return self._bandwidths[node]
+
+    def effective_bandwidth(self, src: int, dst: int) -> float:
+        """``netBw_ij``: min of the two NIC rates times the pair scale."""
+        scale = self._pair_scale.get((src, dst), 1.0)
+        return min(self._bandwidths[src], self._bandwidths[dst]) * scale
+
+    def estimate_bandwidth(self, node: int, peers: list[int]) -> float:
+        """Average effective bandwidth from ``node`` across ``peers``.
+
+        Reproduces the setup-time measurement of Appendix D.4: when
+        links differ (e.g. intra- vs inter-rack) the framework uses the
+        mean across all destinations, "reflecting the fact that
+        communication will be distributed across all the destinations."
+        """
+        if not peers:
+            raise ValueError("peers must be non-empty")
+        total = sum(self.effective_bandwidth(node, p) for p in peers)
+        return total / len(peers)
+
+    def transfer(self, at: float, src: int, dst: int, size: float) -> TransferResult:
+        """Schedule moving ``size`` bytes from ``src`` to ``dst``.
+
+        Loop-back transfers (``src == dst``) are free: data never
+        leaves the node, so they complete instantly at ``at``.
+        """
+        if size < 0:
+            raise ValueError(f"size must be non-negative, got {size!r}")
+        if src == dst:
+            return TransferResult(src=src, dst=dst, size=size, start=at, arrive=at)
+        scale = self._pair_scale.get((src, dst), 1.0)
+        tx_time = size / (self._bandwidths[src] * scale)
+        rx_time = size / (self._bandwidths[dst] * scale)
+        _tx_start, tx_done = self._tx[src].acquire(at, tx_time)
+        # The receiver cannot start clocking bits in before the sender
+        # starts pushing them; model the rx leg as beginning no earlier
+        # than the tx leg's start.
+        rx_start, rx_done = self._rx[dst].acquire(_tx_start, rx_time)
+        arrive = max(tx_done, rx_done) + self.latency
+        self._bytes_moved += size
+        self._transfers += 1
+        return TransferResult(src=src, dst=dst, size=size, start=_tx_start, arrive=arrive)
+
+    def tx_backlog(self, node: int, at: float) -> float:
+        """Seconds of egress work already booked at ``node``."""
+        return self._tx[node].backlog(at)
+
+    def rx_backlog(self, node: int, at: float) -> float:
+        """Seconds of ingress work already booked at ``node``."""
+        return self._rx[node].backlog(at)
+
+    @property
+    def bytes_moved(self) -> float:
+        """Total payload bytes moved over the network so far."""
+        return self._bytes_moved
+
+    @property
+    def transfers(self) -> int:
+        """Number of transfers scheduled so far."""
+        return self._transfers

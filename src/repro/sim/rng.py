@@ -1,0 +1,32 @@
+"""Seeded random number utilities.
+
+Every stochastic component of the reproduction takes an explicit seed so
+experiments are bit-for-bit reproducible.  ``derive_seed`` produces
+independent child seeds from a root seed and a label, so adding a new
+randomized component never perturbs the streams of existing ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def derive_seed(root_seed: int, label: str) -> int:
+    """Derive a stable 63-bit child seed from ``root_seed`` and a label.
+
+    Examples
+    --------
+    >>> derive_seed(7, "keys") == derive_seed(7, "keys")
+    True
+    >>> derive_seed(7, "keys") != derive_seed(7, "sizes")
+    True
+    """
+    digest = hashlib.sha256(f"{root_seed}:{label}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") & 0x7FFF_FFFF_FFFF_FFFF
+
+
+def make_rng(root_seed: int, label: str = "") -> np.random.Generator:
+    """Create a NumPy generator from a root seed and component label."""
+    return np.random.default_rng(derive_seed(root_seed, label))

@@ -1,0 +1,57 @@
+"""Mini Spark/SparkSQL analog for the multi-join experiment (Figure 7).
+
+Figure 7 runs four TPC-DS queries two ways: plain SparkSQL (Catalyst
+plans, shuffle hash joins for every join) versus the paper's framework
+(store_sales read at the compute nodes, dimension joins executed as
+pipelined indexed lookups against the parallel data store with
+ski-rental caching and load balancing — no shuffle).
+
+This package provides both sides on a shared representation:
+
+* :mod:`relation` / :mod:`expressions` / :mod:`operators` — a real,
+  in-memory relational executor (correct answers, used to validate
+  both timing paths agree on cardinalities),
+* :mod:`planner` — left-deep join ordering from simple cardinality
+  estimates (the Catalyst stand-in; both executors use its order, as
+  the paper does),
+* :mod:`shuffle_exec` — simulated SparkSQL: shuffle both sides of
+  every join across the cluster,
+* :mod:`indexed_exec` — simulated "our framework": pipelined
+  per-tuple indexed joins via :class:`repro.engine.MultiJoinJob`.
+"""
+
+from repro.sparklite.rdd import RDD
+from repro.sparklite.relation import Relation, Schema
+from repro.sparklite.expressions import And, Predicate
+from repro.sparklite.operators import (
+    group_aggregate,
+    hash_join,
+    project,
+    select,
+)
+from repro.sparklite.query import DimensionJoin, StarQuery
+from repro.sparklite.planner import order_joins
+from repro.sparklite.chooser import ExecutorChoice, choose_executor
+from repro.sparklite.shuffle_exec import ShuffleExecutor, ShuffleQueryResult
+from repro.sparklite.indexed_exec import IndexedExecutor, IndexedQueryResult
+
+__all__ = [
+    "RDD",
+    "Relation",
+    "Schema",
+    "And",
+    "Predicate",
+    "group_aggregate",
+    "hash_join",
+    "project",
+    "select",
+    "DimensionJoin",
+    "StarQuery",
+    "order_joins",
+    "ExecutorChoice",
+    "choose_executor",
+    "ShuffleExecutor",
+    "ShuffleQueryResult",
+    "IndexedExecutor",
+    "IndexedQueryResult",
+]

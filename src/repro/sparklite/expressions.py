@@ -1,0 +1,84 @@
+"""Predicates for the mini relational engine.
+
+A deliberately small expression language: column-vs-literal comparisons
+plus conjunction — enough for the simplified TPC-DS queries (equality
+and membership filters on dimension attributes).
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any
+
+from repro.sparklite.relation import Relation
+
+_OPS = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """``column <op> value`` or ``column in values``.
+
+    Examples
+    --------
+    >>> from repro.sparklite.relation import Relation, Schema
+    >>> r = Relation("t", Schema(("x",)), [(1,), (5,)])
+    >>> p = Predicate("x", ">", 2)
+    >>> [p.evaluate(r, row) for row in r]
+    [False, True]
+    """
+
+    column: str
+    op: str
+    value: Any
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS and self.op != "in":
+            raise ValueError(f"unsupported operator {self.op!r}")
+
+    def evaluate(self, relation: Relation, row: tuple) -> bool:
+        """Whether ``row`` of ``relation`` satisfies the predicate."""
+        cell = relation.row_value(row, self.column)
+        if self.op == "in":
+            return cell in self.value
+        return _OPS[self.op](cell, self.value)
+
+    def selectivity(self, relation: Relation) -> float:
+        """Exact fraction of rows passing (the planner's statistic).
+
+        TPC-DS dimensions are small, so exact selectivities are cheap;
+        they stand in for Catalyst's column statistics.
+        """
+        if not relation.rows:
+            return 1.0
+        passing = sum(1 for row in relation if self.evaluate(relation, row))
+        return passing / len(relation)
+
+
+@dataclass(frozen=True)
+class And:
+    """Conjunction of predicates (empty = always true)."""
+
+    predicates: tuple[Predicate, ...] = ()
+
+    def evaluate(self, relation: Relation, row: tuple) -> bool:
+        """Whether ``row`` satisfies every conjunct."""
+        return all(p.evaluate(relation, row) for p in self.predicates)
+
+    def selectivity(self, relation: Relation) -> float:
+        """Exact conjunction selectivity (measured, not independence)."""
+        if not relation.rows:
+            return 1.0
+        passing = sum(1 for row in relation if self.evaluate(relation, row))
+        return passing / len(relation)
+
+    def __bool__(self) -> bool:
+        return bool(self.predicates)

@@ -1,0 +1,93 @@
+"""Real relational operators: select, project, hash join, aggregate.
+
+These execute actual data and return actual results.  The timing
+executors (:mod:`shuffle_exec`, :mod:`indexed_exec`) reuse them to
+obtain the true cardinalities their cost models consume, and the tests
+use them to check both execution paths produce identical answers.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable
+
+from repro.sparklite.expressions import And, Predicate
+from repro.sparklite.relation import Relation, Schema
+
+
+def select(relation: Relation, predicate: Predicate | And) -> Relation:
+    """Rows of ``relation`` satisfying ``predicate``."""
+    rows = [row for row in relation if predicate.evaluate(relation, row)]
+    return Relation(f"select({relation.name})", relation.schema, rows)
+
+
+def project(relation: Relation, columns: list[str]) -> Relation:
+    """Keep only ``columns`` (in the given order)."""
+    indices = [relation.schema.index(c) for c in columns]
+    rows = [tuple(row[i] for i in indices) for row in relation]
+    return Relation(f"project({relation.name})", Schema(tuple(columns)), rows)
+
+
+def hash_join(
+    left: Relation, right: Relation, left_key: str, right_key: str
+) -> Relation:
+    """Equi-join; output schema = left columns + right's non-key columns.
+
+    The right key column is dropped from the output (it equals the
+    left key), matching what a projection-pruning optimizer would do.
+    """
+    right_key_idx = right.schema.index(right_key)
+    build: dict[Any, list[tuple]] = defaultdict(list)
+    for row in right:
+        build[row[right_key_idx]].append(row)
+    kept_right = [
+        (i, c)
+        for i, c in enumerate(right.schema.columns)
+        if c != right_key and c not in left.schema
+    ]
+    out_schema = Schema(
+        tuple(left.schema.columns) + tuple(c for _i, c in kept_right)
+    )
+    left_key_idx = left.schema.index(left_key)
+    rows = []
+    for lrow in left:
+        for rrow in build.get(lrow[left_key_idx], ()):
+            rows.append(lrow + tuple(rrow[i] for i, _c in kept_right))
+    return Relation(f"join({left.name},{right.name})", out_schema, rows)
+
+
+#: Aggregate functions by name; each maps a list of values to a scalar.
+AGGREGATES: dict[str, Callable[[list], Any]] = {
+    "sum": sum,
+    "count": len,
+    "min": min,
+    "max": max,
+    "avg": lambda values: sum(values) / len(values) if values else None,
+}
+
+
+def group_aggregate(
+    relation: Relation,
+    group_by: list[str],
+    aggregates: list[tuple[str, str, str]],
+) -> Relation:
+    """GROUP BY with named aggregates.
+
+    ``aggregates`` entries are ``(function, column, output_name)``,
+    e.g. ``("sum", "ss_ext_sales_price", "total")``.
+    """
+    group_idx = [relation.schema.index(c) for c in group_by]
+    agg_specs = [
+        (AGGREGATES[fn], relation.schema.index(col), out)
+        for fn, col, out in aggregates
+    ]
+    groups: dict[tuple, list[tuple]] = defaultdict(list)
+    for row in relation:
+        groups[tuple(row[i] for i in group_idx)].append(row)
+    out_columns = tuple(group_by) + tuple(out for _f, _i, out in agg_specs)
+    rows = []
+    for group_key in sorted(groups, key=repr):
+        members = groups[group_key]
+        aggs = tuple(fn([m[i] for m in members]) for fn, i, _out in agg_specs)
+        rows.append(group_key + aggs)
+    return Relation(f"agg({relation.name})", Schema(out_columns), rows)

@@ -1,0 +1,70 @@
+"""Star-query description and reference (real) execution.
+
+The four Figure 7 queries are star joins: the ``store_sales`` fact
+table joined with 2-4 filtered dimensions, then grouped and
+aggregated.  :class:`StarQuery` captures that shape; :meth:`execute`
+runs it for real via the operators module (the reference answer both
+timing executors must agree with on cardinalities).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sparklite.expressions import And
+from repro.sparklite.operators import group_aggregate, hash_join, select
+from repro.sparklite.relation import Relation
+
+
+@dataclass(frozen=True)
+class DimensionJoin:
+    """One dimension edge of a star query."""
+
+    dimension: Relation
+    fact_key: str  # join column on the fact side (e.g. ss_item_sk)
+    dim_key: str  # join column on the dimension side (e.g. i_item_sk)
+    predicate: And = field(default_factory=And)
+
+    def filtered_dimension(self) -> Relation:
+        """Dimension rows surviving the predicate."""
+        if not self.predicate:
+            return self.dimension
+        return select(self.dimension, self.predicate)
+
+    def selectivity(self) -> float:
+        """Fraction of dimension rows surviving the predicate."""
+        return self.predicate.selectivity(self.dimension) if self.predicate else 1.0
+
+
+@dataclass(frozen=True)
+class StarQuery:
+    """A fact-table star join with grouping and aggregation."""
+
+    name: str
+    fact: Relation
+    joins: tuple[DimensionJoin, ...]
+    group_by: tuple[str, ...]
+    aggregates: tuple[tuple[str, str, str], ...]
+    fact_predicate: And = field(default_factory=And)
+
+    def execute(self, join_order: list[int] | None = None) -> Relation:
+        """Run the query for real; returns the aggregated relation.
+
+        ``join_order`` indexes into ``self.joins`` (defaults to the
+        declared order); the answer is order-independent but the tests
+        use this to confirm that.
+        """
+        current = (
+            select(self.fact, self.fact_predicate)
+            if self.fact_predicate
+            else self.fact
+        )
+        order = join_order if join_order is not None else list(range(len(self.joins)))
+        for index in order:
+            join = self.joins[index]
+            current = hash_join(
+                current, join.filtered_dimension(), join.fact_key, join.dim_key
+            )
+        return group_aggregate(
+            current, list(self.group_by), list(self.aggregates)
+        )

@@ -1,0 +1,145 @@
+"""A mini RDD with the paper's ``preMap`` extensions (Appendix D.2).
+
+Spark programs transform resilient distributed datasets with ``map`` /
+``flatMap`` / ``filter``.  The paper extends the RDD API with
+``mapWithPremap`` and ``flatMapWithPremap``: the user supplies a
+``pre_map`` that issues prefetch requests for each element and a
+``map``/``flatMap`` body that consumes the fetched values — mirroring
+the Java API's ``call(t, async)`` pair.
+
+This is the *real-execution* API layer: transformations are lazy,
+``collect`` materializes, and the premap variants batch their lookups
+through a user-supplied fetcher via the shared prefetch machinery.
+(The distributed timing of such pipelines is modelled separately by
+:mod:`repro.sparklite.indexed_exec`.)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterable, Iterator
+
+from repro.engine.prefetch import PreMapRunner
+
+
+class RDD:
+    """A lazily transformed dataset.
+
+    Examples
+    --------
+    >>> RDD.parallelize([1, 2, 3]).map(lambda x: x * 2).collect()
+    [2, 4, 6]
+    >>> RDD.parallelize(["a b", "c"]).flat_map(str.split).collect()
+    ['a', 'b', 'c']
+    """
+
+    def __init__(self, source: Callable[[], Iterator[Any]]) -> None:
+        self._source = source
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def parallelize(cls, data: Iterable[Any]) -> "RDD":
+        """Wrap an in-memory collection."""
+        materialized = list(data)
+        return cls(lambda: iter(materialized))
+
+    # ------------------------------------------------------------------
+    # Classic transformations (lazy)
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable[[Any], Any]) -> "RDD":
+        """Element-wise transformation."""
+        parent = self._source
+        return RDD(lambda: (fn(x) for x in parent()))
+
+    def flat_map(self, fn: Callable[[Any], Iterable[Any]]) -> "RDD":
+        """Element-to-many transformation."""
+        parent = self._source
+        return RDD(lambda: (y for x in parent() for y in fn(x)))
+
+    def filter(self, predicate: Callable[[Any], bool]) -> "RDD":
+        """Keep elements satisfying the predicate."""
+        parent = self._source
+        return RDD(lambda: (x for x in parent() if predicate(x)))
+
+    # ------------------------------------------------------------------
+    # The paper's extensions
+    # ------------------------------------------------------------------
+    def map_with_premap(
+        self,
+        pre_map: Callable[[Any], Iterable[Hashable]],
+        map_fn: Callable[[Any, dict[Hashable, Any]], Any],
+        bulk_fetch: Callable[[list[Hashable]], dict[Hashable, Any]],
+        window: int = 64,
+    ) -> "RDD":
+        """``mapWithPremap``: prefetch-ahead element transformation.
+
+        ``pre_map`` names the keys element ``t`` will need;
+        ``bulk_fetch`` resolves a window's worth in one batched call;
+        ``map_fn(t, values)`` is the map body (the Java API's
+        ``call(t, async)`` retrieval side).
+        """
+        parent = self._source
+
+        def source() -> Iterator[Any]:
+            runner = PreMapRunner(
+                pre_map=pre_map, bulk_fetch=bulk_fetch, map_fn=map_fn,
+                window=window,
+            )
+            return runner.run(parent())
+
+        return RDD(source)
+
+    def flat_map_with_premap(
+        self,
+        pre_map: Callable[[Any], Iterable[Hashable]],
+        flat_map_fn: Callable[[Any, dict[Hashable, Any]], Iterable[Any]],
+        bulk_fetch: Callable[[list[Hashable]], dict[Hashable, Any]],
+        window: int = 64,
+    ) -> "RDD":
+        """``flatMapWithPremap``: prefetch-ahead one-to-many transform."""
+        parent = self._source
+
+        def source() -> Iterator[Any]:
+            runner = PreMapRunner(
+                pre_map=pre_map, bulk_fetch=bulk_fetch,
+                map_fn=lambda item, values: list(flat_map_fn(item, values)),
+                window=window,
+            )
+            for produced in runner.run(parent()):
+                yield from produced
+
+        return RDD(source)
+
+    # ------------------------------------------------------------------
+    # Actions
+    # ------------------------------------------------------------------
+    def collect(self) -> list[Any]:
+        """Materialize the dataset."""
+        return list(self._source())
+
+    def count(self) -> int:
+        """Number of elements."""
+        return sum(1 for _ in self._source())
+
+    def reduce(self, fn: Callable[[Any, Any], Any]) -> Any:
+        """Fold the dataset with a binary function."""
+        iterator = self._source()
+        try:
+            accumulator = next(iterator)
+        except StopIteration:
+            raise ValueError("reduce of an empty RDD") from None
+        for element in iterator:
+            accumulator = fn(accumulator, element)
+        return accumulator
+
+    def take(self, n: int) -> list[Any]:
+        """The first ``n`` elements."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        out = []
+        for element in self._source():
+            if len(out) >= n:
+                break
+            out.append(element)
+        return out

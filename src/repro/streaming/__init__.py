@@ -1,0 +1,16 @@
+"""Muppet-style stream processing analog (Sections 7.1, 9.1.2, 9.3).
+
+Muppet processes "fast data" with MapUpdate: ``map`` turns each event
+into keyed records, ``update`` folds each record into a per-key slate.
+This package provides:
+
+* :class:`MuppetLocal` — a real, in-process MapUpdate executor
+  (correctness path, used in tests and examples),
+* :class:`MuppetJoinSimulation` — the streaming join benchmark: feeds
+  a stream through the simulated cluster under a strategy and reports
+  throughput (tuples/second), the Figure 6 / Figure 11 metric.
+"""
+
+from repro.streaming.muppet import MuppetLocal, MuppetJoinSimulation
+
+__all__ = ["MuppetLocal", "MuppetJoinSimulation"]

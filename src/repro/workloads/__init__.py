@@ -1,0 +1,36 @@
+"""Workload generators for every experiment in the paper.
+
+* :mod:`repro.workloads.zipf` — Zipf key streams with optional dynamic
+  distribution shifts (Sections 9.3.1-9.3.2),
+* :mod:`repro.workloads.synthetic` — the DH / CH / DCH workloads,
+* :mod:`repro.workloads.annotation` — entity-annotation corpus + model
+  store (ClueWeb09 analog, Section 9.1),
+* :mod:`repro.workloads.tweets` — bursty tweet stream with drifting
+  hot entities (Section 9.1.2),
+* :mod:`repro.workloads.tpcds` — TPC-DS-lite tables and the four
+  multi-join queries of Section 9.2,
+* :mod:`repro.workloads.genome` — CloudBurst read-alignment analog
+  (Appendix A),
+* :mod:`repro.workloads.parameter_server` — parameter-server pull/push
+  workload (Section 2.2).
+"""
+
+from repro.workloads.zipf import ZipfKeySequence, zipf_probabilities
+from repro.workloads.synthetic import SyntheticWorkload
+from repro.workloads.annotation import AnnotationWorkload
+from repro.workloads.genome import GenomeWorkload
+from repro.workloads.parameter_server import ParameterServerWorkload
+from repro.workloads.tweets import TweetStream, tweet_annotation_workload
+from repro.workloads.tpcds import TPCDSLite
+
+__all__ = [
+    "ZipfKeySequence",
+    "zipf_probabilities",
+    "SyntheticWorkload",
+    "AnnotationWorkload",
+    "GenomeWorkload",
+    "ParameterServerWorkload",
+    "TweetStream",
+    "tweet_annotation_workload",
+    "TPCDSLite",
+]

@@ -1,0 +1,204 @@
+"""Genome read alignment workload (CloudBurst analog, Appendix A).
+
+CloudBurst aligns short reads against a reference sequence with
+MapReduce: n-grams (seeds) extracted from reads join with an index of
+reference n-grams, and an approximate-matching UDF verifies each
+candidate location.  The basic reduce-side implementation skews badly
+— common n-grams (low-complexity repeats) pile up on single reducers,
+and verification cost varies with the number of candidate locations.
+
+The paper's framework handles this as a map-side join with per-key
+routing: the reference n-gram index lives in the parallel store; hot
+n-grams get cached at compute nodes; cold ones verify at data nodes.
+
+This generator builds:
+
+* a random reference sequence with planted repeats (the skew source),
+* an n-gram index: n-gram -> candidate locations (row size and
+  verification cost scale with the candidate count),
+* a read set sampled from the reference with errors, emitting one join
+  key (seed n-gram) per read per seed position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.core.load_balancer import SizeProfile
+from repro.sim.rng import make_rng
+from repro.store.messages import UDF
+from repro.store.table import Row, Table
+
+_BASES = "ACGT"
+
+
+@dataclass(frozen=True)
+class GenomeWorkload:
+    """A scaled read-alignment workload.
+
+    Parameters
+    ----------
+    reference_length:
+        Length of the reference sequence in bases.
+    n_reads, read_length:
+        The read set (each read sampled from the reference).
+    ngram:
+        Seed length; each read emits ``seeds_per_read`` join keys.
+    seeds_per_read:
+        Non-overlapping seed positions per read (CloudBurst uses
+        ``k+1`` seeds for ``k`` allowed errors).
+    repeat_fraction:
+        Fraction of the reference covered by a planted repeat — the
+        heavy-hitter source: every read overlapping the repeat emits
+        the same seeds.
+    error_rate:
+        Per-base read error probability.
+    verify_cost_per_candidate:
+        CPU seconds to verify one candidate location (banded alignment
+        around the seed hit).
+    """
+
+    reference_length: int = 100_000
+    n_reads: int = 4000
+    read_length: int = 36
+    ngram: int = 12
+    seeds_per_read: int = 3
+    repeat_fraction: float = 0.08
+    error_rate: float = 0.01
+    verify_cost_per_candidate: float = 0.0004
+    location_bytes: float = 12.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.reference_length < self.read_length:
+            raise ValueError("reference must be at least one read long")
+        if self.read_length < self.ngram * self.seeds_per_read:
+            raise ValueError("read too short for the requested seeds")
+        if not 0.0 <= self.repeat_fraction < 1.0:
+            raise ValueError("repeat_fraction must be in [0, 1)")
+
+    # ------------------------------------------------------------------
+    # Reference and index
+    # ------------------------------------------------------------------
+    @cached_property
+    def reference(self) -> str:
+        """The reference sequence, with a planted tandem repeat."""
+        rng = make_rng(self.seed, "reference")
+        bases = [_BASES[i] for i in rng.integers(0, 4, size=self.reference_length)]
+        repeat_span = int(self.reference_length * self.repeat_fraction)
+        if repeat_span >= 2 * self.ngram:
+            # A tandem repeat with period == ngram: every window into
+            # the repeat is one of only ``ngram`` distinct n-grams,
+            # each hit at hundreds of reference locations — the
+            # heavy-hitter, expensive-verification keys of Appendix A.
+            unit = "".join(
+                _BASES[i] for i in rng.integers(0, 4, size=self.ngram)
+            )
+            start = self.reference_length // 3
+            tiled = (unit * (repeat_span // len(unit) + 1))[:repeat_span]
+            bases[start:start + repeat_span] = list(tiled)
+        return "".join(bases)
+
+    @cached_property
+    def index(self) -> dict[str, list[int]]:
+        """n-gram -> sorted candidate locations in the reference."""
+        locations: dict[str, list[int]] = {}
+        reference = self.reference
+        for position in range(len(reference) - self.ngram + 1):
+            gram = reference[position:position + self.ngram]
+            locations.setdefault(gram, []).append(position)
+        return locations
+
+    def build_table(self) -> Table:
+        """Materialize the n-gram index for the parallel store.
+
+        Row size and verification cost grow with the candidate count,
+        so repeat n-grams are simultaneously the hottest keys and the
+        most expensive rows — CloudBurst's skew in one object.
+        """
+        table = Table("ngram-index")
+        for gram, hits in self.index.items():
+            table.put(
+                Row(
+                    key=gram,
+                    value=tuple(hits),
+                    size=16.0 + self.location_bytes * len(hits),
+                    compute_cost=self.verify_cost_per_candidate * len(hits),
+                )
+            )
+        return table
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    @cached_property
+    def reads(self) -> list[str]:
+        """Reads sampled uniformly from the reference, with errors."""
+        rng = make_rng(self.seed, "reads")
+        starts = rng.integers(
+            0, self.reference_length - self.read_length + 1, size=self.n_reads
+        )
+        reads = []
+        for start in starts:
+            read = list(self.reference[start:start + self.read_length])
+            errors = rng.random(self.read_length) < self.error_rate
+            for i in range(self.read_length):
+                if errors[i]:
+                    read[i] = _BASES[int(rng.integers(0, 4))]
+            reads.append("".join(read))
+        return reads
+
+    def seed_stream(self) -> list[str]:
+        """The join-key stream: one n-gram per seed position per read.
+
+        Seeds absent from the index (read errors landing in a seed)
+        are dropped — they can never align, exactly as CloudBurst's
+        join discards them.
+        """
+        index = self.index
+        stream: list[str] = []
+        for read in self.reads:
+            for slot in range(self.seeds_per_read):
+                gram = read[slot * self.ngram:(slot + 1) * self.ngram]
+                if gram in index:
+                    stream.append(gram)
+        return stream
+
+    # ------------------------------------------------------------------
+    # Framework plumbing
+    # ------------------------------------------------------------------
+    @property
+    def udf(self) -> UDF:
+        """The verification UDF (cost scales with candidate count)."""
+        return UDF(
+            result_size=32.0,
+            param_size=float(self.read_length),
+            key_size=float(self.ngram),
+        )
+
+    @property
+    def sizes(self) -> SizeProfile:
+        """Average message sizes for load statistics."""
+        if self.index:
+            mean_row = sum(
+                16.0 + self.location_bytes * len(hits)
+                for hits in self.index.values()
+            ) / len(self.index)
+        else:
+            mean_row = 16.0
+        return SizeProfile(
+            key_size=float(self.ngram),
+            param_size=float(self.read_length),
+            value_size=mean_row,
+            computed_size=32.0,
+        )
+
+    def heavy_hitter_share(self) -> float:
+        """Fraction of the seed stream hitting the top n-gram."""
+        from collections import Counter
+
+        stream = self.seed_stream()
+        if not stream:
+            return 0.0
+        return Counter(stream).most_common(1)[0][1] / len(stream)

@@ -1,0 +1,107 @@
+"""Parameter-server training workload (Section 2.2).
+
+Li et al.'s parameter server shards a model as ``<key, value>`` pairs;
+workers pull the parameters their mini-batch touches, compute, and
+push updates back.  The paper points out its framework covers the pull
++ compute side — with ski-rental caching and batched asynchronous
+pulls standing in for explicit range push/pull — and Section 4.2.3's
+update handling matters here more than anywhere: *hot parameters are
+also the most frequently pushed*, so a cache that ignores updates
+would buy exactly the keys that go stale fastest.
+
+The generator produces:
+
+* a parameter table of ``n_shards`` rows (embedding-style: a few KB
+  each, cheap per-access math),
+* a pull stream with Zipf access skew (frequent features),
+* a co-generated push (update) schedule in which a key's update rate
+  is proportional to its pull rate — the adversarial coupling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Hashable
+
+from repro.core.load_balancer import SizeProfile
+from repro.sim.rng import make_rng
+from repro.store.messages import UDF
+from repro.store.table import Row, Table
+from repro.workloads.zipf import ZipfKeySequence
+
+
+@dataclass(frozen=True)
+class ParameterServerWorkload:
+    """A pull/push workload over a sharded model."""
+
+    n_shards: int = 2000
+    n_pulls: int = 10000
+    skew: float = 1.0
+    shard_bytes: float = 4096.0
+    gradient_cost: float = 0.0005
+    #: Pushes per pull for a key (every ``1/push_ratio`` pulls of a key,
+    #: roughly one push lands on it).
+    push_ratio: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1 or self.n_pulls < 0:
+            raise ValueError("n_shards must be >= 1 and n_pulls >= 0")
+        if not 0.0 <= self.push_ratio <= 1.0:
+            raise ValueError("push_ratio must be in [0, 1]")
+
+    def build_table(self) -> Table:
+        """Materialize the parameter shards."""
+        table = Table("parameters")
+        for shard in range(self.n_shards):
+            table.put(
+                Row(
+                    key=int(shard),
+                    value=f"weights-{shard}",
+                    size=self.shard_bytes,
+                    compute_cost=self.gradient_cost,
+                )
+            )
+        return table
+
+    @cached_property
+    def pulls(self) -> list[int]:
+        """The pull stream (one parameter key per pull)."""
+        sequence = ZipfKeySequence(self.n_shards, self.skew, seed=self.seed)
+        return [int(k) for k in sequence.draw(self.n_pulls)]
+
+    def push_schedule(self, duration: float) -> list[tuple[float, Hashable, str]]:
+        """Updates spread over ``duration`` seconds of run time.
+
+        Pushes are sampled from the *same* Zipf distribution as pulls
+        — frequently pulled keys are frequently pushed — and spread
+        uniformly in time, ready to hand to
+        :meth:`repro.engine.JoinJob.run` as its ``updates`` argument.
+        """
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        n_pushes = int(self.n_pulls * self.push_ratio)
+        sequence = ZipfKeySequence(self.n_shards, self.skew, seed=self.seed + 1)
+        keys = sequence.draw(n_pushes)
+        rng = make_rng(self.seed, "push-times")
+        times = sorted(rng.uniform(0.0, duration, size=n_pushes))
+        return [
+            (float(t), int(k), f"weights-v{i}")
+            for i, (t, k) in enumerate(zip(times, keys))
+        ]
+
+    @property
+    def udf(self) -> UDF:
+        """The gradient-step UDF."""
+        return UDF(result_size=64.0, param_size=128.0, key_size=8.0)
+
+    @property
+    def sizes(self) -> SizeProfile:
+        """Average message sizes for load statistics."""
+        return SizeProfile(
+            key_size=8.0,
+            param_size=128.0,
+            value_size=self.shard_bytes,
+            computed_size=64.0,
+        )

@@ -1,0 +1,181 @@
+"""The synthetic DH / CH / DCH workloads (Section 9.3).
+
+Three stress profiles, scaled down from the paper's cluster sizes to
+simulator-friendly volumes while preserving the ratios that drive the
+results:
+
+* **DH** — data heavy: large stored values (the paper used 200 GB with
+  ~100 KB fetches), near-zero UDF cost.  Disk and network bound.
+* **CH** — compute heavy: small values (20 GB total), ~100 ms UDF.
+  CPU bound.
+* **DCH** — both: large values *and* ~100 ms UDF.
+
+Keys are drawn from :class:`~repro.workloads.zipf.ZipfKeySequence`
+with the experiment's skew ``z``; there is no skew in the *stored*
+data — each key appears once with identical size (the paper notes the
+stored key is a primary key).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.load_balancer import SizeProfile
+from repro.engine.requests import UDF
+from repro.store.table import Row, Table
+from repro.workloads.zipf import ZipfKeySequence
+
+
+@dataclass(frozen=True)
+class SyntheticWorkload:
+    """A fully specified synthetic join workload."""
+
+    name: str
+    n_keys: int
+    n_tuples: int
+    skew: float
+    value_size: float
+    compute_cost: float
+    seed: int = 0
+    shifts: int = 0
+    key_size: float = 8.0
+    param_size: float = 64.0
+    result_size: float = 64.0
+
+    def __post_init__(self) -> None:
+        if self.n_keys < 1 or self.n_tuples < 0:
+            raise ValueError("n_keys must be >= 1 and n_tuples >= 0")
+        if self.value_size < 0 or self.compute_cost < 0:
+            raise ValueError("value_size and compute_cost must be non-negative")
+
+    # ------------------------------------------------------------------
+    # The paper's three profiles (scaled for the simulator)
+    # ------------------------------------------------------------------
+    @classmethod
+    def data_heavy(
+        cls,
+        n_keys: int = 2000,
+        n_tuples: int = 20000,
+        skew: float = 0.0,
+        seed: int = 0,
+        value_size: float = 150_000.0,
+        shifts: int = 0,
+    ) -> "SyntheticWorkload":
+        """DH: 150 KB values, negligible UDF cost."""
+        return cls(
+            name="DH",
+            n_keys=n_keys,
+            n_tuples=n_tuples,
+            skew=skew,
+            value_size=value_size,
+            compute_cost=0.0002,
+            seed=seed,
+            shifts=shifts,
+        )
+
+    @classmethod
+    def compute_heavy(
+        cls,
+        n_keys: int = 2000,
+        n_tuples: int = 20000,
+        skew: float = 0.0,
+        seed: int = 0,
+        compute_cost: float = 0.1,
+        shifts: int = 0,
+    ) -> "SyntheticWorkload":
+        """CH: small values, ~100 ms UDF invocations."""
+        return cls(
+            name="CH",
+            n_keys=n_keys,
+            n_tuples=n_tuples,
+            skew=skew,
+            value_size=10_000.0,
+            compute_cost=compute_cost,
+            seed=seed,
+            shifts=shifts,
+        )
+
+    @classmethod
+    def data_compute_heavy(
+        cls,
+        n_keys: int = 2000,
+        n_tuples: int = 20000,
+        skew: float = 0.0,
+        seed: int = 0,
+        value_size: float = 150_000.0,
+        compute_cost: float = 0.1,
+        shifts: int = 0,
+    ) -> "SyntheticWorkload":
+        """DCH: 150 KB values *and* ~100 ms UDF invocations."""
+        return cls(
+            name="DCH",
+            n_keys=n_keys,
+            n_tuples=n_tuples,
+            skew=skew,
+            value_size=value_size,
+            compute_cost=compute_cost,
+            seed=seed,
+            shifts=shifts,
+        )
+
+    @classmethod
+    def by_name(cls, name: str, **kwargs) -> "SyntheticWorkload":
+        """Construct one of DH / CH / DCH by its paper abbreviation."""
+        factories = {
+            "DH": cls.data_heavy,
+            "CH": cls.compute_heavy,
+            "DCH": cls.data_compute_heavy,
+        }
+        try:
+            return factories[name.upper()](**kwargs)
+        except KeyError:
+            raise ValueError(
+                f"unknown workload {name!r}; expected one of {sorted(factories)}"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # Materialization
+    # ------------------------------------------------------------------
+    def build_table(self) -> Table:
+        """Materialize the stored relation (one row per key)."""
+        table = Table(f"synthetic-{self.name.lower()}")
+        for key in range(self.n_keys):
+            table.put(
+                Row(
+                    key=int(key),
+                    value=f"value-{key}",
+                    size=self.value_size,
+                    compute_cost=self.compute_cost,
+                )
+            )
+        return table
+
+    def keys(self) -> list[int]:
+        """The input key stream (honouring ``shifts``)."""
+        sequence = ZipfKeySequence(self.n_keys, self.skew, seed=self.seed)
+        drawn = sequence.draw_with_shifts(self.n_tuples, self.shifts)
+        return [int(k) for k in drawn]
+
+    @property
+    def udf(self) -> UDF:
+        """The timing UDF for this workload."""
+        return UDF(
+            result_size=self.result_size,
+            param_size=self.param_size,
+            key_size=self.key_size,
+        )
+
+    @property
+    def sizes(self) -> SizeProfile:
+        """Average message sizes for the load balancer."""
+        return SizeProfile(
+            key_size=self.key_size,
+            param_size=self.param_size,
+            value_size=self.value_size,
+            computed_size=self.result_size,
+        )
+
+    @property
+    def stored_bytes(self) -> float:
+        """Total stored data volume."""
+        return self.n_keys * self.value_size

@@ -1,0 +1,277 @@
+"""TPC-DS-lite: scaled tables and the four Figure 7 queries.
+
+The paper runs Q3, Q7, Q27 and Q42 at scale factor 500 — queries that
+join ``store_sales`` with 2-4 dimensions.  The generator reproduces
+the *shape* that matters for the experiment at laptop scale: a large
+fact table with skewed foreign keys referencing small dimensions, and
+selective dimension predicates.  Cardinality ratios follow TPC-DS
+(dimensions tiny relative to the fact table).
+
+Queries are simplified to the star-join + group-by core the paper's
+comparison exercises; HAVING/ORDER/LIMIT clauses run identically on
+both sides and are omitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.sim.rng import make_rng
+from repro.sparklite.expressions import And, Predicate
+from repro.sparklite.query import DimensionJoin, StarQuery
+from repro.sparklite.relation import Relation, Schema
+from repro.workloads.zipf import zipf_probabilities
+
+_CATEGORIES = [
+    "Books", "Home", "Electronics", "Jewelry", "Music",
+    "Shoes", "Sports", "Children", "Men", "Women",
+]
+_STATES = ["TN", "SD", "AL", "GA", "MI", "OH"]
+_EDUCATION = [
+    "Primary", "Secondary", "College", "2 yr Degree",
+    "4 yr Degree", "Advanced Degree", "Unknown",
+]
+_MARITAL = ["M", "S", "D", "W", "U"]
+
+
+@dataclass(frozen=True)
+class TPCDSLite:
+    """Scaled-down TPC-DS star schema generator.
+
+    Parameters
+    ----------
+    fact_rows:
+        ``store_sales`` row count (the knob standing in for SF).
+    item_skew:
+        Zipf exponent of item popularity in sales (hot products).
+    """
+
+    fact_rows: int = 30000
+    n_dates: int = 1825  # five years of d_date_sk
+    n_items: int = 2000
+    n_demographics: int = 1920
+    n_stores: int = 12
+    n_promotions: int = 300
+    item_skew: float = 0.8
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.fact_rows < 0:
+            raise ValueError("fact_rows must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Dimensions
+    # ------------------------------------------------------------------
+    @cached_property
+    def date_dim(self) -> Relation:
+        schema = Schema(("d_date_sk", "d_year", "d_moy", "d_dom"))
+        rows = []
+        for sk in range(self.n_dates):
+            year = 1998 + sk // 365
+            day_of_year = sk % 365
+            moy = day_of_year // 30 + 1 if day_of_year // 30 < 12 else 12
+            rows.append((sk, year, moy, day_of_year % 30 + 1))
+        return Relation("date_dim", schema, rows)
+
+    @cached_property
+    def item(self) -> Relation:
+        rng = make_rng(self.seed, "item")
+        schema = Schema((
+            "i_item_sk", "i_item_id", "i_brand_id", "i_category_id",
+            "i_category", "i_manufact_id", "i_manager_id",
+        ))
+        rows = []
+        for sk in range(self.n_items):
+            category_id = int(rng.integers(0, len(_CATEGORIES)))
+            rows.append((
+                sk,
+                f"ITEM{sk:08d}",
+                int(rng.integers(1, 1000)),
+                category_id,
+                _CATEGORIES[category_id],
+                int(rng.integers(1, 200)),
+                int(rng.integers(1, 100)),
+            ))
+        return Relation("item", schema, rows)
+
+    @cached_property
+    def customer_demographics(self) -> Relation:
+        rng = make_rng(self.seed, "cdemo")
+        schema = Schema((
+            "cd_demo_sk", "cd_gender", "cd_marital_status", "cd_education_status",
+        ))
+        rows = [
+            (
+                sk,
+                "M" if rng.random() < 0.5 else "F",
+                _MARITAL[int(rng.integers(0, len(_MARITAL)))],
+                _EDUCATION[int(rng.integers(0, len(_EDUCATION)))],
+            )
+            for sk in range(self.n_demographics)
+        ]
+        return Relation("customer_demographics", schema, rows)
+
+    @cached_property
+    def store(self) -> Relation:
+        rng = make_rng(self.seed, "store")
+        schema = Schema(("s_store_sk", "s_state", "s_gmt_offset"))
+        rows = [
+            (sk, _STATES[int(rng.integers(0, len(_STATES)))], -5.0)
+            for sk in range(self.n_stores)
+        ]
+        return Relation("store", schema, rows)
+
+    @cached_property
+    def promotion(self) -> Relation:
+        rng = make_rng(self.seed, "promotion")
+        schema = Schema(("p_promo_sk", "p_channel_email", "p_channel_event"))
+        rows = [
+            (
+                sk,
+                "Y" if rng.random() < 0.15 else "N",
+                "Y" if rng.random() < 0.15 else "N",
+            )
+            for sk in range(self.n_promotions)
+        ]
+        return Relation("promotion", schema, rows)
+
+    # ------------------------------------------------------------------
+    # Fact table
+    # ------------------------------------------------------------------
+    @cached_property
+    def store_sales(self) -> Relation:
+        rng = make_rng(self.seed, "store_sales")
+        item_probabilities = zipf_probabilities(self.n_items, self.item_skew)
+        schema = Schema((
+            "ss_sold_date_sk", "ss_item_sk", "ss_cdemo_sk", "ss_store_sk",
+            "ss_promo_sk", "ss_quantity", "ss_list_price", "ss_sales_price",
+            "ss_coupon_amt", "ss_ext_sales_price",
+        ))
+        dates = rng.integers(0, self.n_dates, size=self.fact_rows)
+        items = rng.choice(self.n_items, size=self.fact_rows, p=item_probabilities)
+        demos = rng.integers(0, self.n_demographics, size=self.fact_rows)
+        stores = rng.integers(0, self.n_stores, size=self.fact_rows)
+        promos = rng.integers(0, self.n_promotions, size=self.fact_rows)
+        quantities = rng.integers(1, 100, size=self.fact_rows)
+        list_prices = rng.uniform(1.0, 200.0, size=self.fact_rows)
+        discounts = rng.uniform(0.0, 0.5, size=self.fact_rows)
+        rows = []
+        for i in range(self.fact_rows):
+            sales_price = float(list_prices[i] * (1.0 - discounts[i]))
+            rows.append((
+                int(dates[i]), int(items[i]), int(demos[i]), int(stores[i]),
+                int(promos[i]), int(quantities[i]), float(list_prices[i]),
+                sales_price, float(list_prices[i] * discounts[i] * 0.1),
+                sales_price * int(quantities[i]),
+            ))
+        return Relation("store_sales", schema, rows)
+
+    def dimensions(self) -> dict[str, Relation]:
+        """All dimension relations by name."""
+        return {
+            "date_dim": self.date_dim,
+            "item": self.item,
+            "customer_demographics": self.customer_demographics,
+            "store": self.store,
+            "promotion": self.promotion,
+        }
+
+    # ------------------------------------------------------------------
+    # The four queries (simplified star cores)
+    # ------------------------------------------------------------------
+    def q3(self) -> StarQuery:
+        """Q3: brand revenue for one manufacturer in November."""
+        return StarQuery(
+            name="Q3",
+            fact=self.store_sales,
+            joins=(
+                DimensionJoin(self.date_dim, "ss_sold_date_sk", "d_date_sk",
+                              And((Predicate("d_moy", "==", 11),))),
+                DimensionJoin(self.item, "ss_item_sk", "i_item_sk",
+                              And((Predicate("i_manufact_id", "==", 77),))),
+            ),
+            group_by=("d_year", "i_brand_id"),
+            aggregates=(("sum", "ss_ext_sales_price", "sum_agg"),),
+        )
+
+    def q7(self) -> StarQuery:
+        """Q7: average sales stats for one demographic slice (4 joins)."""
+        return StarQuery(
+            name="Q7",
+            fact=self.store_sales,
+            joins=(
+                DimensionJoin(
+                    self.customer_demographics, "ss_cdemo_sk", "cd_demo_sk",
+                    And((
+                        Predicate("cd_gender", "==", "M"),
+                        Predicate("cd_marital_status", "==", "S"),
+                        Predicate("cd_education_status", "==", "College"),
+                    )),
+                ),
+                DimensionJoin(self.date_dim, "ss_sold_date_sk", "d_date_sk",
+                              And((Predicate("d_year", "==", 2000),))),
+                DimensionJoin(self.item, "ss_item_sk", "i_item_sk"),
+                DimensionJoin(self.promotion, "ss_promo_sk", "p_promo_sk",
+                              And((Predicate("p_channel_email", "==", "N"),))),
+            ),
+            group_by=("i_item_id",),
+            aggregates=(
+                ("avg", "ss_quantity", "agg1"),
+                ("avg", "ss_list_price", "agg2"),
+                ("avg", "ss_coupon_amt", "agg3"),
+                ("avg", "ss_sales_price", "agg4"),
+            ),
+        )
+
+    def q27(self) -> StarQuery:
+        """Q27: per-item, per-state averages for a demographic (4 joins)."""
+        return StarQuery(
+            name="Q27",
+            fact=self.store_sales,
+            joins=(
+                DimensionJoin(
+                    self.customer_demographics, "ss_cdemo_sk", "cd_demo_sk",
+                    And((
+                        Predicate("cd_gender", "==", "F"),
+                        Predicate("cd_marital_status", "==", "D"),
+                        Predicate("cd_education_status", "==", "Secondary"),
+                    )),
+                ),
+                DimensionJoin(self.date_dim, "ss_sold_date_sk", "d_date_sk",
+                              And((Predicate("d_year", "==", 1999),))),
+                DimensionJoin(self.store, "ss_store_sk", "s_store_sk",
+                              And((Predicate("s_state", "in",
+                                             ("TN", "SD", "AL")),))),
+                DimensionJoin(self.item, "ss_item_sk", "i_item_sk"),
+            ),
+            group_by=("i_item_id", "s_state"),
+            aggregates=(
+                ("avg", "ss_quantity", "agg1"),
+                ("avg", "ss_list_price", "agg2"),
+                ("avg", "ss_coupon_amt", "agg3"),
+                ("avg", "ss_sales_price", "agg4"),
+            ),
+        )
+
+    def q42(self) -> StarQuery:
+        """Q42: category revenue for one month/year (2 joins)."""
+        return StarQuery(
+            name="Q42",
+            fact=self.store_sales,
+            joins=(
+                DimensionJoin(self.date_dim, "ss_sold_date_sk", "d_date_sk",
+                              And((
+                                  Predicate("d_moy", "==", 11),
+                                  Predicate("d_year", "==", 2000),
+                              ))),
+                DimensionJoin(self.item, "ss_item_sk", "i_item_sk",
+                              And((Predicate("i_manager_id", "==", 1),))),
+            ),
+            group_by=("d_year", "i_category_id", "i_category"),
+            aggregates=(("sum", "ss_ext_sales_price", "sum_agg"),),
+        )
+
+    def queries(self) -> dict[str, StarQuery]:
+        """The four Figure 7 queries by name."""
+        return {"Q3": self.q3(), "Q7": self.q7(), "Q27": self.q27(), "Q42": self.q42()}

@@ -1,0 +1,88 @@
+"""Tests for the ski-rental analysis utilities."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.analysis import (
+    ratio_curve,
+    sweep_competitive_ratio,
+    worst_case_accesses,
+)
+from repro.core.ski_rental import buy_threshold
+
+
+class TestWorstCase:
+    def test_worst_case_is_just_past_threshold(self):
+        # threshold = 10/(1-0) = 10 -> adversary stops at 11.
+        assert worst_case_accesses(1.0, 10.0) == 11
+
+    def test_always_rent_regime_has_no_adversary(self):
+        assert worst_case_accesses(1.0, 10.0, recurring=1.0) == 0
+
+    def test_recurring_shifts_the_worst_case(self):
+        base = worst_case_accesses(1.0, 10.0)
+        shifted = worst_case_accesses(1.0, 10.0, recurring=0.5)
+        assert shifted > base
+
+
+class TestCurve:
+    def test_curve_length_and_start(self):
+        curve = ratio_curve(1.0, 5.0, max_accesses=20)
+        assert len(curve) == 21
+        assert curve[0] == (0, 1.0)
+
+    def test_negative_max_rejected(self):
+        with pytest.raises(ValueError):
+            ratio_curve(1.0, 5.0, max_accesses=-1)
+
+    def test_ratio_amortizes_for_long_sequences_with_recurring_cost(self):
+        # With a recurring cost both online and offline scale with the
+        # sequence, so the wasted purchase amortizes away...
+        curve = ratio_curve(1.0, 5.0, recurring=0.1, max_accesses=2000)
+        assert curve[-1][1] < 1.05
+        assert curve[-1][1] < curve[100][1]  # still amortizing down
+
+    def test_ratio_stays_at_bound_without_recurring_cost(self):
+        # ...but with br = 0 the offline optimum is the flat purchase
+        # price, so the online overhead never amortizes: the curve
+        # plateaus exactly at the bound of 2.
+        curve = ratio_curve(1.0, 5.0, max_accesses=2000)
+        assert curve[-1][1] == pytest.approx(2.0)
+
+
+class TestSweep:
+    def test_sweep_finds_the_analytic_worst_case(self):
+        sweep = sweep_competitive_ratio(1.0, 10.0, max_accesses=100)
+        assert sweep.worst_accesses == worst_case_accesses(1.0, 10.0)
+        assert sweep.bound == pytest.approx(2.0)
+        assert sweep.bound_is_respected
+        # The bound is tight up to integer rounding of the threshold.
+        assert sweep.bound_tightness > 0.9
+
+    def test_always_rent_sweep_is_flat(self):
+        sweep = sweep_competitive_ratio(1.0, 10.0, recurring=2.0,
+                                        max_accesses=50)
+        assert sweep.worst_ratio == pytest.approx(1.0)
+        assert sweep.bound == pytest.approx(1.0)
+
+
+@given(
+    rent=st.floats(min_value=0.05, max_value=5.0),
+    buy=st.floats(min_value=0.0, max_value=50.0),
+    recurring=st.floats(min_value=0.0, max_value=5.0),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_sweep_respects_bound_and_locates_worst(rent, buy, recurring):
+    horizon = 50
+    threshold = buy_threshold(rent, buy, recurring)
+    if not math.isinf(threshold):
+        horizon = max(horizon, int(threshold) + 10)
+    sweep = sweep_competitive_ratio(rent, buy, recurring, max_accesses=horizon)
+    assert sweep.bound_is_respected
+    expected_worst = worst_case_accesses(rent, buy, recurring)
+    if 0 < expected_worst <= horizon:
+        worst_at_expected = dict(sweep.curve)[expected_worst]
+        assert worst_at_expected == pytest.approx(sweep.worst_ratio, rel=1e-9)

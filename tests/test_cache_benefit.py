@@ -1,0 +1,77 @@
+"""Tests for the weighted LFU-DA benefit policy."""
+
+import pytest
+
+from repro.cache.benefit import LFUDAPolicy
+
+
+class TestLFUDA:
+    def test_benefit_grows_with_frequency(self):
+        p = LFUDAPolicy()
+        assert p.on_access("a") == 1.0
+        assert p.on_access("a") == 2.0
+        assert p.benefit("a") == 2.0
+
+    def test_weight_scales_benefit(self):
+        p = LFUDAPolicy()
+        assert p.on_access("a", weight=5.0) == 5.0
+        assert p.on_access("a", weight=5.0) == 10.0
+
+    def test_weight_is_replaced_not_accumulated(self):
+        p = LFUDAPolicy()
+        p.on_access("a", weight=10.0)
+        # Smoothed weight estimate dropped: benefit recomputed.
+        assert p.on_access("a", weight=1.0) == 2.0
+
+    def test_eviction_raises_age(self):
+        p = LFUDAPolicy()
+        for _ in range(5):
+            p.on_access("old")
+        p.on_evict("old")
+        assert p.age == 5.0
+        # Newcomers start above the victim's floor.
+        assert p.on_access("new") == 6.0
+
+    def test_age_never_decreases(self):
+        p = LFUDAPolicy()
+        for _ in range(5):
+            p.on_access("big")
+        p.on_access("small")
+        p.on_evict("big")
+        p.on_evict("small")  # benefit 1 < current age 5
+        assert p.age == 5.0
+
+    def test_forget_does_not_age(self):
+        p = LFUDAPolicy()
+        for _ in range(5):
+            p.on_access("a")
+        p.forget("a")
+        assert p.age == 0.0
+        assert p.benefit("a") == 0.0
+
+    def test_unknown_key_benefit_zero(self):
+        assert LFUDAPolicy().benefit("zzz") == 0.0
+
+    def test_nonpositive_weight_rejected(self):
+        p = LFUDAPolicy()
+        with pytest.raises(ValueError):
+            p.on_access("a", weight=0.0)
+
+    def test_tracked_count(self):
+        p = LFUDAPolicy()
+        p.on_access("a")
+        p.on_access("b")
+        p.on_evict("a")
+        assert p.tracked == 1
+
+    def test_recency_beats_stale_frequency(self):
+        """A burst of accesses to a new key can overtake an old one
+        once the old one has been evicted — the dynamic-aging point."""
+        p = LFUDAPolicy()
+        for _ in range(10):
+            p.on_access("stale")
+        p.on_evict("stale")  # age = 10
+        p.on_access("fresh")  # benefit 11
+        p.on_access("stale")  # re-enters at 11 too (1 + age)
+        assert p.benefit("fresh") == pytest.approx(11.0)
+        assert p.benefit("stale") == pytest.approx(11.0)

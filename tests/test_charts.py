@@ -1,0 +1,73 @@
+"""Tests for the text chart renderers."""
+
+import pytest
+
+from repro.metrics.charts import render_bars, render_series
+from repro.metrics.report import ExperimentTable
+
+
+def bar_table():
+    t = ExperimentTable("demo", ["tech", "minutes"])
+    t.add_row(["Hadoop", 16.0])
+    t.add_row(["CSAW", 2.0])
+    t.add_row(["FO", 1.0])
+    return t
+
+
+def series_table():
+    t = ExperimentTable("fig8", ["strategy", "z=0.0", "z=1.5"])
+    t.add_row(["NO", 1.0, 2.0])
+    t.add_row(["FO", 0.5, 0.25])
+    return t
+
+
+class TestBars:
+    def test_bar_lengths_proportional(self):
+        lines = render_bars(bar_table(), "minutes", width=32).splitlines()
+        counts = [line.count("#") for line in lines]
+        assert counts[0] == 32  # the peak fills the width
+        assert counts[0] > counts[1] > 0
+        assert counts[2] >= 1  # tiny values stay visible
+
+    def test_values_printed(self):
+        out = render_bars(bar_table(), "minutes")
+        assert "16" in out and "Hadoop" in out
+
+    def test_empty_table(self):
+        t = ExperimentTable("empty", ["a", "b"])
+        assert render_bars(t, "b") == "(no rows)"
+
+    def test_zero_peak(self):
+        t = ExperimentTable("zeros", ["a", "b"])
+        t.add_row(["x", 0.0])
+        out = render_bars(t, "b", width=10)
+        assert "#" not in out
+
+
+class TestSeries:
+    def test_axis_labels_and_legend(self):
+        out = render_series(series_table())
+        assert "z=0.0" in out and "z=1.5" in out
+        assert "o NO" in out and "+ FO" in out
+
+    def test_extremes_on_axis(self):
+        out = render_series(series_table())
+        assert "2" in out.splitlines()[0]  # peak on the top axis label
+        assert "0.25" in out  # floor on the bottom label
+
+    def test_marks_present_per_series(self):
+        out = render_series(series_table(), width=20, height=8)
+        assert out.count("o") >= 2  # NO appears at both x positions
+        assert out.count("+") >= 2
+
+    def test_degenerate_tables(self):
+        empty = ExperimentTable("e", ["s", "z=0"])
+        assert render_series(empty) == "(no data)"
+        narrow = ExperimentTable("n", ["s"])
+        assert render_series(narrow) == "(no data)"
+
+    def test_flat_series_does_not_divide_by_zero(self):
+        t = ExperimentTable("flat", ["s", "z=0.0", "z=1.5"])
+        t.add_row(["X", 1.0, 1.0])
+        out = render_series(t)
+        assert "X" in out

@@ -1,0 +1,76 @@
+"""Tests for the Catalyst-style executor chooser (future work)."""
+
+import pytest
+
+from repro.sim.cluster import Cluster
+from repro.sparklite.chooser import (
+    choose_executor,
+    estimate_indexed_cost,
+    estimate_shuffle_cost,
+)
+from repro.sparklite.expressions import And, Predicate
+from repro.sparklite.indexed_exec import IndexedExecutor
+from repro.sparklite.query import DimensionJoin, StarQuery
+from repro.sparklite.relation import Relation, Schema
+from repro.sparklite.shuffle_exec import ShuffleExecutor
+from repro.workloads.tpcds import TPCDSLite
+
+
+@pytest.fixture(scope="module")
+def tpcds():
+    return TPCDSLite(fact_rows=20000, seed=3)
+
+
+def wide_dimension_query(n_rows=20000):
+    """A join where every fact row references a distinct dimension key —
+    the regime where per-key indexed lookups cannot amortize."""
+    fact = Relation(
+        "fact", Schema(("fk", "v")), [(i, i) for i in range(n_rows)]
+    )
+    dim = Relation(
+        "wide_dim", Schema(("dk", "w")), [(i, i * 2) for i in range(n_rows)]
+    )
+    return StarQuery(
+        name="wide",
+        fact=fact,
+        joins=(DimensionJoin(dim, "fk", "dk", And()),),
+        group_by=("w",),
+        aggregates=(("count", "v", "n"),),
+    )
+
+
+class TestChooser:
+    def test_star_queries_choose_indexed(self, tpcds):
+        for name, query in tpcds.queries().items():
+            choice = choose_executor(query, n_nodes=10)
+            assert choice.executor == "indexed", name
+            assert choice.indexed_estimate < choice.shuffle_estimate
+
+    def test_unreused_dimension_chooses_shuffle(self):
+        choice = choose_executor(wide_dimension_query(), n_nodes=10)
+        assert choice.executor == "shuffle"
+
+    def test_estimates_positive_and_consistent(self, tpcds):
+        query = tpcds.q3()
+        shuffle = estimate_shuffle_cost(query, n_nodes=10)
+        indexed = estimate_indexed_cost(query, n_compute=5)
+        assert shuffle > 0 and indexed > 0
+        choice = choose_executor(query, n_nodes=10)
+        assert choice.shuffle_estimate == pytest.approx(shuffle)
+        assert choice.indexed_estimate == pytest.approx(indexed)
+        assert choice.advantage >= 1.0
+
+    def test_choice_agrees_with_measured_outcome(self, tpcds):
+        """The chooser's prediction matches the simulated winner on a
+        representative query from each regime."""
+        star = tpcds.q3()
+        choice = choose_executor(star, n_nodes=6, n_compute=3)
+        spark = ShuffleExecutor(Cluster.homogeneous(6)).run(star)
+        ours = IndexedExecutor(
+            Cluster.homogeneous(6), [0, 1, 2], [3, 4, 5],
+            pipeline_window=256, seed=3,
+        ).run(star)
+        measured_winner = (
+            "indexed" if ours.makespan < spark.makespan else "shuffle"
+        )
+        assert choice.executor == measured_winner == "indexed"

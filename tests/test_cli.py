@@ -1,0 +1,36 @@
+"""Tests for the command-line entry points."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_strategies_lists_all_seven(self, capsys):
+        assert main(["strategies"]) == 0
+        out = capsys.readouterr().out
+        for name in ("NO", "FC", "FD", "FR", "CO", "LO", "FO"):
+            assert name in out
+        assert "ski-rental caching" in out
+
+    def test_workloads_lists_generators(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "entity annotation" in out
+        assert "TPC-DS-lite" in out
+        assert "genome" in out
+
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--tuples", "400", "--skew", "1.2"]) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "makespan" in out
+
+    def test_experiments_forwarding(self, capsys):
+        assert main(["experiments", "--scale", "smoke", "--only", "fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

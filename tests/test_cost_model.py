@@ -1,0 +1,195 @@
+"""Tests for Table 1 cost parameters and the Section 4.3 cost formulas."""
+
+import pytest
+
+from repro.core.cost_model import CostModel, CostParameters
+
+
+def params(key="k", node=1, **overrides):
+    defaults = dict(
+        key=key,
+        value_size=100_000.0,
+        compute_time=0.01,
+        disk_time=0.002,
+        param_size=64.0,
+        key_size=8.0,
+        computed_size=128.0,
+        node_id=node,
+    )
+    defaults.update(overrides)
+    return CostParameters(**defaults)
+
+
+def model(**kwargs):
+    defaults = dict(node_id=0, bandwidth={1: 1e8, 2: 5e7}, local_disk_time=0.001)
+    defaults.update(kwargs)
+    return CostModel(**defaults)
+
+
+class TestCostParameters:
+    def test_service_time_defaults_to_compute_time(self):
+        p = params(compute_time=0.5)
+        assert p.service_time == 0.5
+
+    def test_explicit_service_time(self):
+        p = params(compute_time=0.5, cpu_service_time=0.1)
+        assert p.service_time == 0.1
+
+
+class TestObservation:
+    def test_first_contact_rule(self):
+        cm = model()
+        assert not cm.knows_key("k")
+        with pytest.raises(KeyError):
+            cm.costs("k", 1)
+        cm.observe(params())
+        assert cm.knows_key("k")
+
+    def test_value_size_tracked_per_key(self):
+        cm = model()
+        cm.observe(params(key="big", value_size=1e6))
+        cm.observe(params(key="small", value_size=10.0))
+        assert cm.value_size("big") == pytest.approx(1e6)
+        assert cm.value_size("small") == pytest.approx(10.0)
+
+    def test_value_size_unknown_key_raises(self):
+        with pytest.raises(KeyError):
+            model().value_size("nope")
+
+    def test_forget_key(self):
+        cm = model()
+        cm.observe(params())
+        cm.forget_key("k")
+        assert not cm.knows_key("k")
+
+
+class TestCostFormulas:
+    def test_t_compute_is_max_of_components(self):
+        cm = model()
+        # CPU-dominated: tc = 0.1 >> disk and network terms.
+        cm.observe(params(compute_time=0.1))
+        costs = cm.costs("k", 1)
+        assert costs.t_compute == pytest.approx(0.1)
+
+    def test_t_compute_network_dominated(self):
+        cm = model(bandwidth={1: 1000.0})  # 1 KB/s: network dominates
+        cm.observe(params(compute_time=1e-6, computed_size=128.0))
+        costs = cm.costs("k", 1)
+        # (sk + sp + scv) / bw = (8 + 64 + 128) / 1000
+        assert costs.t_compute == pytest.approx(0.2)
+
+    def test_t_fetch_network_term(self):
+        cm = model()
+        cm.observe(params(value_size=1e6, disk_time=1e-5))
+        costs = cm.costs("k", 1)
+        # (sk + sv) / bw = (8 + 1e6) / 1e8 ~ 0.01
+        assert costs.t_fetch == pytest.approx((8.0 + 1e6) / 1e8)
+
+    def test_t_fetch_disk_dominated(self):
+        cm = model()
+        cm.observe(params(value_size=1.0, disk_time=0.5))
+        assert cm.costs("k", 1).t_fetch == pytest.approx(0.5)
+
+    def test_recurring_costs(self):
+        cm = model(local_disk_time=0.02)
+        cm.observe(params(compute_time=0.05, cpu_service_time=0.01))
+        cm.observe_local_compute(0.03)
+        costs = cm.costs("k", 1)
+        assert costs.t_rec_mem == pytest.approx(0.03)
+        assert costs.t_rec_disk == pytest.approx(0.03)  # max(0.03, 0.02)
+
+    def test_rec_disk_disk_dominated(self):
+        cm = model(local_disk_time=0.5)
+        cm.observe(params(compute_time=0.01))
+        costs = cm.costs("k", 1)
+        assert costs.t_rec_disk == pytest.approx(0.5)
+
+    def test_local_fallback_is_service_time_not_measured(self):
+        """Before any local execution, tRecMem must be the pure service
+        cost — using the load-inflated remote measurement would freeze
+        the ski-rental at 'never buy' forever."""
+        cm = model()
+        cm.observe(params(compute_time=0.9, cpu_service_time=0.1))
+        costs = cm.costs("k", 1)
+        assert costs.t_rec_mem == pytest.approx(0.1)
+        assert costs.rent == pytest.approx(0.9)
+
+    def test_rent_and_buy_aliases(self):
+        cm = model()
+        cm.observe(params())
+        costs = cm.costs("k", 1)
+        assert costs.rent == costs.t_compute
+        assert costs.buy == costs.t_fetch
+
+
+class TestPerNodeDisk:
+    def test_disk_estimates_do_not_leak_across_nodes(self):
+        cm = model()
+        cm.observe(params(key="a", node=1, disk_time=0.5))
+        cm.observe(params(key="b", node=2, disk_time=0.001, value_size=1.0))
+        # Key "b" served by node 2 must not inherit node 1's congestion.
+        costs_b = cm.costs("b", 2)
+        assert costs_b.t_fetch < 0.1
+
+
+class TestBandwidth:
+    def test_bandwidth_lookup(self):
+        cm = model()
+        assert cm.bandwidth_to(1) == 1e8
+        with pytest.raises(KeyError):
+            cm.bandwidth_to(99)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostModel(0, {1: -5.0}, 0.001)
+        with pytest.raises(ValueError):
+            CostModel(0, {1: 1.0}, -0.001)
+
+
+class TestAverages:
+    def test_average_sizes(self):
+        cm = model()
+        cm.observe(params(key="a", value_size=100.0))
+        cm.observe(params(key="b", value_size=300.0))
+        sk, sp, sv, scv = cm.average_sizes()
+        assert sv == pytest.approx(200.0)
+        assert sk == pytest.approx(8.0)
+
+    def test_average_compute_time_prefers_local(self):
+        cm = model()
+        cm.observe(params(compute_time=1.0))
+        assert cm.average_compute_time() == pytest.approx(1.0)
+        cm.observe_local_compute(0.2)
+        assert cm.average_compute_time() == pytest.approx(0.2)
+
+
+class TestCostMonotonicity:
+    """Sanity: costs move the right way as inputs grow."""
+
+    def test_fetch_cost_grows_with_value_size(self):
+        cm_small, cm_big = model(), model()
+        cm_small.observe(params(value_size=1_000.0, disk_time=1e-5))
+        cm_big.observe(params(value_size=10_000_000.0, disk_time=1e-5))
+        assert cm_big.costs("k", 1).t_fetch > cm_small.costs("k", 1).t_fetch
+
+    def test_compute_cost_grows_with_measured_time(self):
+        cm_fast, cm_slow = model(), model()
+        cm_fast.observe(params(compute_time=0.001))
+        cm_slow.observe(params(compute_time=0.5))
+        assert cm_slow.costs("k", 1).t_compute > cm_fast.costs("k", 1).t_compute
+
+    def test_slower_link_raises_both_wire_costs(self):
+        fast = CostModel(0, {1: 1e9}, 0.0001)
+        slow = CostModel(0, {1: 1e5}, 0.0001)
+        for cm in (fast, slow):
+            cm.observe(params(value_size=100_000.0, compute_time=1e-6,
+                              disk_time=1e-6, computed_size=1_000.0))
+        assert slow.costs("k", 1).t_fetch > fast.costs("k", 1).t_fetch
+        assert slow.costs("k", 1).t_compute > fast.costs("k", 1).t_compute
+
+    def test_smoothing_converges_to_new_regime(self):
+        cm = model()
+        cm.observe(params(compute_time=0.001))
+        for _ in range(50):
+            cm.observe(params(compute_time=0.1))
+        assert cm.costs("k", 1).t_compute == pytest.approx(0.1, rel=0.05)

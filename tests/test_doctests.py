@@ -1,0 +1,54 @@
+"""Run the executable examples embedded in key module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.cache.benefit
+import repro.core.frequency
+import repro.core.ski_rental
+import repro.core.smoothing
+import repro.engine.prefetch
+import repro.metrics.report
+import repro.mapreduce.api
+import repro.mapreduce.local
+import repro.sim.events
+import repro.sim.resources
+import repro.sim.rng
+import repro.sparklite.expressions
+import repro.sparklite.rdd
+import repro.sparklite.relation
+import repro.store.partitioner
+import repro.store.table
+import repro.streaming.muppet
+import repro.workloads.zipf
+
+MODULES = [
+    repro.cache.benefit,
+    repro.core.frequency,
+    repro.core.ski_rental,
+    repro.core.smoothing,
+    repro.engine.prefetch,
+    repro.metrics.report,
+    repro.mapreduce.api,
+    repro.mapreduce.local,
+    repro.sim.events,
+    repro.sim.resources,
+    repro.sim.rng,
+    repro.sparklite.expressions,
+    repro.sparklite.rdd,
+    repro.sparklite.relation,
+    repro.store.partitioner,
+    repro.store.table,
+    repro.streaming.muppet,
+    repro.workloads.zipf,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    failures, attempted = doctest.testmod(
+        module, verbose=False, raise_on_error=False
+    ).failed, doctest.testmod(module, verbose=False).attempted
+    assert attempted > 0, f"{module.__name__} lost its doctest examples"
+    assert failures == 0

@@ -1,0 +1,103 @@
+"""Tests for elastic compute-node membership."""
+
+import pytest
+
+from repro.engine.elastic import ElasticJoinJob, MembershipEvent
+from repro.engine.strategies import Strategy
+from repro.sim.cluster import Cluster
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+def make_job(events=(), initial=(0,), seed=31, n_tuples=2400):
+    workload = SyntheticWorkload.compute_heavy(
+        n_keys=400, n_tuples=n_tuples, skew=0.8, seed=seed
+    )
+    cluster = Cluster.homogeneous(5)
+    job = ElasticJoinJob(
+        cluster=cluster,
+        initial_compute_nodes=list(initial),
+        data_nodes=[3, 4],
+        table=workload.build_table(),
+        udf=workload.udf,
+        strategy=Strategy.fo(),
+        sizes=workload.sizes,
+        events=list(events),
+        memory_cache_bytes=20e6,
+        seed=seed,
+    )
+    return workload, job
+
+
+class TestMembershipEvent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MembershipEvent(time=1.0, action="explode", node_id=0)
+        with pytest.raises(ValueError):
+            MembershipEvent(time=-1.0, action="add", node_id=0)
+
+
+class TestElasticRuns:
+    def test_static_membership_completes(self):
+        workload, job = make_job(initial=(0, 1))
+        result = job.run(workload.keys())
+        assert result.n_tuples == 2400
+        assert sum(result.completed_per_node.values()) == 2400
+        assert set(result.completed_per_node) == {0, 1}
+
+    def test_added_node_takes_work(self):
+        workload, job = make_job(
+            initial=(0,), events=[MembershipEvent(1.0, "add", 1)]
+        )
+        result = job.run(workload.keys())
+        assert result.completed_per_node[1] > 0
+        assert sum(result.completed_per_node.values()) == 2400
+
+    def test_adding_a_node_speeds_up_the_job(self):
+        workload, static_job = make_job(initial=(0,))
+        static = static_job.run(workload.keys())
+        workload2, elastic_job = make_job(
+            initial=(0,),
+            events=[MembershipEvent(0.5, "add", 1), MembershipEvent(0.5, "add", 2)],
+        )
+        elastic = elastic_job.run(workload2.keys())
+        assert elastic.makespan < static.makespan
+
+    def test_removed_node_stops_taking_work(self):
+        workload, job = make_job(
+            initial=(0, 1), events=[MembershipEvent(0.3, "remove", 1)]
+        )
+        result = job.run(workload.keys())
+        assert sum(result.completed_per_node.values()) == 2400
+        # Node 1 finished strictly less than half the work.
+        assert result.completed_per_node[1] < 1200
+
+    def test_throughput_rises_after_scale_out(self):
+        workload, job = make_job(
+            initial=(0,),
+            events=[MembershipEvent(1.0, "add", 1), MembershipEvent(1.0, "add", 2)],
+            n_tuples=4000,
+        )
+        result = job.run(workload.keys())
+        before = result.throughput_in(0.3, 1.0)
+        after = result.throughput_in(1.3, 2.0)
+        assert after > 1.5 * before
+
+    def test_double_add_rejected(self):
+        workload, job = make_job(
+            initial=(0,), events=[MembershipEvent(0.1, "add", 0)]
+        )
+        with pytest.raises(ValueError):
+            job.run(workload.keys())
+
+    def test_remove_unknown_rejected(self):
+        workload, job = make_job(
+            initial=(0,), events=[MembershipEvent(0.1, "remove", 2)]
+        )
+        with pytest.raises(ValueError):
+            job.run(workload.keys())
+
+    def test_throughput_window_validation(self):
+        workload, job = make_job(initial=(0, 1))
+        result = job.run(workload.keys())
+        with pytest.raises(ValueError):
+            result.throughput_in(1.0, 1.0)

@@ -1,0 +1,336 @@
+"""Unit tests for batching, prefetching and strategy configuration."""
+
+import pytest
+
+from repro.core.optimizer import Route
+from repro.engine.batching import BatchBuffer
+from repro.engine.prefetch import PreMapRunner, ResultHashMap
+from repro.engine.strategies import RoutingPolicy, Strategy, StrategyConfig
+from repro.store.messages import RequestItem, RequestKind
+from repro.sim.events import Simulator
+
+
+def item(key="k", tid=0):
+    return RequestItem(
+        key=key, kind=RequestKind.COMPUTE, route=Route.COMPUTE_REQUEST, tuple_id=tid
+    )
+
+
+class TestBatchBuffer:
+    def test_flushes_when_full(self):
+        sim = Simulator()
+        flushed = []
+        buf = BatchBuffer(sim, batch_size=3, on_flush=flushed.append)
+        for i in range(3):
+            buf.add(item(tid=i))
+        assert len(flushed) == 1
+        assert [it.tuple_id for it in flushed[0]] == [0, 1, 2]
+        assert len(buf) == 0
+
+    def test_manual_flush(self):
+        sim = Simulator()
+        flushed = []
+        buf = BatchBuffer(sim, batch_size=10, on_flush=flushed.append)
+        buf.add(item())
+        buf.flush()
+        assert len(flushed) == 1
+        buf.flush()  # empty: no-op
+        assert len(flushed) == 1
+
+    def test_max_wait_timeout_flushes(self):
+        sim = Simulator()
+        flushed = []
+        buf = BatchBuffer(sim, batch_size=10, on_flush=flushed.append, max_wait=1.0)
+        sim.schedule_at(0.0, lambda: buf.add(item()))
+        sim.run()
+        assert len(flushed) == 1
+        assert buf.timeout_flushes == 1
+        assert sim.now == pytest.approx(1.0)
+
+    def test_stale_timeout_does_not_double_flush(self):
+        sim = Simulator()
+        flushed = []
+        buf = BatchBuffer(sim, batch_size=2, on_flush=flushed.append, max_wait=1.0)
+
+        def fill():
+            buf.add(item(tid=0))
+            buf.add(item(tid=1))  # flushes by size
+
+        sim.schedule_at(0.0, fill)
+        sim.run()
+        assert len(flushed) == 1
+        assert buf.timeout_flushes == 0
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            BatchBuffer(sim, batch_size=0, on_flush=lambda items: None)
+        with pytest.raises(ValueError):
+            BatchBuffer(sim, batch_size=1, on_flush=lambda items: None, max_wait=0.0)
+
+
+class TestResultHashMap:
+    def test_reserve_deliver_take(self):
+        rhm = ResultHashMap()
+        h = rhm.reserve()
+        assert not rhm.ready(h)
+        rhm.deliver(h, "X")
+        assert rhm.ready(h)
+        assert rhm.take(h) == "X"
+        assert len(rhm) == 0
+
+    def test_double_delivery_rejected(self):
+        rhm = ResultHashMap()
+        h = rhm.reserve()
+        rhm.deliver(h, 1)
+        with pytest.raises(KeyError):
+            rhm.deliver(h, 2)
+
+    def test_take_before_delivery_raises(self):
+        rhm = ResultHashMap()
+        h = rhm.reserve()
+        with pytest.raises(KeyError):
+            rhm.take(h)
+
+
+class TestPreMapRunner:
+    def test_results_in_input_order(self):
+        store = {i: i * 10 for i in range(20)}
+        runner = PreMapRunner(
+            pre_map=lambda x: [x],
+            bulk_fetch=lambda keys: {k: store[k] for k in keys},
+            map_fn=lambda x, vals: vals[x],
+            window=4,
+        )
+        assert list(runner.run(range(10))) == [i * 10 for i in range(10)]
+
+    def test_window_amortizes_bulk_calls(self):
+        store = {i: i for i in range(100)}
+        runner = PreMapRunner(
+            pre_map=lambda x: [x],
+            bulk_fetch=lambda keys: {k: store[k] for k in keys},
+            map_fn=lambda x, vals: vals[x],
+            window=25,
+        )
+        list(runner.run(range(100)))
+        assert runner.bulk_calls == 4
+
+    def test_duplicate_keys_fetched_once_per_window(self):
+        calls = []
+
+        def bulk(keys):
+            calls.append(list(keys))
+            return {k: 1 for k in keys}
+
+        runner = PreMapRunner(
+            pre_map=lambda x: ["same"],
+            bulk_fetch=bulk,
+            map_fn=lambda x, vals: vals["same"],
+            window=10,
+        )
+        list(runner.run(range(10)))
+        assert calls == [["same"]]
+
+    def test_multi_key_premap(self):
+        store = {"a": 1, "b": 2}
+        runner = PreMapRunner(
+            pre_map=lambda x: ["a", "b"],
+            bulk_fetch=lambda keys: {k: store[k] for k in keys},
+            map_fn=lambda x, vals: vals["a"] + vals["b"],
+        )
+        assert list(runner.run([0])) == [3]
+
+    def test_empty_input(self):
+        runner = PreMapRunner(
+            pre_map=lambda x: [x],
+            bulk_fetch=lambda keys: {},
+            map_fn=lambda x, vals: x,
+        )
+        assert list(runner.run([])) == []
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            PreMapRunner(lambda x: [], lambda k: {}, lambda x, v: x, window=0)
+
+
+class TestStrategies:
+    def test_paper_abbreviations(self):
+        for name in ["NO", "FC", "FD", "FR", "CO", "LO", "FO"]:
+            config = Strategy.by_name(name)
+            assert config.name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            Strategy.by_name("XX")
+
+    def test_fo_enables_everything(self):
+        fo = Strategy.fo()
+        assert fo.routing is RoutingPolicy.SKI_RENTAL
+        assert fo.caching and fo.load_balancing and fo.batching
+
+    def test_no_is_blocking_unbatched(self):
+        no = Strategy.no()
+        assert no.blocking and not no.batching and not no.caching
+
+    def test_co_disables_load_balancing(self):
+        co = Strategy.co()
+        assert co.caching and not co.load_balancing
+
+    def test_lo_disables_caching(self):
+        lo = Strategy.lo()
+        assert lo.load_balancing and not lo.caching
+        assert lo.routing is RoutingPolicy.ALWAYS_COMPUTE
+
+    def test_non_adaptive_fraction(self):
+        na = Strategy.fo_non_adaptive(0.1)
+        assert na.adaptive_fraction == 0.1
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            StrategyConfig(
+                name="bad",
+                routing=RoutingPolicy.ALWAYS_DATA,
+                caching=True,  # caching without ski-rental
+                load_balancing=False,
+                batching=True,
+            )
+        with pytest.raises(ValueError):
+            StrategyConfig(
+                name="bad",
+                routing=RoutingPolicy.ALWAYS_DATA,
+                caching=False,
+                load_balancing=False,
+                batching=True,
+                blocking=True,  # blocking models unbatched access
+            )
+        with pytest.raises(ValueError):
+            StrategyConfig(
+                name="bad",
+                routing=RoutingPolicy.SKI_RENTAL,
+                caching=True,
+                load_balancing=True,
+                batching=True,
+                adaptive_fraction=0.0,
+            )
+
+
+class TestPostMapRunner:
+    def test_preprocessing_happens_once_per_item(self):
+        from repro.engine.prefetch import PostMapRunner
+
+        store = {"a": 1, "b": 2}
+        preprocess_calls = []
+
+        def pre_map(text):
+            preprocess_calls.append(text)
+            words = text.split()
+            return words, words
+
+        runner = PostMapRunner(
+            pre_map=pre_map,
+            bulk_fetch=lambda keys: {k: store[k] for k in keys},
+            post_map=lambda words, vals: sum(vals[w] for w in words),
+            window=2,
+        )
+        outputs = list(runner.run(["a b", "b", "a a"]))
+        assert outputs == [3, 2, 2]
+        assert preprocess_calls == ["a b", "b", "a a"]
+
+    def test_results_stay_in_input_order(self):
+        from repro.engine.prefetch import PostMapRunner
+
+        runner = PostMapRunner(
+            pre_map=lambda n: ([n % 3], n * 10),
+            bulk_fetch=lambda keys: {k: k for k in keys},
+            post_map=lambda preprocessed, vals: preprocessed,
+            window=4,
+        )
+        assert list(runner.run(range(9))) == [n * 10 for n in range(9)]
+
+    def test_bulk_calls_exposed(self):
+        from repro.engine.prefetch import PostMapRunner
+
+        runner = PostMapRunner(
+            pre_map=lambda n: ([0], n),
+            bulk_fetch=lambda keys: {k: k for k in keys},
+            post_map=lambda preprocessed, vals: preprocessed,
+            window=5,
+        )
+        list(runner.run(range(10)))
+        assert runner.bulk_calls == 2
+
+
+class TestAdaptiveBatchBuffer:
+    def _make(self, batch_size=8, max_wait=1.0, **kwargs):
+        from repro.engine.batching import AdaptiveBatchBuffer
+
+        sim = Simulator()
+        flushed = []
+        buf = AdaptiveBatchBuffer(
+            sim, batch_size, on_flush=flushed.append, max_wait=max_wait, **kwargs
+        )
+        return sim, buf, flushed
+
+    def test_grows_under_fast_arrivals(self):
+        sim, buf, flushed = self._make(batch_size=8, max_wait=1.0)
+
+        def burst():
+            for i in range(8):
+                buf.add(item(tid=i))
+
+        sim.schedule_at(0.0, burst)  # fills instantly: well under budget
+        sim.run()
+        assert buf.batch_size == 16
+        assert buf.resizes == 1
+
+    def test_shrinks_on_timeout_flush(self):
+        sim, buf, flushed = self._make(batch_size=8, max_wait=0.5)
+        sim.schedule_at(0.0, lambda: buf.add(item(tid=0)))
+        sim.run()  # only the timeout fires
+        assert len(flushed) == 1
+        assert buf.batch_size == 4
+
+    def test_respects_bounds(self):
+        sim, buf, flushed = self._make(batch_size=4, max_wait=0.1, min_size=4)
+        for round_ in range(5):
+            sim.schedule_at(round_ * 10.0, lambda r=round_: buf.add(item(tid=r)))
+        sim.run()
+        assert buf.batch_size == 4  # never below min_size
+
+        sim2, buf2, _f = self._make(batch_size=256, max_wait=10.0, max_size=256)
+
+        def burst():
+            for i in range(256):
+                buf2.add(item(tid=i))
+
+        sim2.schedule_at(0.0, burst)
+        sim2.run()
+        assert buf2.batch_size == 256  # never above max_size
+
+    def test_validation(self):
+        from repro.engine.batching import AdaptiveBatchBuffer
+
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            AdaptiveBatchBuffer(sim, 2, on_flush=lambda i: None,
+                                max_wait=1.0, min_size=4)
+
+    def test_end_to_end_with_join_job(self):
+        from repro.engine.job import JoinJob
+        from repro.sim.cluster import Cluster
+        from repro.workloads.synthetic import SyntheticWorkload
+
+        wl = SyntheticWorkload.data_heavy(n_keys=200, n_tuples=1200, skew=1.0)
+        job = JoinJob(
+            cluster=Cluster.homogeneous(4),
+            compute_nodes=[0, 1],
+            data_nodes=[2, 3],
+            table=wl.build_table(),
+            udf=wl.udf,
+            strategy=Strategy.fo(),
+            sizes=wl.sizes,
+            adaptive_batching=True,
+            seed=5,
+        )
+        result = job.run(wl.keys())
+        assert result.n_tuples == 1200

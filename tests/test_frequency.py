@@ -1,0 +1,130 @@
+"""Tests for exact and Lossy Counting frequency summaries."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.frequency import ExactCounter, LossyCounter
+
+
+class TestExactCounter:
+    def test_counts_are_exact(self):
+        c = ExactCounter()
+        for _ in range(3):
+            c.add("a")
+        c.add("b")
+        assert c.count("a") == 3
+        assert c.count("b") == 1
+        assert c.count("missing") == 0
+        assert c.total == 4
+        assert c.tracked == 2
+
+    def test_reset_forgets_key(self):
+        c = ExactCounter()
+        c.add("a")
+        c.reset("a")
+        assert c.count("a") == 0
+
+    def test_add_returns_new_count(self):
+        c = ExactCounter()
+        assert c.add("x") == 1
+        assert c.add("x") == 2
+
+    def test_items_iterates_pairs(self):
+        c = ExactCounter()
+        c.add("a")
+        c.add("a")
+        assert dict(c.items()) == {"a": 2}
+
+
+class TestLossyCounter:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LossyCounter(epsilon=0.0)
+        with pytest.raises(ValueError):
+            LossyCounter(epsilon=1.0)
+
+    def test_bucket_width(self):
+        assert LossyCounter(epsilon=0.1).bucket_width == 10
+        assert LossyCounter(epsilon=0.003).bucket_width == 334
+
+    def test_hot_key_never_lost(self):
+        lc = LossyCounter(epsilon=0.1)
+        for i in range(200):
+            lc.add("hot")
+            lc.add(f"cold-{i}")
+        assert lc.count("hot") > 0
+
+    def test_rare_keys_pruned(self):
+        lc = LossyCounter(epsilon=0.1)
+        for i in range(500):
+            lc.add(f"unique-{i}")
+        # With all-distinct keys the summary keeps O(1/eps) entries.
+        assert lc.tracked < 500
+
+    def test_count_never_overestimates(self):
+        lc = LossyCounter(epsilon=0.05)
+        truth: dict[str, int] = {}
+        stream = (["a"] * 50) + (["b"] * 20) + [f"x{i}" for i in range(100)]
+        for key in stream:
+            lc.add(key)
+            truth[key] = truth.get(key, 0) + 1
+        for key, true_count in truth.items():
+            assert lc.count(key) <= true_count
+
+    def test_reset_forgets_key(self):
+        lc = LossyCounter(epsilon=0.1)
+        lc.add("a")
+        lc.reset("a")
+        assert lc.count("a") == 0
+
+    def test_frequent_keys_output_rule(self):
+        lc = LossyCounter(epsilon=0.01)
+        for _ in range(500):
+            lc.add("heavy")
+        for i in range(500):
+            lc.add(f"light-{i}")
+        frequent = lc.frequent_keys(support=0.2)
+        assert "heavy" in frequent
+        assert all(not str(k).startswith("light") for k in frequent)
+
+    def test_frequent_keys_validates_support(self):
+        with pytest.raises(ValueError):
+            LossyCounter(0.1).frequent_keys(support=0.0)
+
+
+@given(
+    stream=st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=600),
+    epsilon=st.sampled_from([0.02, 0.05, 0.1]),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_lossy_counting_error_bound(stream, epsilon):
+    """For every key: f - eps*N <= estimate <= f (Manku-Motwani)."""
+    lc = LossyCounter(epsilon=epsilon)
+    truth: dict[int, int] = {}
+    for key in stream:
+        lc.add(key)
+        truth[key] = truth.get(key, 0) + 1
+    n = len(stream)
+    for key, f in truth.items():
+        estimate = lc.count(key)
+        assert estimate <= f
+        assert estimate >= f - epsilon * n
+
+
+@given(
+    stream=st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=800)
+)
+@settings(max_examples=40, deadline=None)
+def test_property_summary_stays_compact(stream):
+    """The summary never retains more entries than the theory bound."""
+    import math
+
+    epsilon = 0.05
+    lc = LossyCounter(epsilon=epsilon)
+    for key in stream:
+        lc.add(key)
+    n = len(stream)
+    if epsilon * n > 1:
+        bound = (1 / epsilon) * (math.log(epsilon * n) + 1) + 1 / epsilon
+        assert lc.tracked <= bound

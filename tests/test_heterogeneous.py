@@ -1,0 +1,116 @@
+"""Tests on heterogeneous clusters: mixed node specs and rack-aware
+bandwidth (Appendix D.4's motivation for measured effective bandwidth).
+"""
+
+import pytest
+
+from repro.engine.job import JoinJob
+from repro.engine.strategies import Strategy
+from repro.sim.cluster import Cluster, NodeSpec
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+def two_rack_cluster(n_per_rack=2, inter_rack_scale=0.25):
+    """Two racks; cross-rack links run at a fraction of line rate."""
+    n = 2 * n_per_rack
+    pair_scale = {}
+    for src in range(n):
+        for dst in range(n):
+            if src != dst and (src < n_per_rack) != (dst < n_per_rack):
+                pair_scale[(src, dst)] = inter_rack_scale
+    return Cluster([NodeSpec()] * n, pair_scale=pair_scale)
+
+
+class TestBandwidthEstimation:
+    def test_effective_bandwidth_respects_racks(self):
+        cluster = two_rack_cluster()
+        intra = cluster.network.effective_bandwidth(0, 1)
+        inter = cluster.network.effective_bandwidth(0, 2)
+        assert inter == pytest.approx(0.25 * intra)
+
+    def test_estimate_averages_over_destinations(self):
+        cluster = two_rack_cluster()
+        estimate = cluster.network.estimate_bandwidth(0, [1, 2, 3])
+        line = cluster.network.node_bandwidth(0)
+        # One intra-rack peer at full rate, two inter-rack at quarter.
+        assert estimate == pytest.approx(line * (1 + 0.25 + 0.25) / 3)
+
+    def test_cross_rack_transfer_slower(self):
+        cluster = two_rack_cluster()
+        local = cluster.network.transfer(0.0, 0, 1, 1e6)
+        remote = cluster.network.transfer(0.0, 0, 2, 1e6)
+        assert remote.duration > local.duration
+
+
+class TestHeterogeneousJobs:
+    def test_job_completes_across_racks(self):
+        workload = SyntheticWorkload.data_heavy(
+            n_keys=400, n_tuples=1200, skew=1.0, seed=41
+        )
+        cluster = two_rack_cluster(n_per_rack=2)
+        job = JoinJob(
+            cluster=cluster,
+            compute_nodes=[0, 1],  # rack A
+            data_nodes=[2, 3],  # rack B: every fetch crosses racks
+            table=workload.build_table(),
+            udf=workload.udf,
+            strategy=Strategy.fo(),
+            sizes=workload.sizes,
+            memory_cache_bytes=20e6,
+            seed=41,
+        )
+        result = job.run(workload.keys())
+        assert result.n_tuples == 1200
+
+    def test_slow_interconnect_makes_caching_more_valuable(self):
+        """With an expensive fetch path, FO's cache saves more versus
+        the repeated-fetch FC than on a flat network."""
+
+        def ratio(cluster_factory):
+            results = {}
+            for name in ("FC", "FO"):
+                workload = SyntheticWorkload.data_heavy(
+                    n_keys=600, n_tuples=3000, skew=1.3, seed=43
+                )
+                job = JoinJob(
+                    cluster=cluster_factory(),
+                    compute_nodes=[0, 1],
+                    data_nodes=[2, 3],
+                    table=workload.build_table(),
+                    udf=workload.udf,
+                    strategy=Strategy.by_name(name),
+                    sizes=workload.sizes,
+                    memory_cache_bytes=30e6,
+                    seed=43,
+                )
+                results[name] = job.run(workload.keys()).makespan
+            return results["FC"] / results["FO"]
+
+        flat = ratio(lambda: Cluster.homogeneous(4))
+        ragged = ratio(lambda: two_rack_cluster(n_per_rack=2, inter_rack_scale=0.15))
+        assert ragged > flat
+
+    def test_mixed_core_counts_complete(self):
+        workload = SyntheticWorkload.compute_heavy(
+            n_keys=200, n_tuples=800, skew=0.5, seed=47
+        )
+        specs = [NodeSpec(cores=2), NodeSpec(cores=16), NodeSpec(), NodeSpec()]
+        cluster = Cluster(specs)
+        job = JoinJob(
+            cluster=cluster,
+            compute_nodes=[0, 1],
+            data_nodes=[2, 3],
+            table=workload.build_table(),
+            udf=workload.udf,
+            strategy=Strategy.fo(),
+            sizes=workload.sizes,
+            seed=47,
+        )
+        result = job.run(workload.keys())
+        assert result.n_tuples == 800
+        # Both compute nodes participated, and the wide node's extra
+        # cores kept its queueing (wait per request) lower.
+        small_cpu = cluster.node(0).cpu.stats()
+        big_cpu = cluster.node(1).cpu.stats()
+        assert small_cpu.busy_time > 0 and big_cpu.busy_time > 0
+        assert big_cpu.mean_wait <= small_cpu.mean_wait

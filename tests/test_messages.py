@@ -1,0 +1,113 @@
+"""Tests for the wire protocol types and the UDF abstraction."""
+
+import pytest
+
+from repro.core.cost_model import CostParameters
+from repro.core.load_balancer import ComputeNodeStats
+from repro.core.optimizer import Route
+from repro.store.messages import (
+    BatchRequest,
+    BatchResponse,
+    RequestItem,
+    RequestKind,
+    ResponseItem,
+    UDF,
+)
+from repro.store.table import Row
+
+
+def item(kind=RequestKind.COMPUTE, key="k", tid=0):
+    route = (
+        Route.COMPUTE_REQUEST
+        if kind is RequestKind.COMPUTE
+        else Route.DATA_REQUEST_DISK
+    )
+    return RequestItem(key=key, kind=kind, route=route, tuple_id=tid)
+
+
+class TestUDF:
+    def test_cost_defaults_to_row_attribute(self):
+        udf = UDF()
+        assert udf.cost(Row(key="k", compute_cost=0.25)) == 0.25
+
+    def test_cost_fn_overrides(self):
+        udf = UDF(cost_fn=lambda row: row.size * 2)
+        assert udf.cost(Row(key="k", size=3.0)) == 6.0
+
+    def test_apply_runs_real_function(self):
+        udf = UDF(apply_fn=lambda key, params, value: (key, params, value))
+        assert udf.apply("k", "p", "v") == ("k", "p", "v")
+
+    def test_apply_without_fn_raises(self):
+        with pytest.raises(ValueError):
+            UDF().apply("k", None, None)
+
+
+class TestRoutes:
+    def test_route_predicates(self):
+        assert Route.LOCAL_MEMORY.is_local
+        assert Route.LOCAL_DISK.is_local
+        assert not Route.COMPUTE_REQUEST.is_local
+        assert Route.DATA_REQUEST_MEMORY.is_data_request
+        assert Route.DATA_REQUEST_DISK.is_data_request
+        assert not Route.COMPUTE_REQUEST.is_data_request
+
+    def test_request_item_is_compute(self):
+        assert item(RequestKind.COMPUTE).is_compute
+        assert not item(RequestKind.DATA).is_compute
+
+
+class TestBatchRequest:
+    def make_stats(self):
+        return ComputeNodeStats(
+            pending_local_computations=0,
+            pending_data_requests=0,
+            pending_compute_requests=0,
+            pending_data_responses=0,
+            pending_at_other_data_nodes=0,
+            expected_computed_elsewhere=0,
+            compute_time=0.0,
+            net_bandwidth=1.0,
+        )
+
+    def test_len_counts_both_queues(self):
+        batch = BatchRequest(
+            src=0, dst=1,
+            compute_items=[item(tid=0), item(tid=1)],
+            data_items=[item(RequestKind.DATA, tid=2)],
+            comp_stats=self.make_stats(),
+        )
+        assert len(batch) == 3
+
+    def test_wire_bytes(self):
+        batch = BatchRequest(
+            src=0, dst=1,
+            compute_items=[item(tid=0)],
+            data_items=[item(RequestKind.DATA, tid=1)],
+        )
+        # compute item: key + params; data item: key only.
+        assert batch.request_bytes(key_size=8.0, param_size=92.0) == 108.0
+
+
+class TestBatchResponse:
+    def test_payload_bytes_sum(self):
+        params = CostParameters(
+            key="k", value_size=10.0, compute_time=0.1, disk_time=0.01
+        )
+        response = BatchResponse(
+            src=1, dst=0,
+            items=[
+                ResponseItem(
+                    key="k", tuple_id=0, route=Route.COMPUTE_REQUEST,
+                    computed=True, value=None, payload_size=64.0,
+                    cost_params=params, updated_at=0.0,
+                ),
+                ResponseItem(
+                    key="k", tuple_id=1, route=Route.DATA_REQUEST_DISK,
+                    computed=False, value=None, payload_size=1000.0,
+                    cost_params=params, updated_at=0.0,
+                ),
+            ],
+        )
+        assert len(response) == 2
+        assert response.payload_bytes == 1064.0

@@ -1,0 +1,68 @@
+"""Tests for usage collection and experiment-table rendering."""
+
+import pytest
+
+from repro.metrics.collector import collect_usage, skew_ratio
+from repro.metrics.report import ExperimentTable
+from repro.sim.cluster import Cluster
+
+
+class TestSkewRatio:
+    def test_balanced_is_one(self):
+        assert skew_ratio([2.0, 2.0, 2.0]) == 1.0
+
+    def test_skewed_exceeds_one(self):
+        assert skew_ratio([1.0, 1.0, 4.0]) == 2.0
+
+    def test_degenerate_cases(self):
+        assert skew_ratio([]) == 1.0
+        assert skew_ratio([0.0, 0.0]) == 1.0
+
+
+class TestCollectUsage:
+    def test_collects_busy_times(self):
+        cluster = Cluster.homogeneous(2)
+        cluster.node(0).cpu.acquire(0.0, 3.0)
+        cluster.node(1).disk.acquire(0.0, 1.0)
+        cluster.network.transfer(0.0, 0, 1, 125_000_000.0)
+        usage = collect_usage(cluster)
+        assert usage.cpu_busy[0] == pytest.approx(3.0)
+        assert usage.disk_busy[1] == pytest.approx(1.0)
+        assert usage.bytes_moved == 125_000_000.0
+        assert usage.makespan >= 3.0
+        assert usage.cpu_utilization(0) > 0
+        assert usage.cpu_skew > 1.0
+
+
+class TestExperimentTable:
+    def test_render_markdown(self):
+        t = ExperimentTable("demo", ["a", "b"])
+        t.add_row(["x", 1.5])
+        rendered = t.render()
+        assert "## demo" in rendered
+        assert "| x | 1.5 |" in rendered
+
+    def test_row_arity_checked(self):
+        t = ExperimentTable("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(["only-one"])
+
+    def test_float_formatting(self):
+        t = ExperimentTable("demo", ["a"])
+        assert t._format(0.0) == "0"
+        assert t._format(1234.5678) == "1.23e+03"
+        assert t._format(0.001234) == "0.00123"
+        assert t._format(1.25) == "1.25"
+        assert t._format("text") == "text"
+
+    def test_cell_lookup(self):
+        t = ExperimentTable("demo", ["k", "v"])
+        t.add_row(["FO", 42])
+        assert t.cell("FO", "v") == 42
+        with pytest.raises(KeyError):
+            t.cell("missing", "v")
+
+    def test_notes_rendered(self):
+        t = ExperimentTable("demo", ["a"], notes="lower is better")
+        t.add_row([1])
+        assert "lower is better" in t.render()

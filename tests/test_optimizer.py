@@ -1,0 +1,152 @@
+"""Tests for Algorithm 1 — the skiRentalCaching request router."""
+
+import pytest
+
+from repro.cache.tiered import TieredCache
+from repro.core.cost_model import CostModel, CostParameters
+from repro.core.frequency import ExactCounter
+from repro.core.optimizer import JoinLocationOptimizer, Route
+
+
+def make_optimizer(memory_bytes=1e6, local_disk_time=0.001, bandwidth=1e8):
+    cm = CostModel(node_id=0, bandwidth={1: bandwidth}, local_disk_time=local_disk_time)
+    cache = TieredCache(memory_bytes=memory_bytes)
+    return JoinLocationOptimizer(cm, cache, counter=ExactCounter())
+
+
+def teach(opt, key="k", value_size=100_000.0, compute_time=0.002,
+          service=None, disk_time=0.002):
+    opt.observe_response(
+        CostParameters(
+            key=key,
+            value_size=value_size,
+            compute_time=compute_time,
+            disk_time=disk_time,
+            param_size=64.0,
+            key_size=8.0,
+            computed_size=64.0,
+            node_id=1,
+            cpu_service_time=service,
+        )
+    )
+
+
+class TestFirstContact:
+    def test_unknown_key_rents(self):
+        opt = make_optimizer()
+        decision = opt.route("new", 1)
+        assert decision.route is Route.COMPUTE_REQUEST
+        assert opt.stats().first_contact == 1
+
+    def test_known_key_uses_costs(self):
+        opt = make_optimizer()
+        opt.route("k", 1)
+        teach(opt, compute_time=0.01, service=0.0001)
+        decision = opt.route("k", 1)
+        assert decision.costs is not None
+
+
+class TestSkiRentalRouting:
+    def test_buys_after_threshold(self):
+        opt = make_optimizer()
+        opt.route("k", 1)
+        # rent=0.01 (compute), buy ~ 0.002 (fetch): threshold < 1.
+        teach(opt, compute_time=0.01, service=0.0001, value_size=10_000.0)
+        decision = opt.route("k", 1)
+        assert decision.route is Route.DATA_REQUEST_MEMORY
+
+    def test_keeps_renting_below_threshold(self):
+        opt = make_optimizer()
+        opt.route("k", 1)
+        # buy much more expensive than rent: high threshold.
+        teach(opt, compute_time=0.002, service=0.0001, value_size=10_000_000.0,
+              disk_time=0.0001)
+        for _ in range(3):
+            assert opt.route("k", 1).route is Route.COMPUTE_REQUEST
+
+    def test_never_buys_when_rent_below_recurring(self):
+        opt = make_optimizer()
+        opt.route("k", 1)
+        # Remote compute == local service: r <= br, always rent.
+        teach(opt, compute_time=0.1, service=0.1, value_size=100.0)
+        for _ in range(100):
+            assert opt.route("k", 1).route is Route.COMPUTE_REQUEST
+
+    def test_local_hits_after_fetch(self):
+        opt = make_optimizer()
+        opt.route("k", 1)
+        teach(opt, compute_time=0.01, service=0.0001, value_size=10_000.0)
+        decision = opt.route("k", 1)
+        assert decision.route is Route.DATA_REQUEST_MEMORY
+        opt.complete_fetch("k", "VALUE", decision.route)
+        hit = opt.route("k", 1)
+        assert hit.route is Route.LOCAL_MEMORY
+        assert hit.value == "VALUE"
+
+    def test_disk_route_when_memory_refuses(self):
+        """A value too big for the memory tier can still be bought to
+        disk if the disk-recurring threshold is crossed."""
+        opt = make_optimizer(memory_bytes=1_000.0, local_disk_time=0.0005)
+        opt.route("big", 1)
+        teach(opt, key="big", compute_time=0.01, service=0.0001,
+              value_size=50_000.0)
+        decision = opt.route("big", 1)
+        assert decision.route is Route.DATA_REQUEST_DISK
+        opt.complete_fetch("big", "V", decision.route)
+        assert opt.route("big", 1).route is Route.LOCAL_DISK
+
+    def test_fetch_fallback_to_disk_when_reservation_lost(self):
+        opt = make_optimizer()
+        opt.route("k", 1)
+        teach(opt, compute_time=0.01, service=0.0001, value_size=10_000.0)
+        decision = opt.route("k", 1)
+        opt.cache.cancel_reservation("k")
+        opt.complete_fetch("k", "V", decision.route)
+        assert opt.route("k", 1).route is Route.LOCAL_DISK
+
+    def test_complete_fetch_rejects_non_fetch_routes(self):
+        opt = make_optimizer()
+        with pytest.raises(ValueError):
+            opt.complete_fetch("k", "V", Route.COMPUTE_REQUEST)
+
+
+class TestUpdates:
+    def test_timestamp_bump_invalidates_and_resets(self):
+        opt = make_optimizer()
+        opt.route("k", 1)
+        teach(opt, compute_time=0.01, service=0.0001, value_size=10_000.0)
+        decision = opt.route("k", 1)
+        opt.complete_fetch("k", "V", decision.route, updated_at=0.0)
+        assert opt.route("k", 1).route is Route.LOCAL_MEMORY
+        # A compute response reveals the row changed at t=5.
+        opt.observe_response(
+            CostParameters(key="k", value_size=10_000.0, compute_time=0.01,
+                           disk_time=0.002, node_id=1, cpu_service_time=0.0001),
+            updated_at=5.0,
+        )
+        # Cache gone, counter reset: next route is a first-contact rent.
+        assert opt.counter.count("k") == 0
+        assert opt.route("k", 1).route is Route.COMPUTE_REQUEST
+
+    def test_same_timestamp_is_not_stale(self):
+        opt = make_optimizer()
+        opt.route("k", 1)
+        teach(opt)
+        opt.updates.observe_timestamp("k", 3.0)
+        assert not opt.updates.observe_timestamp("k", 3.0)
+        assert opt.updates.observe_timestamp("k", 4.0)
+
+
+class TestStats:
+    def test_routing_counters(self):
+        opt = make_optimizer()
+        opt.route("a", 1)
+        teach(opt, key="a", compute_time=0.01, service=0.0001, value_size=1000.0)
+        d = opt.route("a", 1)
+        opt.complete_fetch("a", "V", d.route)
+        opt.route("a", 1)
+        stats = opt.stats()
+        assert stats.compute_requests == 1
+        assert stats.data_requests_memory == 1
+        assert stats.local_memory == 1
+        assert stats.total == 3

@@ -1,0 +1,78 @@
+"""Tests for the parameter-server workload (Section 2.2)."""
+
+import pytest
+
+from repro.engine.job import JoinJob
+from repro.engine.strategies import Strategy
+from repro.sim.cluster import Cluster
+from repro.workloads.parameter_server import ParameterServerWorkload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return ParameterServerWorkload(
+        n_shards=300, n_pulls=2000, skew=1.2, push_ratio=0.1, seed=67
+    )
+
+
+class TestGeneration:
+    def test_reproducible(self):
+        a = ParameterServerWorkload(n_shards=50, n_pulls=100, seed=1)
+        b = ParameterServerWorkload(n_shards=50, n_pulls=100, seed=1)
+        assert a.pulls == b.pulls
+        assert a.push_schedule(1.0) == b.push_schedule(1.0)
+
+    def test_table_shape(self, workload):
+        table = workload.build_table()
+        assert len(table) == 300
+        assert table.get(0).size == workload.shard_bytes
+
+    def test_pull_stream(self, workload):
+        assert len(workload.pulls) == 2000
+        assert all(0 <= k < 300 for k in workload.pulls)
+
+    def test_push_schedule_timing_and_volume(self, workload):
+        pushes = workload.push_schedule(duration=10.0)
+        assert len(pushes) == int(2000 * 0.1)
+        times = [t for t, _k, _v in pushes]
+        assert times == sorted(times)
+        assert all(0.0 <= t <= 10.0 for t in times)
+
+    def test_pushes_follow_pull_popularity(self, workload):
+        """Hot keys get pushed more — the adversarial coupling."""
+        from collections import Counter
+
+        pull_counts = Counter(workload.pulls)
+        push_counts = Counter(k for _t, k, _v in workload.push_schedule(10.0))
+        hot = [k for k, _ in pull_counts.most_common(10)]
+        cold = [k for k, _ in pull_counts.most_common()[-50:]]
+        hot_pushes = sum(push_counts[k] for k in hot)
+        cold_pushes = sum(push_counts[k] for k in cold)
+        assert hot_pushes > cold_pushes
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ParameterServerWorkload(n_shards=0)
+        with pytest.raises(ValueError):
+            ParameterServerWorkload(push_ratio=1.5)
+        with pytest.raises(ValueError):
+            ParameterServerWorkload().push_schedule(duration=0.0)
+
+
+class TestEndToEnd:
+    def test_pull_push_cycle_completes(self, workload):
+        cluster = Cluster.homogeneous(4)
+        job = JoinJob(
+            cluster=cluster,
+            compute_nodes=[0, 1],
+            data_nodes=[2, 3],
+            table=workload.build_table(),
+            udf=workload.udf,
+            strategy=Strategy.fo(),
+            sizes=workload.sizes,
+            block_cache_bytes=1e9,  # parameters live in server memory
+            seed=67,
+        )
+        pushes = workload.push_schedule(duration=0.5)
+        result = job.run(workload.pulls, updates=pushes)
+        assert result.n_tuples == 2000

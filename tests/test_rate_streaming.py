@@ -1,0 +1,83 @@
+"""Tests for fixed-rate streaming and the latency/batching trade-off."""
+
+import pytest
+
+from repro.engine.job import JoinJob, RateRunResult
+from repro.engine.strategies import Strategy
+from repro.sim.cluster import Cluster
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+def run_at(rate, max_wait=0.01, n_tuples=1500, seed=5):
+    workload = SyntheticWorkload.compute_heavy(
+        n_keys=300, n_tuples=n_tuples, skew=1.0, seed=seed
+    )
+    cluster = Cluster.homogeneous(4)
+    job = JoinJob(
+        cluster=cluster,
+        compute_nodes=[0, 1],
+        data_nodes=[2, 3],
+        table=workload.build_table(),
+        udf=workload.udf,
+        strategy=Strategy.fo(),
+        sizes=workload.sizes,
+        max_wait=max_wait,
+        seed=seed,
+    )
+    return job.run_at_rate(workload.keys(), arrivals_per_second=rate)
+
+
+class TestRateRuns:
+    def test_all_tuples_complete(self):
+        result = run_at(rate=200)
+        assert result.n_tuples == 1500
+        assert len(result.latencies) == 1500
+        assert all(latency >= 0 for latency in result.latencies)
+
+    def test_underload_throughput_tracks_arrival_rate(self):
+        result = run_at(rate=150)
+        # The run spans at least the arrival schedule, so achieved
+        # throughput cannot exceed the offered rate by much.
+        assert result.throughput <= 160
+
+    def test_latency_finite_under_light_load(self):
+        result = run_at(rate=100)
+        assert result.latency_percentile(95) < 1.0
+
+    def test_overload_inflates_latency(self):
+        light = run_at(rate=100)
+        heavy = run_at(rate=600)
+        assert heavy.mean_latency > 3 * light.mean_latency
+
+    def test_large_max_wait_costs_latency(self):
+        """Section 7.2: the batching timeout bounds added latency."""
+        tight = run_at(rate=100, max_wait=0.002)
+        loose = run_at(rate=100, max_wait=0.25)
+        assert loose.mean_latency > tight.mean_latency
+
+    def test_percentiles_monotone(self):
+        result = run_at(rate=200)
+        assert (
+            result.latency_percentile(50)
+            <= result.latency_percentile(95)
+            <= result.latency_percentile(99)
+        )
+
+    def test_validation(self):
+        workload = SyntheticWorkload.compute_heavy(n_keys=10, n_tuples=10)
+        cluster = Cluster.homogeneous(2)
+        job = JoinJob(
+            cluster=cluster, compute_nodes=[0], data_nodes=[1],
+            table=workload.build_table(), udf=workload.udf,
+            strategy=Strategy.fo(), sizes=workload.sizes,
+        )
+        with pytest.raises(ValueError):
+            job.run_at_rate(workload.keys(), arrivals_per_second=0)
+
+    def test_percentile_validation(self):
+        result = RateRunResult("FO", 0, 1.0, 0.0, [])
+        with pytest.raises(ValueError):
+            result.latency_percentile(101)
+        assert result.latency_percentile(50) == 0.0
+        assert result.mean_latency == 0.0
+        assert result.throughput == 0.0

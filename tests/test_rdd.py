@@ -1,0 +1,131 @@
+"""Tests for the mini RDD and its preMap extensions."""
+
+import pytest
+
+from repro.mapreduce.api import MapReduceSpec
+from repro.mapreduce.local import LocalMapReduce
+from repro.sparklite.rdd import RDD
+
+
+class TestClassicTransformations:
+    def test_map(self):
+        assert RDD.parallelize([1, 2]).map(lambda x: x + 1).collect() == [2, 3]
+
+    def test_flat_map(self):
+        rdd = RDD.parallelize(["a b", "c"])
+        assert rdd.flat_map(str.split).collect() == ["a", "b", "c"]
+
+    def test_filter(self):
+        assert RDD.parallelize(range(6)).filter(lambda x: x % 2 == 0).collect() == [
+            0, 2, 4,
+        ]
+
+    def test_chaining_is_lazy(self):
+        calls = []
+        rdd = RDD.parallelize([1, 2, 3]).map(lambda x: calls.append(x) or x)
+        assert calls == []  # nothing ran yet
+        rdd.collect()
+        assert calls == [1, 2, 3]
+
+    def test_rdd_is_re_iterable(self):
+        rdd = RDD.parallelize([1, 2]).map(lambda x: x * 10)
+        assert rdd.collect() == rdd.collect() == [10, 20]
+
+
+class TestActions:
+    def test_count(self):
+        assert RDD.parallelize("abcd").count() == 4
+
+    def test_reduce(self):
+        assert RDD.parallelize([1, 2, 3, 4]).reduce(lambda a, b: a + b) == 10
+
+    def test_reduce_empty_raises(self):
+        with pytest.raises(ValueError):
+            RDD.parallelize([]).reduce(lambda a, b: a)
+
+    def test_take(self):
+        assert RDD.parallelize(range(100)).take(3) == [0, 1, 2]
+        with pytest.raises(ValueError):
+            RDD.parallelize([1]).take(-1)
+
+
+class TestPremapExtensions:
+    def test_map_with_premap_batches_lookups(self):
+        store = {i: i * 100 for i in range(50)}
+        calls = []
+
+        def bulk_fetch(keys):
+            calls.append(len(keys))
+            return {k: store[k] for k in keys}
+
+        rdd = RDD.parallelize(range(20)).map_with_premap(
+            pre_map=lambda x: [x],
+            map_fn=lambda x, values: values[x],
+            bulk_fetch=bulk_fetch,
+            window=10,
+        )
+        assert rdd.collect() == [i * 100 for i in range(20)]
+        assert len(calls) == 2  # two windows, not twenty gets
+
+    def test_flat_map_with_premap(self):
+        store = {"x": [1, 2], "y": [3]}
+        rdd = RDD.parallelize(["x", "y"]).flat_map_with_premap(
+            pre_map=lambda item: [item],
+            flat_map_fn=lambda item, values: values[item],
+            bulk_fetch=lambda keys: {k: store[k] for k in keys},
+        )
+        assert rdd.collect() == [1, 2, 3]
+
+    def test_premap_composes_with_classic_operators(self):
+        store = {i: i + 1 for i in range(10)}
+        rdd = (
+            RDD.parallelize(range(10))
+            .filter(lambda x: x % 2 == 0)
+            .map_with_premap(
+                pre_map=lambda x: [x],
+                map_fn=lambda x, values: values[x],
+                bulk_fetch=lambda keys: {k: store[k] for k in keys},
+            )
+            .map(lambda x: x * 10)
+        )
+        assert rdd.collect() == [10, 30, 50, 70, 90]
+
+
+class TestMapReducePremap:
+    def test_premap_spec_validation(self):
+        with pytest.raises(ValueError):
+            MapReduceSpec(
+                map_fn=lambda k, v: [], reduce_fn=lambda k, vs: [],
+                pre_map=lambda k, v: [],
+            )
+        with pytest.raises(ValueError):
+            MapReduceSpec(
+                map_fn=lambda k, v: [], reduce_fn=lambda k, vs: [],
+                pre_map=lambda k, v: [], bulk_fetch=lambda keys: {},
+                prefetch_window=0,
+            )
+
+    def test_local_engine_runs_premap_jobs(self):
+        """The Figure 10 pattern: preMap prefetches the model for each
+        spot; map classifies using the fetched values."""
+        models = {f"token{i}": f"model{i}" for i in range(20)}
+        fetch_calls = []
+
+        def bulk_fetch(keys):
+            fetch_calls.append(len(keys))
+            return {k: models[k] for k in keys}
+
+        spec = MapReduceSpec(
+            map_fn=lambda doc_id, tokens, values: [
+                (token, values[token]) for token in tokens
+            ],
+            reduce_fn=lambda token, model_list: [(token, len(model_list))],
+            pre_map=lambda doc_id, tokens: tokens,
+            bulk_fetch=bulk_fetch,
+            prefetch_window=8,
+        )
+        inputs = [(d, [f"token{(d + j) % 20}" for j in range(3)]) for d in range(16)]
+        engine = LocalMapReduce(n_reducers=4)
+        outputs = dict(engine.run(spec, inputs))
+        assert sum(outputs.values()) == 48  # every spot classified once
+        assert len(fetch_calls) == 2  # windowed batches, not 48 gets

@@ -1,0 +1,109 @@
+"""Locational transparency: real UDF results are identical everywhere.
+
+Section 3.1 restricts the framework to side-effect-free functions so
+``f'(k, p, v)`` may run at a compute node, at a data node, or against a
+cached value.  With a real ``apply_fn`` wired through the engine, every
+strategy must therefore produce exactly the same outputs — only the
+timing differs.
+"""
+
+import pytest
+
+from repro.core.load_balancer import SizeProfile
+from repro.engine.job import JoinJob
+from repro.engine.strategies import Strategy
+from repro.sim.cluster import Cluster
+from repro.store.messages import UDF
+from repro.store.table import Row, Table
+
+
+def build_setup(n_keys=60):
+    table = Table("facts")
+    for key in range(n_keys):
+        table.put(Row(key=key, value=key * 1000, size=500.0, compute_cost=0.002))
+    udf = UDF(
+        result_size=64.0,
+        param_size=64.0,
+        key_size=8.0,
+        apply_fn=lambda key, params, value: value + (params or 0) + key,
+    )
+    sizes = SizeProfile(key_size=8.0, param_size=64.0, value_size=500.0,
+                        computed_size=64.0)
+    return table, udf, sizes
+
+
+def run_strategy(name, keys, params, seed=71):
+    table, udf, sizes = build_setup()
+    cluster = Cluster.homogeneous(4)
+    job = JoinJob(
+        cluster=cluster,
+        compute_nodes=[0, 1],
+        data_nodes=[2, 3],
+        table=table,
+        udf=udf,
+        strategy=Strategy.by_name(name),
+        sizes=sizes,
+        memory_cache_bytes=1e6,
+        pipeline_window=32,
+        seed=seed,
+    )
+    result = job.run(keys, params=params)
+    return result, job.collected_outputs()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    keys = [(i * 13) % 60 for i in range(600)]
+    params = [i for i in range(600)]
+    expected = {
+        i: keys[i] * 1000 + params[i] + keys[i] for i in range(600)
+    }
+    return keys, params, expected
+
+
+class TestLocationalTransparency:
+    @pytest.mark.parametrize("name", ["NO", "FC", "FD", "FR", "CO", "LO", "FO"])
+    def test_every_strategy_produces_identical_results(self, workload, name):
+        keys, params, expected = workload
+        result, outputs = run_strategy(name, keys, params)
+        assert result.n_tuples == 600
+        assert outputs == expected
+
+    def test_mixed_execution_sites_in_one_run(self, workload):
+        """FO genuinely exercises all three sites in a single run."""
+        keys, params, expected = workload
+        result, outputs = run_strategy("FO", keys, params)
+        assert outputs == expected
+        assert result.udfs_at_data_nodes > 0  # some shipped functions
+        assert result.udfs_at_compute_nodes > 0  # some local
+        assert result.cache_memory_hits > 0  # some from cache
+
+    def test_params_length_validated(self):
+        table, udf, sizes = build_setup()
+        job = JoinJob(
+            cluster=Cluster.homogeneous(2),
+            compute_nodes=[0],
+            data_nodes=[1],
+            table=table,
+            udf=udf,
+            strategy=Strategy.fo(),
+            sizes=sizes,
+        )
+        with pytest.raises(ValueError):
+            job.run([1, 2, 3], params=[1])
+
+    def test_timing_only_runs_collect_nothing(self):
+        keys = [1, 2, 3]
+        table, _udf, sizes = build_setup()
+        timing_udf = UDF(result_size=64.0, param_size=64.0, key_size=8.0)
+        job = JoinJob(
+            cluster=Cluster.homogeneous(2),
+            compute_nodes=[0],
+            data_nodes=[1],
+            table=table,
+            udf=timing_udf,
+            strategy=Strategy.fo(),
+            sizes=sizes,
+        )
+        job.run(keys)
+        assert job.collected_outputs() == {}

@@ -1,0 +1,61 @@
+"""Side-effecting UDFs execute exactly once, at the owning data node.
+
+The paper restricts itself to side-effect-free functions and lists
+side-effecting ones as future work; this implements the obvious safe
+semantics — pin every invocation to the row's data node — and verifies
+the exactly-once, single-site property.
+"""
+
+from repro.core.load_balancer import SizeProfile
+from repro.engine.job import JoinJob
+from repro.engine.strategies import Strategy
+from repro.sim.cluster import Cluster
+from repro.store.messages import UDF
+from repro.store.table import Row, Table
+
+
+def run_with_side_effects(strategy_name="FO", n=400, seed=83):
+    table = Table("ledger")
+    for key in range(40):
+        table.put(Row(key=key, value=0, size=200.0, compute_cost=0.001))
+    invocations = []
+    udf = UDF(
+        result_size=32.0, param_size=32.0, key_size=8.0,
+        apply_fn=lambda key, params, value: invocations.append(key) or key,
+        side_effect_free=False,
+    )
+    sizes = SizeProfile(key_size=8.0, param_size=32.0, value_size=200.0,
+                        computed_size=32.0)
+    cluster = Cluster.homogeneous(4)
+    job = JoinJob(
+        cluster=cluster, compute_nodes=[0, 1], data_nodes=[2, 3],
+        table=table, udf=udf, strategy=Strategy.by_name(strategy_name),
+        sizes=sizes, pipeline_window=32, seed=seed,
+    )
+    keys = [i % 40 for i in range(n)]
+    result = job.run(keys)
+    return result, invocations, job
+
+
+class TestSideEffectingUDFs:
+    def test_everything_executes_at_data_nodes(self):
+        result, invocations, job = run_with_side_effects("FO")
+        assert result.udfs_at_data_nodes == 400
+        assert result.udfs_at_compute_nodes == 0
+        assert result.cache_memory_hits == 0 and result.cache_disk_hits == 0
+
+    def test_exactly_once_per_tuple(self):
+        result, invocations, _job = run_with_side_effects("FO")
+        # One real invocation per input tuple, no replays, no skips.
+        assert len(invocations) == 400
+
+    def test_load_balancer_never_bounces(self):
+        _result, _invocations, job = run_with_side_effects("FO")
+        for server in job.servers.values():
+            # With no piggybacked stats the balancer is never consulted.
+            assert server.balancer.decisions == 0
+
+    def test_results_still_collected(self):
+        _result, _invocations, job = run_with_side_effects("FO")
+        outputs = job.collected_outputs()
+        assert len(outputs) == 400

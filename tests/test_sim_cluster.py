@@ -1,0 +1,79 @@
+"""Tests for cluster/node construction and the RNG helpers."""
+
+import pytest
+
+from repro.sim.cluster import Cluster, NodeSpec
+from repro.sim.rng import derive_seed, make_rng
+
+
+class TestNodeSpec:
+    def test_disk_time_is_seek_plus_transfer(self):
+        spec = NodeSpec(disk_seek=0.001, disk_bandwidth=1_000_000.0)
+        assert spec.disk_time(500_000.0) == pytest.approx(0.501)
+
+    def test_cache_disk_time_uses_cache_seek(self):
+        spec = NodeSpec(
+            disk_seek=0.01, cache_seek=0.0001, disk_bandwidth=1_000_000.0
+        )
+        assert spec.cache_disk_time(100_000.0) == pytest.approx(0.1001)
+        assert spec.cache_disk_time(0.0) < spec.disk_time(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeSpec(cores=0)
+        with pytest.raises(ValueError):
+            NodeSpec(disk_seek=-1.0)
+        with pytest.raises(ValueError):
+            NodeSpec(net_bandwidth=0.0)
+
+
+class TestCluster:
+    def test_homogeneous_builds_n_nodes(self):
+        cluster = Cluster.homogeneous(5)
+        assert len(cluster) == 5
+        assert all(n.node_id == i for i, n in enumerate(cluster.nodes))
+
+    def test_paper_default_is_twenty_nodes(self):
+        cluster = Cluster.paper_default()
+        assert len(cluster) == 20
+        assert cluster.node(0).spec.cores == 8
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster([])
+
+    def test_cpu_capacity_matches_cores(self):
+        cluster = Cluster.homogeneous(2, NodeSpec(cores=3))
+        assert cluster.node(0).cpu.capacity == 3
+        assert cluster.node(0).disk.capacity == 1
+
+    def test_makespan_tracks_latest_resource_finish(self):
+        cluster = Cluster.homogeneous(2)
+        cluster.node(0).cpu.acquire(0.0, 2.0)
+        cluster.node(1).disk.acquire(0.0, 5.0)
+        assert cluster.makespan() == pytest.approx(5.0)
+
+    def test_backlog_helpers(self):
+        cluster = Cluster.homogeneous(1, NodeSpec(cores=2))
+        node = cluster.node(0)
+        node.cpu.acquire(0.0, 4.0)
+        assert node.cpu_backlog(0.0) == pytest.approx(4.0)
+        assert node.disk_backlog(0.0) == 0.0
+
+
+class TestRng:
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(42, "a") == derive_seed(42, "a")
+
+    def test_derive_seed_label_sensitive(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_derive_seed_root_sensitive(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_make_rng_streams_independent_and_reproducible(self):
+        a1 = make_rng(7, "x").integers(0, 1000, size=10)
+        a2 = make_rng(7, "x").integers(0, 1000, size=10)
+        b = make_rng(7, "y").integers(0, 1000, size=10)
+        assert (a1 == a2).all()
+        assert not (a1 == b).all()

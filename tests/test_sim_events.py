@@ -1,0 +1,108 @@
+"""Tests for the discrete-event loop."""
+
+import pytest
+
+from repro.sim.events import SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(3.0, lambda: seen.append("c"))
+        sim.schedule_at(1.0, lambda: seen.append("a"))
+        sim.schedule_at(2.0, lambda: seen.append("b"))
+        sim.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        seen = []
+        for label in ["first", "second", "third"]:
+            sim.schedule_at(1.0, lambda lbl=label: seen.append(lbl))
+        sim.run()
+        assert seen == ["first", "second", "third"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        sim.schedule_at(5.5, lambda: None)
+        sim.run()
+        assert sim.now == 5.5
+
+    def test_schedule_after_uses_relative_delay(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_at(2.0, lambda: sim.schedule_after(3.0, lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [5.0]
+
+    def test_scheduling_in_the_past_raises(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_negative_delay_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_after(-1.0, lambda: None)
+
+    def test_non_finite_time_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(float("inf"), lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(float("nan"), lambda: None)
+
+    def test_events_can_schedule_more_events(self):
+        sim = Simulator()
+        seen = []
+
+        def chain(n):
+            seen.append(n)
+            if n < 4:
+                sim.schedule_after(1.0, lambda: chain(n + 1))
+
+        sim.schedule_at(0.0, lambda: chain(0))
+        sim.run()
+        assert seen == [0, 1, 2, 3, 4]
+        assert sim.now == 4.0
+
+
+class TestRunControls:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(1.0, lambda: seen.append(1))
+        sim.schedule_at(10.0, lambda: seen.append(10))
+        sim.run(until=5.0)
+        assert seen == [1]
+        assert sim.now == 5.0
+        assert sim.pending == 1
+
+    def test_run_until_advances_clock_even_without_events(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_step_returns_false_when_empty(self):
+        sim = Simulator()
+        assert sim.step() is False
+
+    def test_max_events_guards_against_storms(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule_after(0.001, forever)
+
+        sim.schedule_at(0.0, forever)
+        with pytest.raises(SimulationError, match="max_events"):
+            sim.run(max_events=100)
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule_at(float(i), lambda: None)
+        sim.run()
+        assert sim.events_processed == 5

@@ -1,0 +1,90 @@
+"""Tests for the network model and bandwidth estimation."""
+
+import pytest
+
+from repro.sim.network import Network
+
+
+def make_net(**kwargs):
+    return Network([100.0, 100.0, 50.0], **kwargs)
+
+
+class TestEffectiveBandwidth:
+    def test_min_of_endpoint_rates(self):
+        net = make_net()
+        assert net.effective_bandwidth(0, 1) == 100.0
+        assert net.effective_bandwidth(0, 2) == 50.0
+
+    def test_pair_scale_applies(self):
+        net = Network([100.0, 100.0], pair_scale={(0, 1): 0.5})
+        assert net.effective_bandwidth(0, 1) == 50.0
+        assert net.effective_bandwidth(1, 0) == 100.0
+
+    def test_estimate_is_average_over_peers(self):
+        net = make_net()
+        assert net.estimate_bandwidth(0, [1, 2]) == pytest.approx(75.0)
+
+    def test_estimate_requires_peers(self):
+        with pytest.raises(ValueError):
+            make_net().estimate_bandwidth(0, [])
+
+
+class TestTransfers:
+    def test_transfer_duration_is_size_over_bandwidth(self):
+        net = Network([100.0, 100.0])
+        result = net.transfer(0.0, 0, 1, 200.0)
+        assert result.arrive == pytest.approx(2.0)
+        assert result.duration == pytest.approx(2.0)
+
+    def test_slower_receiver_gates_arrival(self):
+        net = make_net()  # node 2 has bw 50
+        result = net.transfer(0.0, 0, 2, 100.0)
+        assert result.arrive == pytest.approx(2.0)  # rx leg: 100/50
+
+    def test_sequential_transfers_queue_on_tx(self):
+        net = Network([100.0, 100.0])
+        net.transfer(0.0, 0, 1, 100.0)
+        second = net.transfer(0.0, 0, 1, 100.0)
+        assert second.arrive == pytest.approx(2.0)
+
+    def test_loopback_is_free(self):
+        net = make_net()
+        result = net.transfer(3.0, 1, 1, 1e9)
+        assert result.arrive == 3.0
+
+    def test_latency_added(self):
+        net = Network([100.0, 100.0], latency=0.25)
+        result = net.transfer(0.0, 0, 1, 100.0)
+        assert result.arrive == pytest.approx(1.25)
+
+    def test_bytes_moved_accumulates(self):
+        net = Network([100.0, 100.0])
+        net.transfer(0.0, 0, 1, 30.0)
+        net.transfer(0.0, 1, 0, 70.0)
+        assert net.bytes_moved == 100.0
+        assert net.transfers == 2
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            make_net().transfer(0.0, 0, 1, -1.0)
+
+    def test_backlogs_reflect_booked_work(self):
+        net = Network([100.0, 100.0])
+        net.transfer(0.0, 0, 1, 400.0)
+        assert net.tx_backlog(0, 0.0) == pytest.approx(4.0)
+        assert net.rx_backlog(1, 0.0) == pytest.approx(4.0)
+        assert net.tx_backlog(1, 0.0) == 0.0
+
+
+class TestValidation:
+    def test_empty_bandwidths_rejected(self):
+        with pytest.raises(ValueError):
+            Network([])
+
+    def test_nonpositive_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            Network([100.0, 0.0])
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            Network([1.0], latency=-0.1)

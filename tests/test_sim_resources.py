@@ -1,0 +1,101 @@
+"""Tests for FCFS multi-server resources."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.resources import Resource
+
+
+class TestSingleServer:
+    def test_sequential_requests_queue(self):
+        r = Resource("disk")
+        assert r.acquire(0.0, 1.0) == (0.0, 1.0)
+        assert r.acquire(0.0, 1.0) == (1.0, 2.0)
+        assert r.acquire(0.0, 0.5) == (2.0, 2.5)
+
+    def test_idle_gap_respected(self):
+        r = Resource("disk")
+        r.acquire(0.0, 1.0)
+        assert r.acquire(5.0, 1.0) == (5.0, 6.0)
+
+    def test_zero_duration_allowed(self):
+        r = Resource("disk")
+        assert r.acquire(2.0, 0.0) == (2.0, 2.0)
+
+    def test_negative_duration_rejected(self):
+        r = Resource("disk")
+        with pytest.raises(ValueError):
+            r.acquire(0.0, -0.1)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            Resource("bad", capacity=0)
+
+
+class TestMultiServer:
+    def test_parallel_servers_overlap(self):
+        r = Resource("cpu", capacity=2)
+        assert r.acquire(0.0, 1.0) == (0.0, 1.0)
+        assert r.acquire(0.0, 1.0) == (0.0, 1.0)
+        assert r.acquire(0.0, 1.0) == (1.0, 2.0)
+
+    def test_next_free_reports_earliest_server(self):
+        r = Resource("cpu", capacity=2)
+        r.acquire(0.0, 1.0)
+        r.acquire(0.0, 3.0)
+        assert r.next_free(0.0) == 1.0
+        assert r.next_free(2.0) == 2.0
+
+    def test_backlog_sums_remaining_work(self):
+        r = Resource("cpu", capacity=2)
+        r.acquire(0.0, 2.0)
+        r.acquire(0.0, 4.0)
+        assert r.backlog(0.0) == pytest.approx(6.0)
+        assert r.backlog(3.0) == pytest.approx(1.0)
+        assert r.backlog(10.0) == 0.0
+
+
+class TestStats:
+    def test_stats_accumulate(self):
+        r = Resource("disk")
+        r.acquire(0.0, 1.0)
+        r.acquire(0.0, 2.0)  # waits 1.0
+        stats = r.stats()
+        assert stats.requests == 2
+        assert stats.busy_time == pytest.approx(3.0)
+        assert stats.total_wait == pytest.approx(1.0)
+        assert stats.mean_wait == pytest.approx(0.5)
+        assert stats.last_finish == pytest.approx(3.0)
+
+    def test_utilization(self):
+        r = Resource("cpu", capacity=2)
+        r.acquire(0.0, 1.0)
+        stats = r.stats()
+        assert stats.utilization(1.0) == pytest.approx(0.5)
+        assert stats.utilization(0.0) == 0.0
+
+    def test_mean_wait_empty(self):
+        assert Resource("x").stats().mean_wait == 0.0
+
+
+@given(
+    durations=st.lists(
+        st.floats(min_value=0.0, max_value=10.0, allow_nan=False), min_size=1, max_size=40
+    ),
+    capacity=st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_fcfs_conservation(durations, capacity):
+    """Total busy time is conserved and finishes never precede starts."""
+    r = Resource("p", capacity=capacity)
+    finishes = []
+    for d in durations:
+        start, finish = r.acquire(0.0, d)
+        assert finish == pytest.approx(start + d)
+        assert start >= 0.0
+        finishes.append(finish)
+    stats = r.stats()
+    assert stats.busy_time == pytest.approx(sum(durations))
+    # The makespan can never beat perfect parallel packing.
+    assert max(finishes) >= sum(durations) / capacity - 1e-9

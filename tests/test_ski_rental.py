@@ -1,0 +1,128 @@
+"""Tests for the basic and extended ski-rental formulation (Section 4)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ski_rental import (
+    SkiRental,
+    buy_threshold,
+    competitive_ratio,
+)
+
+
+class TestBuyThreshold:
+    def test_classical_case(self):
+        assert buy_threshold(rent=1.0, buy=10.0) == 10.0
+
+    def test_recurring_cost_raises_threshold(self):
+        # m <= b / (r - br): 10 / (1 - 0.5) = 20
+        assert buy_threshold(rent=1.0, buy=10.0, recurring=0.5) == 20.0
+
+    def test_never_buy_when_rent_not_above_recurring(self):
+        assert buy_threshold(rent=1.0, buy=10.0, recurring=1.0) == math.inf
+        assert buy_threshold(rent=1.0, buy=10.0, recurring=2.0) == math.inf
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            buy_threshold(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            buy_threshold(1.0, -1.0)
+        with pytest.raises(ValueError):
+            buy_threshold(1.0, 1.0, recurring=-0.1)
+
+
+class TestCompetitiveRatio:
+    def test_classical_ratio_is_two(self):
+        assert competitive_ratio(rent=1.0, buy=10.0) == 2.0
+
+    def test_extended_ratio_formula(self):
+        # 2 - br/r with r=2, br=1 -> 1.5
+        assert competitive_ratio(rent=2.0, buy=10.0, recurring=1.0) == 1.5
+
+    def test_always_rent_is_optimal(self):
+        assert competitive_ratio(rent=1.0, buy=5.0, recurring=1.0) == 1.0
+
+    def test_rent_must_be_positive(self):
+        with pytest.raises(ValueError):
+            competitive_ratio(0.0, 1.0)
+
+
+class TestStatefulDecisions:
+    def test_rents_until_threshold_then_buys(self):
+        sr = SkiRental(rent=1.0, buy=3.0)
+        decisions = []
+        for _ in range(5):
+            if sr.should_buy_next():
+                sr.record_buy()
+                decisions.append("buy")
+            else:
+                sr.record_rent()
+                decisions.append("rent")
+        assert decisions == ["rent", "rent", "rent", "buy", "rent"][:5] or decisions[:4] == [
+            "rent",
+            "rent",
+            "rent",
+            "buy",
+        ]
+
+    def test_never_buys_after_buying(self):
+        sr = SkiRental(rent=1.0, buy=0.5)
+        assert sr.should_buy_next()
+        sr.record_buy()
+        assert not sr.should_buy_next()
+
+    def test_infinite_threshold_never_buys(self):
+        sr = SkiRental(rent=1.0, buy=10.0, recurring=1.0)
+        for _ in range(1000):
+            assert not sr.should_buy_next()
+            sr.record_rent()
+
+
+class TestSimulation:
+    def test_worst_case_hits_paper_bound(self):
+        """Buying on the last access realizes the 2 - br/r ratio."""
+        rent, buy, rec = 1.0, 10.0, 0.5
+        threshold = buy_threshold(rent, buy, rec)  # 20
+        outcome = SkiRental.simulate(int(threshold) + 1, rent, buy, rec)
+        assert outcome.bought_at == int(threshold) + 1
+        bound = competitive_ratio(rent, buy, rec)
+        assert outcome.ratio <= bound + 1e-9
+        # Worst case is tight up to integer rounding of the threshold.
+        assert outcome.ratio > bound - 0.1
+
+    def test_zero_accesses(self):
+        outcome = SkiRental.simulate(0, 1.0, 10.0)
+        assert outcome.online_cost == 0.0
+        assert outcome.ratio == 1.0
+
+    def test_long_runs_approach_optimal(self):
+        outcome = SkiRental.simulate(10_000, 1.0, 10.0, 0.1)
+        # With many accesses both online and offline buy early; the
+        # overhead amortizes away.
+        assert outcome.ratio < 1.02
+
+    def test_negative_accesses_rejected(self):
+        with pytest.raises(ValueError):
+            SkiRental.simulate(-1, 1.0, 1.0)
+
+
+@given(
+    accesses=st.integers(min_value=0, max_value=400),
+    rent=st.floats(min_value=0.01, max_value=10.0),
+    buy=st.floats(min_value=0.0, max_value=100.0),
+    recurring=st.floats(min_value=0.0, max_value=10.0),
+)
+@settings(max_examples=200, deadline=None)
+def test_property_competitive_guarantee_holds(accesses, rent, buy, recurring):
+    """The online cost never exceeds (2 - br/r) x the offline optimum.
+
+    This is the paper's Section 4.2.1 worst-case guarantee, checked
+    over arbitrary access counts and cost combinations (including the
+    always-rent regime where the ratio is 1).
+    """
+    outcome = SkiRental.simulate(accesses, rent, buy, recurring)
+    bound = competitive_ratio(rent, buy, recurring)
+    assert outcome.online_cost <= bound * outcome.offline_cost + 1e-6

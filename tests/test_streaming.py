@@ -1,0 +1,113 @@
+"""Tests for the Muppet analog (MapUpdate + streaming join benchmark)."""
+
+import pytest
+
+from repro.streaming.muppet import MuppetJoinSimulation, MuppetLocal
+from repro.workloads.synthetic import SyntheticWorkload
+from repro.workloads.tweets import tweet_annotation_workload
+
+
+class TestMuppetLocal:
+    def test_map_update_fold(self):
+        app = MuppetLocal(
+            map_fn=lambda e: [(e % 2, 1)],
+            update_fn=lambda k, v, slate: (slate or 0) + v,
+        )
+        slates = app.run(range(10))
+        assert slates == {0: 5, 1: 5}
+        assert app.events_processed == 10
+
+    def test_multiple_records_per_event(self):
+        app = MuppetLocal(
+            map_fn=lambda e: [("a", e), ("b", e)],
+            update_fn=lambda k, v, slate: (slate or []) + [v],
+        )
+        slates = app.run([1, 2])
+        assert slates == {"a": [1, 2], "b": [1, 2]}
+
+    def test_pre_map_prefetching(self):
+        store = {i: i * 100 for i in range(10)}
+        fetch_calls = []
+
+        def bulk_fetch(keys):
+            fetch_calls.append(list(keys))
+            return {k: store[k] for k in keys}
+
+        app = MuppetLocal(
+            map_fn=lambda e, values: [(e, values[e])],
+            update_fn=lambda k, v, slate: v,
+            pre_map=lambda e: [e],
+            bulk_fetch=bulk_fetch,
+            window=5,
+        )
+        slates = app.run(range(10))
+        assert slates == {i: i * 100 for i in range(10)}
+        assert len(fetch_calls) == 2  # two windows of five
+
+    def test_pre_map_requires_bulk_fetch(self):
+        with pytest.raises(ValueError):
+            MuppetLocal(
+                map_fn=lambda e: [],
+                update_fn=lambda k, v, s: v,
+                pre_map=lambda e: [e],
+            )
+
+
+class TestMuppetJoinSimulation:
+    def make_sim(self, **kwargs):
+        wl = SyntheticWorkload.compute_heavy(n_keys=300, n_tuples=900, skew=1.0)
+        defaults = dict(
+            table=wl.build_table(),
+            udf=wl.udf,
+            sizes=wl.sizes,
+            n_compute_nodes=2,
+            n_data_nodes=2,
+            seed=3,
+        )
+        defaults.update(kwargs)
+        return wl, MuppetJoinSimulation(**defaults)
+
+    def test_throughput_reported(self):
+        wl, sim = self.make_sim()
+        result = sim.run("FO", wl.keys())
+        assert result.n_tuples == 900
+        assert result.throughput == pytest.approx(900 / result.duration)
+
+    def test_accepts_strategy_objects(self):
+        from repro.engine.strategies import Strategy
+
+        wl, sim = self.make_sim()
+        result = sim.run(Strategy.fd(), wl.keys())
+        assert result.strategy == "FD"
+
+    def test_fo_beats_no_on_skewed_stream(self):
+        models, stream = tweet_annotation_workload(
+            n_entities=400, n_mentions=2500, seed=2
+        )
+        throughputs = {}
+        for strategy in ("NO", "FO"):
+            sim = MuppetJoinSimulation(
+                table=models.build_table(),
+                udf=models.udf,
+                sizes=models.sizes,
+                n_compute_nodes=2,
+                n_data_nodes=2,
+                seed=2,
+            )
+            throughputs[strategy] = sim.run(strategy, stream.mentions).throughput
+        assert throughputs["FO"] > throughputs["NO"]
+
+
+class TestMuppetRateRuns:
+    def test_rate_run_reports_latency(self):
+        from repro.workloads.synthetic import SyntheticWorkload
+
+        wl = SyntheticWorkload.compute_heavy(n_keys=200, n_tuples=600, skew=1.0)
+        sim = MuppetJoinSimulation(
+            table=wl.build_table(), udf=wl.udf, sizes=wl.sizes,
+            n_compute_nodes=2, n_data_nodes=2, seed=9,
+        )
+        result = sim.run_at_rate("FO", wl.keys(), arrivals_per_second=150)
+        assert result.n_tuples == 600
+        assert result.mean_latency > 0
+        assert result.latency_percentile(99) >= result.latency_percentile(50)

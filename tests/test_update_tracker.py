@@ -1,0 +1,52 @@
+"""Tests for update staleness detection (Section 4.2.3)."""
+
+from repro.core.update_tracker import UpdateTracker
+
+
+def make_tracker():
+    stale = []
+    tracker = UpdateTracker(on_stale=stale.append)
+    return tracker, stale
+
+
+class TestTimestampPiggybacking:
+    def test_first_observation_is_not_stale(self):
+        tracker, stale = make_tracker()
+        assert not tracker.observe_timestamp("k", 1.0)
+        assert stale == []
+
+    def test_newer_timestamp_fires_staleness(self):
+        tracker, stale = make_tracker()
+        tracker.observe_timestamp("k", 1.0)
+        assert tracker.observe_timestamp("k", 2.0)
+        assert stale == ["k"]
+        assert tracker.invalidations == 1
+
+    def test_equal_timestamp_is_fresh(self):
+        tracker, stale = make_tracker()
+        tracker.observe_timestamp("k", 1.0)
+        assert not tracker.observe_timestamp("k", 1.0)
+        assert stale == []
+
+    def test_multiple_updates_each_fire(self):
+        tracker, stale = make_tracker()
+        tracker.observe_timestamp("k", 1.0)
+        tracker.observe_timestamp("k", 2.0)
+        tracker.observe_timestamp("k", 3.0)
+        assert stale == ["k", "k"]
+
+
+class TestNotifications:
+    def test_direct_notification_fires_immediately(self):
+        tracker, stale = make_tracker()
+        tracker.notify_update("k", 5.0)
+        assert stale == ["k"]
+        # The notified timestamp is recorded: the next response with
+        # the same timestamp is fresh.
+        assert not tracker.observe_timestamp("k", 5.0)
+
+    def test_forget(self):
+        tracker, stale = make_tracker()
+        tracker.observe_timestamp("k", 1.0)
+        tracker.forget("k")
+        assert not tracker.observe_timestamp("k", 9.0)

@@ -1,0 +1,102 @@
+"""End-to-end tests of data-store updates during a running job.
+
+Section 4.2.3: updated rows must not be served from stale caches, and
+frequently updated keys should not keep getting bought.  Both update
+channels are exercised — timestamp piggybacking (default) and targeted
+notifications.
+"""
+
+import pytest
+
+from repro.engine.job import JoinJob
+from repro.engine.strategies import Strategy
+from repro.sim.cluster import Cluster
+from repro.workloads.synthetic import SyntheticWorkload
+
+
+def make_job(update_notifications=False, seed=23):
+    workload = SyntheticWorkload.data_heavy(
+        n_keys=200, n_tuples=4000, skew=1.5, seed=seed
+    )
+    cluster = Cluster.homogeneous(4)
+    job = JoinJob(
+        cluster=cluster,
+        compute_nodes=[0, 1],
+        data_nodes=[2, 3],
+        table=workload.build_table(),
+        udf=workload.udf,
+        strategy=Strategy.fo(),
+        sizes=workload.sizes,
+        memory_cache_bytes=50e6,
+        update_notifications=update_notifications,
+        seed=seed,
+    )
+    return workload, job
+
+
+def hot_key(workload):
+    from collections import Counter
+
+    return Counter(workload.keys()).most_common(1)[0][0]
+
+
+class TestTimestampChannel:
+    def test_updates_invalidate_and_reset(self):
+        workload, job = make_job(update_notifications=False)
+        key = hot_key(workload)
+        updates = [(0.05 * i, key, f"v{i}") for i in range(1, 8)]
+        result = job.run(workload.keys(), updates=updates)
+        assert result.n_tuples == 4000
+        invalidations = sum(
+            rt.optimizer.updates.invalidations for rt in job.runtimes.values()
+        )
+        assert invalidations > 0
+
+    def test_updated_run_is_slower_than_static(self):
+        """Invalidations force re-fetches / re-rents: measurable cost."""
+        workload, static_job = make_job(seed=29)
+        static = static_job.run(workload.keys())
+        workload2, updated_job = make_job(seed=29)
+        key = hot_key(workload2)
+        updates = [(0.02 * i, key, f"v{i}") for i in range(1, 20)]
+        updated = updated_job.run(workload2.keys(), updates=updates)
+        assert updated.makespan >= static.makespan * 0.95
+
+    def test_job_completes_with_many_updates(self):
+        workload, job = make_job()
+        keys = list(range(50))
+        updates = [(0.01 * i, keys[i % 50], f"v{i}") for i in range(100)]
+        result = job.run(workload.keys(), updates=updates)
+        assert result.n_tuples == 4000
+
+
+class TestNotificationChannel:
+    @staticmethod
+    def _mid_run_time():
+        """An update time safely after warm-up but before the end."""
+        workload, dry = make_job(update_notifications=True)
+        makespan = dry.run(workload.keys()).makespan
+        return 0.7 * makespan
+
+    def test_notifications_reach_cached_copies(self):
+        when = self._mid_run_time()
+        workload, job = make_job(update_notifications=True)
+        key = hot_key(workload)
+        result = job.run(workload.keys(), updates=[(when, key, "fresh")])
+        assert result.n_tuples == 4000
+        # The data node recorded cached copies and pushed to them —
+        # targeted, so at most one push per compute node per update.
+        assert 0 < job.kvstore.notifications_sent <= len(job.runtimes)
+
+    def test_notifications_trigger_invalidations(self):
+        when = self._mid_run_time()
+        workload, job = make_job(update_notifications=True)
+        key = hot_key(workload)
+        result = job.run(
+            workload.keys(), updates=[(when, key, "a"), (when * 1.1, key, "b")]
+        )
+        assert result.n_tuples == 4000
+        invalidations = sum(
+            rt.optimizer.updates.invalidations for rt in job.runtimes.values()
+        )
+        assert invalidations > 0

@@ -1,0 +1,122 @@
+"""Tests for the annotation and tweet workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.annotation import AnnotationWorkload
+from repro.workloads.tweets import TweetStream, tweet_annotation_workload
+
+
+class TestAnnotationModels:
+    def test_reproducible(self):
+        a = AnnotationWorkload(n_tokens=100, n_docs=10, seed=1)
+        b = AnnotationWorkload(n_tokens=100, n_docs=10, seed=1)
+        assert a.model_sizes == b.model_sizes
+        assert a.documents == b.documents
+
+    def test_sizes_within_bounds(self):
+        wl = AnnotationWorkload(n_tokens=500, n_docs=0, seed=2)
+        sizes = list(wl.model_sizes.values())
+        assert min(sizes) >= wl.min_model_bytes
+        assert max(sizes) <= wl.max_model_bytes
+
+    def test_sizes_heavy_tailed(self):
+        wl = AnnotationWorkload(n_tokens=2000, n_docs=0, seed=2)
+        sizes = np.array(list(wl.model_sizes.values()))
+        assert np.mean(sizes) > 1.5 * np.median(sizes)
+
+    def test_hot_tokens_capped(self):
+        wl = AnnotationWorkload(n_tokens=1000, n_docs=0, seed=2)
+        cap = wl.hot_size_cap_multiple * wl.median_model_bytes
+        n_hot = max(int(wl.n_tokens * wl.hot_fraction), 1)
+        for token in range(n_hot):
+            assert wl.model_sizes[token] <= cap
+
+    def test_costs_correlate_with_size(self):
+        wl = AnnotationWorkload(n_tokens=2000, n_docs=0, seed=2)
+        sizes = np.array([wl.model_sizes[t] for t in range(2000)])
+        costs = np.array([wl.model_costs[t] for t in range(2000)])
+        assert np.corrcoef(sizes, costs)[0, 1] > 0.4
+
+    def test_hydration_increases_with_size(self):
+        wl = AnnotationWorkload(n_tokens=100, n_docs=0, seed=2)
+        big = max(wl.model_sizes, key=wl.model_sizes.get)
+        small = min(wl.model_sizes, key=wl.model_sizes.get)
+        assert wl.model_hydration[big] > wl.model_hydration[small]
+
+    def test_table_carries_all_costs(self):
+        wl = AnnotationWorkload(n_tokens=50, n_docs=5, seed=2)
+        table = wl.build_table()
+        assert len(table) == 50
+        row = table.get(0)
+        assert row.size == wl.model_sizes[0]
+        assert row.compute_cost == wl.model_costs[0]
+        assert row.hydration_cost == wl.model_hydration[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AnnotationWorkload(n_tokens=0)
+        with pytest.raises(ValueError):
+            AnnotationWorkload(min_model_bytes=10.0, max_model_bytes=1.0)
+
+
+class TestAnnotationCorpus:
+    def test_spot_stream_flattens_documents(self):
+        wl = AnnotationWorkload(n_tokens=100, n_docs=20, seed=3)
+        assert len(wl.spot_stream()) == wl.n_spots
+        assert wl.n_spots == sum(len(d) for d in wl.documents)
+
+    def test_spots_reference_valid_tokens(self):
+        wl = AnnotationWorkload(n_tokens=100, n_docs=20, seed=3)
+        assert all(0 <= t < 100 for t in wl.spot_stream())
+
+    def test_popularity_skew(self):
+        wl = AnnotationWorkload(n_tokens=500, n_docs=200, seed=3)
+        from collections import Counter
+
+        counts = Counter(wl.spot_stream())
+        assert counts.most_common(1)[0][1] > 5 * wl.n_spots / 500
+
+    def test_sizes_profile(self):
+        wl = AnnotationWorkload(n_tokens=100, n_docs=10, seed=3)
+        assert wl.sizes.param_size == wl.context_bytes
+        assert wl.udf.result_size == wl.annotation_bytes
+
+
+class TestTweetStream:
+    def test_reproducible(self):
+        a = TweetStream(n_entities=200, n_mentions=1000, seed=4).mentions
+        b = TweetStream(n_entities=200, n_mentions=1000, seed=4).mentions
+        assert a == b
+
+    def test_length_and_range(self):
+        stream = TweetStream(n_entities=200, n_mentions=999, seed=4)
+        assert len(stream.mentions) == 999
+        assert all(0 <= e < 200 for e in stream.mentions)
+
+    def test_bursts_create_window_dominance(self):
+        stream = TweetStream(
+            n_entities=1000, n_mentions=5000, burst_every=1000,
+            burst_share=0.4, seed=4,
+        )
+        trending = stream.trending_entities()
+        assert len(trending) == 5
+        # The trending entity changes across windows (drift).
+        assert len(set(trending)) > 1
+
+    def test_no_burst_share_validates(self):
+        with pytest.raises(ValueError):
+            TweetStream(burst_share=1.0)
+        with pytest.raises(ValueError):
+            TweetStream(burst_every=0)
+        with pytest.raises(ValueError):
+            TweetStream(n_entities=0)
+
+    def test_workload_helper(self):
+        models, stream = tweet_annotation_workload(
+            n_entities=300, n_mentions=500, seed=1
+        )
+        assert len(models.model_sizes) == 300
+        assert len(stream.mentions) == 500
+        # Tweet models are lighter than document-annotation models.
+        assert models.median_model_bytes < AnnotationWorkload().median_model_bytes

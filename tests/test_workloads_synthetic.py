@@ -1,0 +1,125 @@
+"""Tests for Zipf streams and the DH/CH/DCH synthetic workloads."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.synthetic import SyntheticWorkload
+from repro.workloads.zipf import ZipfKeySequence, zipf_probabilities
+
+
+class TestZipfProbabilities:
+    def test_sums_to_one(self):
+        assert zipf_probabilities(100, 1.2).sum() == pytest.approx(1.0)
+
+    def test_zero_skew_is_uniform(self):
+        p = zipf_probabilities(10, 0.0)
+        assert np.allclose(p, 0.1)
+
+    def test_monotone_decreasing_in_rank(self):
+        p = zipf_probabilities(50, 1.0)
+        assert (np.diff(p) < 0).all()
+
+    def test_higher_skew_concentrates_mass(self):
+        low = zipf_probabilities(100, 0.5)[0]
+        high = zipf_probabilities(100, 1.5)[0]
+        assert high > low
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_probabilities(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_probabilities(10, -0.5)
+
+
+class TestZipfKeySequence:
+    def test_reproducible(self):
+        a = ZipfKeySequence(100, 1.0, seed=3).draw(500)
+        b = ZipfKeySequence(100, 1.0, seed=3).draw(500)
+        assert (a == b).all()
+
+    def test_keys_in_range(self):
+        keys = ZipfKeySequence(50, 1.5, seed=1).draw(1000)
+        assert keys.min() >= 0
+        assert keys.max() < 50
+
+    def test_skewed_stream_has_heavy_hitter(self):
+        keys = ZipfKeySequence(1000, 1.5, seed=1).draw(5000)
+        _values, counts = np.unique(keys, return_counts=True)
+        assert counts.max() > 0.1 * 5000
+
+    def test_shifts_change_hot_keys(self):
+        seq = ZipfKeySequence(500, 1.5, seed=1)
+        keys = seq.draw_with_shifts(4000, shifts=1)
+        first, second = keys[:2000], keys[2000:]
+        hot_first = np.bincount(first, minlength=500).argmax()
+        hot_second = np.bincount(second, minlength=500).argmax()
+        assert hot_first != hot_second
+
+    def test_zero_shifts_equals_static(self):
+        seq = ZipfKeySequence(100, 1.0, seed=2)
+        assert (seq.draw_with_shifts(300, 0) == seq.draw(300)).all()
+
+    def test_negative_shifts_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfKeySequence(10, 1.0).draw_with_shifts(10, -1)
+
+    def test_expected_counts(self):
+        seq = ZipfKeySequence(10, 0.0, seed=0)
+        assert seq.expected_counts(100).sum() == pytest.approx(100.0)
+
+
+class TestSyntheticWorkload:
+    def test_profiles_match_paper_characterization(self):
+        dh = SyntheticWorkload.data_heavy()
+        ch = SyntheticWorkload.compute_heavy()
+        dch = SyntheticWorkload.data_compute_heavy()
+        assert dh.value_size > 10 * ch.value_size
+        assert ch.compute_cost > 100 * dh.compute_cost
+        assert dch.value_size == dh.value_size
+        assert dch.compute_cost == ch.compute_cost
+
+    def test_by_name(self):
+        assert SyntheticWorkload.by_name("dh").name == "DH"
+        with pytest.raises(ValueError):
+            SyntheticWorkload.by_name("nope")
+
+    def test_table_has_one_row_per_key(self):
+        wl = SyntheticWorkload.data_heavy(n_keys=50, n_tuples=10)
+        table = wl.build_table()
+        assert len(table) == 50
+        row = table.get(0)
+        assert row.size == wl.value_size
+        assert row.compute_cost == wl.compute_cost
+
+    def test_keys_stream_length(self):
+        wl = SyntheticWorkload.compute_heavy(n_keys=20, n_tuples=77)
+        assert len(wl.keys()) == 77
+
+    def test_sizes_profile_consistency(self):
+        wl = SyntheticWorkload.data_heavy(n_keys=5, n_tuples=5)
+        assert wl.sizes.value_size == wl.value_size
+        assert wl.udf.result_size == wl.result_size
+
+    def test_stored_bytes(self):
+        wl = SyntheticWorkload.data_heavy(n_keys=10, n_tuples=1)
+        assert wl.stored_bytes == 10 * wl.value_size
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticWorkload("X", n_keys=0, n_tuples=1, skew=0.0,
+                              value_size=1.0, compute_cost=0.0)
+
+
+@given(
+    n_keys=st.integers(min_value=1, max_value=200),
+    skew=st.floats(min_value=0.0, max_value=2.0),
+    n=st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_draws_valid_keys(n_keys, skew, n):
+    keys = ZipfKeySequence(n_keys, skew, seed=0).draw(n)
+    assert len(keys) == n
+    if n:
+        assert keys.min() >= 0 and keys.max() < n_keys
