@@ -143,6 +143,12 @@ class CostModel:
         self._remote_compute = SmoothedValue(alpha=alpha)
         # Per-key overrides for the key-specific quantities.
         self._per_key: dict[Hashable, _KeyEstimates] = {}
+        # Retry charging: wall time burned waiting on requests that
+        # timed out.  Folded into the per-node remote estimates so a
+        # flaky or crashed data node *looks* expensive to ski-rental,
+        # and surfaced as counters for the metrics layer.
+        self._timeouts_per_node: dict[int, int] = {}
+        self._retry_seconds = 0.0
 
     # ------------------------------------------------------------------
     # Observation side: fold measured parameters into the estimates.
@@ -170,6 +176,37 @@ class CostModel:
     def observe_local_compute(self, seconds: float) -> None:
         """Record a locally measured UDF execution time (``tc_i``)."""
         self._local_compute.observe(seconds)
+
+    def observe_timeout(self, data_node: int, waited: float) -> None:
+        """Charge one request timeout against ``data_node``.
+
+        ``waited`` seconds were spent with nothing to show for them, so
+        they are folded into the node's measured disk time — the term
+        that appears in both ``tCompute`` and ``tFetch`` — making every
+        remote option against this node proportionally less attractive
+        until fresh successful responses wash the penalty out.
+        """
+        if waited < 0:
+            raise ValueError("waited must be non-negative")
+        self._timeouts_per_node[data_node] = (
+            self._timeouts_per_node.get(data_node, 0) + 1
+        )
+        self._retry_seconds += waited
+        node_disk = self._remote_disk.get(data_node)
+        if node_disk is None:
+            node_disk = SmoothedValue(alpha=self._alpha)
+            self._remote_disk[data_node] = node_disk
+        node_disk.observe(waited)
+
+    @property
+    def timeouts_charged(self) -> int:
+        """Total request timeouts folded into the estimates."""
+        return sum(self._timeouts_per_node.values())
+
+    @property
+    def retry_seconds_charged(self) -> float:
+        """Total wall seconds burned on timed-out requests."""
+        return self._retry_seconds
 
     def forget_key(self, key: Hashable) -> None:
         """Drop per-key estimates (e.g. after a data-store update)."""

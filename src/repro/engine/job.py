@@ -25,6 +25,9 @@ from repro.core.load_balancer import BatchLoadBalancer, SizeProfile
 from repro.engine.compute_node import ComputeNodeRuntime
 from repro.engine.requests import UDF
 from repro.engine.strategies import StrategyConfig
+from repro.faults.injector import FaultInjector
+from repro.faults.policy import FaultTolerance
+from repro.faults.schedule import FaultSchedule
 from repro.sim.cluster import Cluster
 from repro.sim.rng import derive_seed
 from repro.store.datanode import DataNodeServer
@@ -49,6 +52,13 @@ class JobResult:
     data_requests: int
     lb_kept_fraction: float
     events: int
+    #: Fault-handling counters (all zero on a healthy, timeout-free run).
+    timeouts: int = 0
+    retries: int = 0
+    fallbacks: int = 0
+    duplicate_responses: int = 0
+    duplicate_requests: int = 0
+    messages_faulted: int = 0
 
     @property
     def throughput(self) -> float:
@@ -164,10 +174,22 @@ class JoinJob:
     trace: Any = None
     exact_counting: bool = False
     use_exact_balancer: bool = False
+    #: Deterministic fault plan (repro.faults); installed at job
+    #: construction so crash windows, stragglers, chaos and update
+    #: faults are armed before the first tuple moves.
+    fault_schedule: FaultSchedule | None = None
+    #: Retry/timeout/fallback configuration; without it a fault
+    #: schedule that loses messages will stall the job (and ``run``
+    #: will say so).
+    fault_tolerance: FaultTolerance | None = None
+    #: Optional repro.metrics.trace.FaultTrace recording injections and
+    #: the engine's reactions.
+    fault_trace: Any = None
     seed: int = 0
     kvstore: KVStore = field(init=False)
     servers: dict[int, DataNodeServer] = field(init=False)
     runtimes: dict[int, ComputeNodeRuntime] = field(init=False)
+    injector: FaultInjector | None = field(init=False, default=None)
 
     def __post_init__(self) -> None:
         if not self.compute_nodes or not self.data_nodes:
@@ -195,6 +217,13 @@ class JoinJob:
         self._completions = 0
         self._last_finish = 0.0
         self.runtimes = {}
+        if self.fault_schedule is not None:
+            self.injector = FaultInjector(
+                self.fault_schedule, trace=self.fault_trace
+            )
+            self.injector.install(
+                self.cluster, servers=self.servers, kvstore=self.kvstore
+            )
 
     # ------------------------------------------------------------------
     # Execution
@@ -263,6 +292,8 @@ class JoinJob:
                 update_notifications=self.update_notifications,
                 trace=self.trace,
                 adaptive_batching=self.adaptive_batching,
+                fault_tolerance=self.fault_tolerance,
+                fault_trace=self.fault_trace,
                 seed=derive_seed(self.seed, f"cn:{cn}"),
             )
             self.runtimes[cn] = runtime
@@ -292,8 +323,17 @@ class JoinJob:
         self.cluster.sim.run()
 
         if self._completions != n_tuples:
+            hint = ""
+            if self.fault_schedule is not None and (
+                self.fault_tolerance is None or not self.fault_tolerance.enabled
+            ):
+                hint = (
+                    " (a fault schedule is active but fault tolerance is "
+                    "disabled; lost messages are never retried)"
+                )
             raise RuntimeError(
-                f"job stalled: {self._completions}/{n_tuples} tuples completed"
+                f"job stalled: {self._completions}/{n_tuples} tuples "
+                f"completed{hint}"
             )
         return self._collect(n_tuples)
 
@@ -355,6 +395,8 @@ class JoinJob:
                 update_notifications=self.update_notifications,
                 trace=self.trace,
                 adaptive_batching=self.adaptive_batching,
+                fault_tolerance=self.fault_tolerance,
+                fault_trace=self.fault_trace,
                 seed=derive_seed(self.seed, f"cn:{cn}"),
             )
         self.runtimes.update(runtimes)
@@ -422,6 +464,15 @@ class JoinJob:
             for server in self.servers.values()
             if server.balancer.decisions > 0
         ]
+        timeouts = sum(r.timeouts for r in self.runtimes.values())
+        retries = sum(r.retries for r in self.runtimes.values())
+        fallbacks = sum(r.fallbacks for r in self.runtimes.values())
+        dup_responses = sum(
+            r.duplicate_responses for r in self.runtimes.values()
+        )
+        dup_requests = sum(
+            server.duplicate_requests for server in self.servers.values()
+        )
         return JobResult(
             strategy=self.strategy.name,
             n_tuples=n_tuples,
@@ -435,6 +486,14 @@ class JoinJob:
             data_requests=data_reqs,
             lb_kept_fraction=sum(kept) / len(kept) if kept else 0.0,
             events=self.cluster.sim.events_processed,
+            timeouts=timeouts,
+            retries=retries,
+            fallbacks=fallbacks,
+            duplicate_responses=dup_responses,
+            duplicate_requests=dup_requests,
+            messages_faulted=(
+                self.injector.messages_faulted if self.injector else 0
+            ),
         )
 
 

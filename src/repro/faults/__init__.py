@@ -1,0 +1,34 @@
+"""Deterministic fault injection for the join engine.
+
+Public surface:
+
+* :class:`~repro.faults.schedule.FaultSchedule` and its fault event
+  types — a seeded, explicit plan of everything that will go wrong;
+* :class:`~repro.faults.injector.FaultInjector` — arms a schedule on a
+  live cluster (network chaos, crash windows, stragglers, updates);
+* :class:`~repro.faults.policy.FaultTolerance` — the engine-side
+  retry/timeout/fallback configuration that lets jobs survive the
+  schedule with oracle-identical output.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.policy import FaultTolerance
+from repro.faults.schedule import (
+    CrashFault,
+    FaultSchedule,
+    MessageChaos,
+    ReplaySlice,
+    StragglerFault,
+    UpdateFault,
+)
+
+__all__ = [
+    "CrashFault",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultTolerance",
+    "MessageChaos",
+    "ReplaySlice",
+    "StragglerFault",
+    "UpdateFault",
+]

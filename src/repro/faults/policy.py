@@ -1,0 +1,77 @@
+"""Fault-tolerance policy: the engine's retry/timeout/fallback knobs.
+
+The state machine lives in :class:`repro.engine.compute_node
+.ComputeNodeRuntime`; this dataclass is its configuration:
+
+1. Every sent batch arms a timeout (``request_timeout`` scaled by
+   ``backoff_factor ** attempt``, capped at ``max_backoff``).
+2. A timed-out batch is re-sent with the *same* idempotency token —
+   the data node replays its cached response if the original request
+   actually arrived and only the response was lost.
+3. After ``max_retries`` timeouts a compute batch degrades to a data
+   request against a replica data node: fetch the raw value from a
+   healthy copy and run the UDF locally.  Fallback requests carry the
+   same machinery, cycling through replicas until one answers.
+
+Every timeout is charged to the cost model
+(:meth:`repro.core.cost_model.CostModel.observe_timeout`), so the
+optimizer learns to route around nodes that keep timing out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FaultTolerance:
+    """Retry/timeout/fallback configuration for one job.
+
+    Attributes
+    ----------
+    request_timeout:
+        Seconds to wait for a batch response before retrying.  ``None``
+        disables the whole machinery (the pre-fault-tolerance engine).
+    max_retries:
+        Retries against the primary before degrading to a replica.
+    backoff_factor:
+        Multiplier applied to the timeout on each successive attempt
+        (bounded exponential backoff).
+    max_backoff:
+        Upper bound on any single attempt's timeout.
+    fallback_to_replica:
+        Whether exhausted compute batches degrade to data requests
+        against replica partitions; when False the batch keeps
+        retrying its primary forever (liveness then depends on the
+        primary recovering).
+    """
+
+    request_timeout: float | None = None
+    max_retries: int = 3
+    backoff_factor: float = 2.0
+    max_backoff: float = 60.0
+    fallback_to_replica: bool = True
+
+    def __post_init__(self) -> None:
+        if self.request_timeout is not None and self.request_timeout <= 0:
+            raise ValueError("request_timeout must be positive (or None)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.max_backoff <= 0:
+            raise ValueError("max_backoff must be positive")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether timeouts are armed at all."""
+        return self.request_timeout is not None
+
+    def timeout_for(self, attempt: int) -> float:
+        """Timeout for the given (0-based) attempt, with backoff."""
+        if self.request_timeout is None:
+            raise ValueError("fault tolerance is disabled")
+        return min(
+            self.request_timeout * self.backoff_factor ** attempt,
+            self.max_backoff,
+        )

@@ -1,0 +1,272 @@
+"""Deterministic fault schedules.
+
+A :class:`FaultSchedule` is a *value*: a seeded, fully explicit list of
+everything that will go wrong during a run.  Handing the same schedule
+to two runs perturbs them identically, which is what makes fault
+testing reproducible — the differential oracle in ``tests/oracle.py``
+replays a workload under a schedule and checks the output bit-for-bit
+against a naive single-node join.
+
+Fault types (the paper's Section 9.1.1 observations, generalized):
+
+* :class:`CrashFault` — a data node dies and restarts later, losing
+  every in-flight request and response addressed to it.
+* :class:`MessageChaos` — a window during which the network drops,
+  duplicates or delays (and therefore reorders) messages with seeded
+  probabilities.
+* :class:`StragglerFault` — a data node serves every request
+  ``slowdown`` times slower during a window.
+* :class:`UpdateFault` — a mid-run table update racing with cached
+  values (Section 4.2.3's consistency hazard, injected on purpose).
+* :class:`ReplaySlice` — a speculative task restart: a contiguous
+  slice of the input is fed again (Section 9.1.1's duplicated map
+  tasks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Hashable, Sequence
+
+from repro.sim.rng import make_rng
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """Data node ``node_id`` is down during ``[at, at + duration)``."""
+
+    node_id: int
+    at: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.at < 0 or self.duration <= 0:
+            raise ValueError("crash needs at >= 0 and duration > 0")
+
+    @property
+    def restart_at(self) -> float:
+        return self.at + self.duration
+
+
+@dataclass(frozen=True)
+class StragglerFault:
+    """Data node ``node_id`` runs ``slowdown``x slower in a window."""
+
+    node_id: int
+    at: float
+    duration: float
+    slowdown: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.at < 0 or self.duration <= 0:
+            raise ValueError("straggler needs at >= 0 and duration > 0")
+        if self.slowdown < 1.0:
+            raise ValueError("slowdown must be >= 1")
+
+
+@dataclass(frozen=True)
+class MessageChaos:
+    """Window of probabilistic message faults on every non-local link.
+
+    Each message sent while the window is active independently:
+
+    * disappears with probability ``drop``,
+    * is delivered twice with probability ``duplicate`` (the second
+      copy ``max_delay``-bounded later — retried work arriving twice),
+    * is delayed by up to ``max_delay`` seconds with probability
+      ``delay`` (overtaking later traffic, i.e. reordering).
+
+    Draws come from the injector's RNG, seeded by the schedule, so the
+    same schedule faults the same messages in an identical run.
+    """
+
+    at: float
+    duration: float
+    drop: float = 0.0
+    duplicate: float = 0.0
+    delay: float = 0.0
+    max_delay: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.at < 0 or self.duration <= 0:
+            raise ValueError("chaos needs at >= 0 and duration > 0")
+        for name in ("drop", "duplicate", "delay"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p!r}")
+        if self.drop + self.duplicate + self.delay > 1.0:
+            raise ValueError("fault probabilities must sum to <= 1")
+        if self.max_delay < 0:
+            raise ValueError("max_delay must be non-negative")
+
+
+@dataclass(frozen=True)
+class UpdateFault:
+    """The stored row for ``key`` changes to ``value`` at time ``at``."""
+
+    at: float
+    key: Hashable
+    value: Any
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("update time must be non-negative")
+
+
+@dataclass(frozen=True)
+class ReplaySlice:
+    """A restarted task replays ``[start, start + length)`` of the input.
+
+    Fractions of the input stream, mirroring how a speculative restart
+    re-feeds one task's contiguous input split.
+    """
+
+    start: float = 0.0
+    length: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.start <= 1.0 or not 0.0 < self.length <= 1.0:
+            raise ValueError("start must be in [0, 1], length in (0, 1]")
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """Everything that will go wrong during one run, ahead of time."""
+
+    seed: int = 0
+    crashes: tuple[CrashFault, ...] = ()
+    stragglers: tuple[StragglerFault, ...] = ()
+    chaos: tuple[MessageChaos, ...] = ()
+    updates: tuple[UpdateFault, ...] = ()
+    replays: tuple[ReplaySlice, ...] = ()
+
+    def __len__(self) -> int:
+        return (
+            len(self.crashes)
+            + len(self.stragglers)
+            + len(self.chaos)
+            + len(self.updates)
+            + len(self.replays)
+        )
+
+    @property
+    def fault_kinds(self) -> set[str]:
+        """Which fault families the schedule exercises."""
+        kinds = set()
+        if self.crashes:
+            kinds.add("crash")
+        if self.stragglers:
+            kinds.add("straggler")
+        if self.chaos:
+            kinds.add("chaos")
+        if self.updates:
+            kinds.add("update")
+        if self.replays:
+            kinds.add("replay")
+        return kinds
+
+    def with_seed(self, seed: int) -> "FaultSchedule":
+        """The same fault plan with a different chaos RNG stream."""
+        return replace(self, seed=seed)
+
+    def apply_replays(self, keys: Sequence[Hashable]) -> list[Hashable]:
+        """Expand the input stream with every replayed slice appended.
+
+        Mirrors a speculative restart: the duplicated split re-enters
+        the framework *after* the original input, as extra tuples.
+        """
+        expanded = list(keys)
+        n = len(expanded)
+        for replay in self.replays:
+            lo = int(replay.start * n)
+            hi = min(n, lo + max(int(replay.length * n), 1))
+            expanded.extend(keys[lo:hi])
+        return expanded
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        data_nodes: Sequence[int],
+        horizon: float,
+        keys: Sequence[Hashable] = (),
+        n_crashes: int = 1,
+        n_stragglers: int = 1,
+        n_chaos: int = 1,
+        n_updates: int = 0,
+        n_replays: int = 0,
+        max_slowdown: float = 6.0,
+        max_drop: float = 0.3,
+    ) -> "FaultSchedule":
+        """Draw a schedule deterministically from ``seed``.
+
+        ``horizon`` bounds fault windows: every fault starts within
+        ``[0, horizon)`` and lasts at most ``horizon / 4``, so a run
+        roughly ``horizon`` long always outlives its faults — the
+        retry/fallback machinery needs *eventual* health to guarantee
+        completion.
+        """
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if not data_nodes:
+            raise ValueError("need at least one data node to fault")
+        rng = make_rng(seed, "fault-schedule")
+        max_len = horizon / 4.0
+
+        def window() -> tuple[float, float]:
+            start = float(rng.uniform(0.0, horizon * 0.75))
+            length = float(rng.uniform(max_len * 0.1, max_len))
+            return start, length
+
+        crashes = []
+        for _ in range(n_crashes):
+            start, length = window()
+            crashes.append(CrashFault(
+                node_id=int(rng.choice(list(data_nodes))),
+                at=start, duration=length,
+            ))
+        stragglers = []
+        for _ in range(n_stragglers):
+            start, length = window()
+            stragglers.append(StragglerFault(
+                node_id=int(rng.choice(list(data_nodes))),
+                at=start, duration=length,
+                slowdown=float(rng.uniform(1.5, max_slowdown)),
+            ))
+        chaos = []
+        for _ in range(n_chaos):
+            start, length = window()
+            chaos.append(MessageChaos(
+                at=start, duration=length,
+                drop=float(rng.uniform(0.0, max_drop)),
+                duplicate=float(rng.uniform(0.0, 0.2)),
+                delay=float(rng.uniform(0.0, 0.2)),
+                max_delay=float(rng.uniform(0.005, 0.05)),
+            ))
+        updates = []
+        if n_updates and keys:
+            unique = sorted(set(keys), key=repr)
+            for i in range(n_updates):
+                key = unique[int(rng.integers(0, len(unique)))]
+                updates.append(UpdateFault(
+                    at=float(rng.uniform(0.0, horizon)),
+                    key=key,
+                    value=f"updated-{key}-{i}",
+                ))
+        replays = []
+        for _ in range(n_replays):
+            replays.append(ReplaySlice(
+                start=float(rng.uniform(0.0, 0.9)),
+                length=float(rng.uniform(0.02, 0.1)),
+            ))
+        return cls(
+            seed=seed,
+            crashes=tuple(crashes),
+            stragglers=tuple(stragglers),
+            chaos=tuple(chaos),
+            updates=tuple(updates),
+            replays=tuple(replays),
+        )

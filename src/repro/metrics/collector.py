@@ -51,3 +51,73 @@ def collect_usage(cluster: Cluster) -> ClusterUsage:
         disk_busy=[node.disk.stats().busy_time for node in cluster.nodes],
         bytes_moved=cluster.network.bytes_moved,
     )
+
+
+@dataclass(frozen=True)
+class FaultStats:
+    """Aggregate fault and fault-handling counters for one job run.
+
+    Injection side (what went wrong) comes from the
+    :class:`repro.faults.FaultInjector`; reaction side (how the engine
+    coped) from the compute-node runtimes and data-node servers.
+    """
+
+    messages_dropped: int = 0
+    messages_duplicated: int = 0
+    messages_delayed: int = 0
+    crash_drops: int = 0
+    timeouts: int = 0
+    retries: int = 0
+    fallbacks: int = 0
+    duplicate_responses: int = 0
+    duplicate_requests: int = 0
+    retry_seconds_charged: float = 0.0
+
+    @property
+    def messages_faulted(self) -> int:
+        """Messages the injector interfered with."""
+        return (
+            self.messages_dropped
+            + self.messages_duplicated
+            + self.messages_delayed
+            + self.crash_drops
+        )
+
+    @property
+    def recovery_actions(self) -> int:
+        """Engine-side reactions (retries + fallbacks)."""
+        return self.retries + self.fallbacks
+
+
+def collect_fault_stats(job) -> FaultStats:
+    """Aggregate fault counters from a finished :class:`JoinJob`.
+
+    Duck-typed on the job to keep the metrics layer import-free of the
+    engine; works with any object exposing ``runtimes``, ``servers``
+    and (optionally) ``injector``.
+    """
+    timeouts = retries = fallbacks = dup_responses = 0
+    retry_seconds = 0.0
+    for runtime in getattr(job, "runtimes", {}).values():
+        timeouts += runtime.timeouts
+        retries += runtime.retries
+        fallbacks += runtime.fallbacks
+        dup_responses += runtime.duplicate_responses
+        retry_seconds += runtime.cost_model.retry_seconds_charged
+    dup_requests = sum(
+        server.duplicate_requests
+        for server in getattr(job, "servers", {}).values()
+    )
+    injector = getattr(job, "injector", None)
+    return FaultStats(
+        messages_dropped=injector.messages_dropped if injector else 0,
+        messages_duplicated=injector.messages_duplicated if injector else 0,
+        messages_delayed=injector.messages_delayed if injector else 0,
+        crash_drops=injector.crash_drops if injector else 0,
+        timeouts=timeouts,
+        retries=retries,
+        fallbacks=fallbacks,
+        duplicate_responses=dup_responses,
+        duplicate_requests=dup_requests,
+        retry_seconds_charged=retry_seconds,
+    )

@@ -88,3 +88,47 @@ class RoutingTrace:
         for event in self._events:
             counts[event.node_id] += 1
         return dict(counts)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault or fault-handling action."""
+
+    time: float
+    kind: str
+    node_id: int
+    detail: str
+
+
+class FaultTrace:
+    """Recorder of fault injections and the engine's reactions.
+
+    Fed from two sides: the :class:`repro.faults.FaultInjector` records
+    what it inflicted (crashes, drops, stragglers, updates) and the
+    compute-node runtimes record how they coped (timeouts, retries,
+    fallbacks, ignored duplicates).  Reading the two interleaved is the
+    fastest way to debug a failing fault scenario.
+    """
+
+    def __init__(self) -> None:
+        self._events: list[FaultEvent] = []
+
+    def record(self, time: float, kind: str, node_id: int, detail: str) -> None:
+        """Append one event (called by injector and runtimes)."""
+        self._events.append(FaultEvent(time, kind, node_id, detail))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def events(self) -> list[FaultEvent]:
+        """All recorded events in occurrence order."""
+        return list(self._events)
+
+    def counts_by_kind(self) -> dict[str, int]:
+        """Events per kind (``crash``, ``drop``, ``retry``, ...)."""
+        return dict(Counter(e.kind for e in self._events))
+
+    def events_of_kind(self, kind: str) -> list[FaultEvent]:
+        """All events of one kind, in order."""
+        return [e for e in self._events if e.kind == kind]

@@ -118,6 +118,33 @@ class Cluster:
             )
             for i, spec in enumerate(specs)
         ]
+        # Crash/restart windows (fault injection): while a node is
+        # down, messages to and from it are lost — in-flight requests
+        # die with it, exactly like a process crash losing its queues.
+        self._down_windows: dict[int, list[tuple[float, float]]] = {}
+
+    # ------------------------------------------------------------------
+    # Fault windows
+    # ------------------------------------------------------------------
+    def schedule_downtime(self, node_id: int, start: float, end: float) -> None:
+        """Mark ``node_id`` as crashed during ``[start, end)``.
+
+        The node restarts (empty-handed) at ``end``.  Windows may be
+        registered before the simulation starts — the schedule is known
+        to the injector, not to the components it perturbs.
+        """
+        if not 0 <= node_id < len(self._nodes):
+            raise ValueError(f"unknown node {node_id}")
+        if end <= start:
+            raise ValueError("downtime window must have positive length")
+        self._down_windows.setdefault(node_id, []).append((start, end))
+
+    def node_is_down(self, node_id: int, at: float) -> bool:
+        """Whether ``node_id`` is crashed at time ``at``."""
+        return any(
+            start <= at < end
+            for start, end in self._down_windows.get(node_id, ())
+        )
 
     @classmethod
     def homogeneous(

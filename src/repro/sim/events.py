@@ -18,6 +18,24 @@ class SimulationError(RuntimeError):
     """Raised on misuse of the simulator (e.g. scheduling in the past)."""
 
 
+class EventHandle:
+    """Cancellation token for one scheduled callback.
+
+    Timeout timers (the engine's retry machinery) schedule far more
+    events than ever fire; cancelling is O(1) — the entry stays in the
+    heap but is skipped, uncounted, when popped.
+    """
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self) -> None:
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (idempotent)."""
+        self.cancelled = True
+
+
 class Simulator:
     """A deterministic discrete-event loop.
 
@@ -25,8 +43,8 @@ class Simulator:
     --------
     >>> sim = Simulator()
     >>> seen = []
-    >>> sim.schedule_at(2.0, lambda: seen.append("late"))
-    >>> sim.schedule_at(1.0, lambda: seen.append("early"))
+    >>> _ = sim.schedule_at(2.0, lambda: seen.append("late"))
+    >>> _ = sim.schedule_at(1.0, lambda: seen.append("early"))
     >>> sim.run()
     >>> seen
     ['early', 'late']
@@ -37,7 +55,7 @@ class Simulator:
     def __init__(self) -> None:
         self._now = 0.0
         self._seq = 0
-        self._queue: list[tuple[float, int, Callable[[], Any]]] = []
+        self._queue: list[tuple[float, int, Callable[[], Any], EventHandle]] = []
         self._events_processed = 0
 
     @property
@@ -55,8 +73,11 @@ class Simulator:
         """Number of callbacks still queued."""
         return len(self._queue)
 
-    def schedule_at(self, time: float, callback: Callable[[], Any]) -> None:
+    def schedule_at(self, time: float, callback: Callable[[], Any]) -> EventHandle:
         """Schedule ``callback`` to run at absolute simulation ``time``.
+
+        Returns an :class:`EventHandle` that can cancel the callback
+        before it fires.
 
         Raises
         ------
@@ -70,24 +91,32 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time:.9f}; clock is already at {self._now:.9f}"
             )
-        heapq.heappush(self._queue, (time, self._seq, callback))
+        handle = EventHandle()
+        heapq.heappush(self._queue, (time, self._seq, callback, handle))
         self._seq += 1
+        return handle
 
-    def schedule_after(self, delay: float, callback: Callable[[], Any]) -> None:
+    def schedule_after(self, delay: float, callback: Callable[[], Any]) -> EventHandle:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"delay must be non-negative, got {delay!r}")
-        self.schedule_at(self._now + delay, callback)
+        return self.schedule_at(self._now + delay, callback)
 
     def step(self) -> bool:
-        """Run the next queued callback.  Returns False if none remain."""
-        if not self._queue:
-            return False
-        time, _seq, callback = heapq.heappop(self._queue)
-        self._now = time
-        self._events_processed += 1
-        callback()
-        return True
+        """Run the next queued callback.  Returns False if none remain.
+
+        Cancelled entries are discarded without advancing the clock or
+        the event counter.
+        """
+        while self._queue:
+            time, _seq, callback, handle = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            self._now = time
+            self._events_processed += 1
+            callback()
+            return True
+        return False
 
     def run(self, until: float | None = None, max_events: int | None = None) -> None:
         """Run callbacks until the queue drains.
@@ -104,6 +133,9 @@ class Simulator:
         """
         executed = 0
         while self._queue:
+            if self._queue[0][3].cancelled:
+                heapq.heappop(self._queue)
+                continue
             next_time = self._queue[0][0]
             if until is not None and next_time > until:
                 self._now = until

@@ -13,13 +13,36 @@ Bandwidth estimation (Appendix D.4) is reproduced by
 :meth:`Network.estimate_bandwidth`, which reports the average effective
 bandwidth from a node to every peer in a destination set — matching the
 paper's "average across all destinations" rule.
+
+Fault injection hooks in at the *delivery* layer: senders ask
+:meth:`Network.delivery_plan` how many copies of a message arrive and
+with what extra delay.  Without an installed :class:`DeliveryPolicy`
+every message arrives exactly once with no extra delay; an installed
+policy (see :mod:`repro.faults`) may drop, duplicate, delay or reorder
+messages, or swallow them entirely while a node is crashed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Protocol
 
 from repro.sim.resources import Resource
+
+
+class DeliveryPolicy(Protocol):
+    """Decides the fate of one message (see :mod:`repro.faults`)."""
+
+    def plan(
+        self, src: int, dst: int, send_time: float, arrive_time: float
+    ) -> list[float]:
+        """Extra delays, one per delivered copy.
+
+        ``[0.0]`` is normal delivery; ``[]`` drops the message;
+        ``[0.0, d]`` duplicates it; ``[d]`` with ``d > 0`` delays (and
+        thus possibly reorders) it.
+        """
+        ...
 
 
 @dataclass(frozen=True)
@@ -71,6 +94,8 @@ class Network:
         self._rx = [Resource(f"rx[{i}]") for i in range(len(bandwidths))]
         self._bytes_moved = 0.0
         self._transfers = 0
+        #: Optional fault-injection hook (installed by repro.faults).
+        self.fault_policy: DeliveryPolicy | None = None
 
     def __len__(self) -> int:
         return len(self._bandwidths)
@@ -119,6 +144,20 @@ class Network:
         self._bytes_moved += size
         self._transfers += 1
         return TransferResult(src=src, dst=dst, size=size, start=_tx_start, arrive=arrive)
+
+    def delivery_plan(
+        self, src: int, dst: int, send_time: float, arrive_time: float
+    ) -> list[float]:
+        """Delivery fate of one message sent ``src`` → ``dst``.
+
+        Returns one extra-delay entry per delivered copy (see
+        :class:`DeliveryPolicy`).  Loop-back messages never pass
+        through the fault policy: data that does not leave the node
+        cannot be lost on the wire.
+        """
+        if self.fault_policy is None or src == dst:
+            return [0.0]
+        return self.fault_policy.plan(src, dst, send_time, arrive_time)
 
     def tx_backlog(self, node: int, at: float) -> float:
         """Seconds of egress work already booked at ``node``."""

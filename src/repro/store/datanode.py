@@ -122,6 +122,35 @@ class DataNodeServer:
         self._to_compute: dict[int, int] = defaultdict(int)  # rd_ij
         self._items_served = 0
         self._udfs_executed = 0
+        # Idempotency: responses by request id.  A retried or
+        # network-duplicated batch is answered from here — no UDF
+        # re-execution, no disk work, no double-counting (the paper's
+        # Section 9.1.1 restart observation, made a guarantee).
+        self._response_cache: dict[str, BatchResponse] = {}
+        self._duplicate_requests = 0
+        # Straggler windows: (start, end, slowdown) factors scaling
+        # every disk and CPU service time while active.
+        self._slowdowns: list[tuple[float, float, float]] = []
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def add_slowdown(self, start: float, end: float, factor: float) -> None:
+        """Make this node a straggler: scale service times by ``factor``
+        during ``[start, end)``."""
+        if factor < 1.0:
+            raise ValueError("slowdown factor must be >= 1")
+        if end <= start:
+            raise ValueError("slowdown window must have positive length")
+        self._slowdowns.append((start, end, factor))
+
+    def speed_factor(self, at: float) -> float:
+        """Service-time multiplier in effect at ``at`` (1.0 = healthy)."""
+        factor = 1.0
+        for start, end, slow in self._slowdowns:
+            if start <= at < end:
+                factor = max(factor, slow)
+        return factor
 
     # ------------------------------------------------------------------
     # Statistics for the load balancer
@@ -162,6 +191,22 @@ class DataNodeServer:
             raise ValueError(
                 f"batch addressed to node {batch.dst} arrived at node {self.node_id}"
             )
+        if batch.request_id is not None and batch.request_id in self._response_cache:
+            # Idempotent replay: the work already happened; answer from
+            # the response cache at request-handling overhead only.
+            self._duplicate_requests += 1
+            cached = self._response_cache[batch.request_id]
+            _c, finish = self._node.cpu.acquire(
+                at, self.per_item_overhead * max(len(batch), 1)
+            )
+            replay = BatchResponse(
+                src=cached.src,
+                dst=cached.dst,
+                items=cached.items,
+                request_id=cached.request_id,
+                replayed=True,
+            )
+            return ServedBatch(response=replay, ready_at=finish, kept_at_data_node=0)
         src = batch.src
         n_compute = len(batch.compute_items)
         self._pending_data += len(batch.data_items)
@@ -196,8 +241,13 @@ class DataNodeServer:
             ready_at = max(ready_at, finish)
             self._schedule_data_decrement(finish)
 
-        response = BatchResponse(src=self.node_id, dst=src, items=response_items)
+        response = BatchResponse(
+            src=self.node_id, dst=src, items=response_items,
+            request_id=batch.request_id,
+        )
         self._items_served += len(batch)
+        if batch.request_id is not None:
+            self._response_cache[batch.request_id] = response
         return ServedBatch(response=response, ready_at=ready_at, kept_at_data_node=d)
 
     # ------------------------------------------------------------------
@@ -213,6 +263,11 @@ class DataNodeServer:
         """UDF invocations executed at this data node."""
         return self._udfs_executed
 
+    @property
+    def duplicate_requests(self) -> int:
+        """Batches answered from the idempotency cache."""
+        return self._duplicate_requests
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
@@ -225,6 +280,9 @@ class DataNodeServer:
                 f"key {item.key!r} not found in table {self.kvstore.table.name!r}"
             )
         spec = self._node.spec
+        # Straggler injection: a slowed node takes ``slow`` times longer
+        # for every disk and CPU operation while the window is active.
+        slow = self.speed_factor(at)
         if item.key in self._block_cached:
             # Block-cache hit: the row is already in server memory.
             disk_time = 0.0
@@ -241,7 +299,7 @@ class DataNodeServer:
                 self._region_reads[region] = reads + 1
                 if reads % rows_per_block != 0:
                     seek = 0.0
-            disk_time = seek + row.size / spec.disk_bandwidth
+            disk_time = (seek + row.size / spec.disk_bandwidth) * slow
             _start, disk_done = self._node.disk.acquire(at, disk_time)
             if self._block_cache_used + row.size <= self.block_cache_bytes:
                 self._block_cached.add(item.key)
@@ -251,7 +309,7 @@ class DataNodeServer:
             # The coprocessor hydrates the stored bytes into a live
             # object for every invocation — unlike a compute node's
             # memory cache, nothing persists between calls.
-            cpu_time = row.hydration_cost + service + self.per_item_overhead
+            cpu_time = (row.hydration_cost + service + self.per_item_overhead) * slow
             _c, finish = self._node.cpu.acquire(disk_done, cpu_time)
             self._udfs_executed += 1
             # Runtime measurement: wall time per invocation, queueing
@@ -265,7 +323,9 @@ class DataNodeServer:
             else:
                 value = row.value  # timing sim: carry the raw value through
         else:
-            _c, finish = self._node.cpu.acquire(disk_done, self.per_item_overhead)
+            _c, finish = self._node.cpu.acquire(
+                disk_done, self.per_item_overhead * slow
+            )
             payload = self.udf.key_size + row.size
             value = row.value
         ratio = max(self._sojourn_ratio.value, 1.0)

@@ -105,6 +105,15 @@ class BatchRequest:
     compute_items: list[RequestItem] = field(default_factory=list)
     data_items: list[RequestItem] = field(default_factory=list)
     comp_stats: ComputeNodeStats | None = None
+    #: Idempotency token, unique per logical request across the whole
+    #: job (``"<node>:<seq>"``).  Retries re-send the same id; the data
+    #: node replays its cached response for an id it has already served
+    #: instead of re-executing UDFs, so duplicated or retried compute
+    #: requests are never double-counted.  ``None`` (direct unit-test
+    #: construction) disables the idempotency machinery.
+    request_id: str | None = None
+    #: Retry attempt number, 0 for the first transmission.
+    attempt: int = 0
 
     def __len__(self) -> int:
         return len(self.compute_items) + len(self.data_items)
@@ -149,6 +158,13 @@ class BatchResponse:
     src: int
     dst: int
     items: list[ResponseItem] = field(default_factory=list)
+    #: Echo of the request's idempotency token; the compute node drops
+    #: any response whose id it has already accepted (late originals
+    #: after a retry, network-duplicated responses).
+    request_id: str | None = None
+    #: True when this response was replayed from the data node's
+    #: idempotency cache rather than served fresh.
+    replayed: bool = False
 
     def __len__(self) -> int:
         return len(self.items)

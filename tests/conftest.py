@@ -1,0 +1,30 @@
+"""Shared test configuration: pinned hypothesis profiles.
+
+Profiles:
+
+* ``dev`` (default) — no deadline (DES runs have uneven step costs),
+  normal randomized search.
+* ``ci`` — additionally derandomized (fixed seed) and example-capped,
+  so CI runs are bit-for-bit reproducible and bounded in time.
+
+Select with ``HYPOTHESIS_PROFILE=ci`` (the GitHub Actions workflow
+does) or ``--hypothesis-profile``.
+"""
+
+import os
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "dev",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "ci",
+    deadline=None,
+    derandomize=True,
+    max_examples=40,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

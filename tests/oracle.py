@@ -1,0 +1,107 @@
+"""Differential correctness oracle: naive single-node hash join.
+
+The adaptive engine routes every tuple through caches, batches, load
+balancers, retries and replicas — but the *answer* is defined by a
+trivial program: hash the stored relation, look each key up, apply the
+UDF.  This module is that program.  Tests run the engine (optionally
+under a fault schedule) and demand bit-for-bit equality with the
+oracle.
+
+For runs with mid-run updates exact equality is ill-posed: a tuple in
+flight when its key is updated may legitimately observe either the old
+or the new value (Section 4.2.3 guarantees no *stale-after-known*
+reads, not a global serialization point).  :func:`admissible_outputs`
+captures that contract: every output must equal the UDF applied to
+*some* version of the row's value.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Sequence
+
+from repro.engine.requests import UDF
+from repro.store.table import Table
+
+
+def snapshot_values(table: Table) -> dict[Hashable, Any]:
+    """Capture ``key -> value`` before the run mutates the table."""
+    return {row.key: row.value for row in table.rows()}
+
+
+def single_node_hash_join(
+    keys: Sequence[Hashable],
+    udf: UDF,
+    values: dict[Hashable, Any],
+    params: Sequence[Any] | None = None,
+) -> dict[int, Any]:
+    """The reference join: build side ``values``, probe side ``keys``.
+
+    Returns the same ``tuple_id -> result`` mapping shape as
+    :meth:`repro.engine.job.JoinJob.collected_outputs`.
+    """
+    if params is not None and len(params) != len(keys):
+        raise ValueError("params must align one-to-one with keys")
+    outputs: dict[int, Any] = {}
+    for tuple_id, key in enumerate(keys):
+        p = params[tuple_id] if params is not None else None
+        outputs[tuple_id] = udf.apply(key, p, values[key])
+    return outputs
+
+
+def admissible_outputs(
+    keys: Sequence[Hashable],
+    udf: UDF,
+    values: dict[Hashable, Any],
+    updates: Sequence[tuple[Hashable, Any]] = (),
+    params: Sequence[Any] | None = None,
+) -> dict[int, set]:
+    """Per-tuple set of acceptable results when updates race the run.
+
+    ``updates`` lists ``(key, new_value)`` pairs in application order;
+    each tuple's result must come from some version of its key's value
+    (initial or any updated one).
+    """
+    versions: dict[Hashable, list[Any]] = {k: [v] for k, v in values.items()}
+    for key, new_value in updates:
+        versions.setdefault(key, []).append(new_value)
+    admissible: dict[int, set] = {}
+    for tuple_id, key in enumerate(keys):
+        p = params[tuple_id] if params is not None else None
+        admissible[tuple_id] = {udf.apply(key, p, v) for v in versions[key]}
+    return admissible
+
+
+def assert_oracle_equal(
+    engine_outputs: dict[int, Any], oracle_outputs: dict[int, Any]
+) -> None:
+    """Bit-for-bit equality, with a readable diff on failure."""
+    missing = sorted(set(oracle_outputs) - set(engine_outputs))
+    extra = sorted(set(engine_outputs) - set(oracle_outputs))
+    assert not missing and not extra, (
+        f"tuple-id sets differ: missing={missing[:10]} extra={extra[:10]}"
+    )
+    mismatched = {
+        tid: (engine_outputs[tid], oracle_outputs[tid])
+        for tid in oracle_outputs
+        if engine_outputs[tid] != oracle_outputs[tid]
+    }
+    assert not mismatched, (
+        f"{len(mismatched)} outputs differ from the single-node oracle; "
+        f"first few: {dict(list(mismatched.items())[:5])}"
+    )
+
+
+def assert_oracle_admissible(
+    engine_outputs: dict[int, Any], admissible: dict[int, set]
+) -> None:
+    """Every engine output is the UDF on some version of its row."""
+    assert set(engine_outputs) == set(admissible), "tuple-id sets differ"
+    bad = {
+        tid: (engine_outputs[tid], admissible[tid])
+        for tid in admissible
+        if engine_outputs[tid] not in admissible[tid]
+    }
+    assert not bad, (
+        f"{len(bad)} outputs match no version of their row; "
+        f"first few: {dict(list(bad.items())[:3])}"
+    )

@@ -126,3 +126,57 @@ def test_property_competitive_guarantee_holds(accesses, rent, buy, recurring):
     outcome = SkiRental.simulate(accesses, rent, buy, recurring)
     bound = competitive_ratio(rent, buy, recurring)
     assert outcome.online_cost <= bound * outcome.offline_cost + 1e-6
+
+
+@given(
+    accesses=st.integers(min_value=0, max_value=500),
+    rent=st.floats(min_value=1e-3, max_value=50.0),
+    buy=st.floats(min_value=0.0, max_value=500.0),
+)
+@settings(max_examples=200, deadline=None)
+def test_property_classical_cost_at_most_twice_offline(accesses, rent, buy):
+    """Classical ski-rental (no recurring cost): online <= 2x optimum."""
+    outcome = SkiRental.simulate(accesses, rent, buy)
+    assert outcome.online_cost <= 2.0 * outcome.offline_cost + 1e-6
+    assert outcome.ratio <= 2.0 + 1e-6
+
+
+@given(
+    accesses=st.integers(min_value=0, max_value=500),
+    rent=st.floats(min_value=1e-3, max_value=50.0),
+    buy=st.floats(min_value=0.0, max_value=500.0),
+    recurring=st.floats(min_value=0.0, max_value=60.0),
+)
+@settings(max_examples=200, deadline=None)
+def test_property_extended_ratio_never_exceeds_two(accesses, rent, buy, recurring):
+    """The extended bound 2 - br/r is itself <= 2, so whatever the
+    recurring cost — including the always-rent regime where buying can
+    never pay off — the online cost stays within twice the optimum."""
+    outcome = SkiRental.simulate(accesses, rent, buy, recurring)
+    assert outcome.online_cost <= 2.0 * outcome.offline_cost + 1e-6
+    bound = competitive_ratio(rent, buy, recurring)
+    assert bound <= 2.0
+    assert outcome.online_cost <= bound * outcome.offline_cost + 1e-6
+
+
+@given(
+    rent=st.floats(min_value=1e-3, max_value=50.0),
+    buy=st.floats(min_value=1e-3, max_value=500.0),
+    recurring=st.floats(min_value=0.0, max_value=60.0),
+)
+@settings(max_examples=200, deadline=None)
+def test_property_threshold_is_the_indifference_point(rent, buy, recurring):
+    """Below M = b/(r - br) renting everything is (weakly) optimal;
+    above it buying first is — M is exactly where the offline costs
+    cross, which is what makes the threshold strategy 2-competitive."""
+    threshold = buy_threshold(rent, buy, recurring)
+    if math.isinf(threshold):
+        assert rent <= recurring
+        return
+    for m in (int(threshold * 0.5), int(threshold * 2) + 1):
+        rent_all = rent * m
+        buy_first = buy + recurring * m
+        if m <= threshold:
+            assert rent_all <= buy_first + 1e-6
+        else:
+            assert buy_first <= rent_all + 1e-6

@@ -5,53 +5,112 @@ tasks on other nodes which led to extra function calls being pushed to
 the HBase store thereby reducing our performance slightly.  However,
 this did not cause any material change to our result."
 
-Restarted map tasks replay their input slice, so the framework sees
-duplicate tuples.  Because the framework is stateless per tuple, this
-is purely extra work: the job must still complete, and the slowdown
-must stay modest.
+Restarted map tasks replay their input slice.  The fault subsystem
+models this as :class:`~repro.faults.schedule.ReplaySlice` entries on
+the :class:`~repro.faults.schedule.FaultSchedule`: the duplicated
+slice is appended to the key stream exactly as a restarted task
+re-feeds its split.  "No material change" is asserted both ways the
+paper means it — bounded slowdown, and an output identical to the
+single-node oracle on the replayed stream.
 """
 
 from repro.engine.job import JoinJob
+from repro.engine.requests import UDF
 from repro.engine.strategies import Strategy
+from repro.faults import FaultSchedule, ReplaySlice, StragglerFault, FaultTolerance
 from repro.sim.cluster import Cluster
 from repro.workloads.synthetic import SyntheticWorkload
 
+from tests.oracle import assert_oracle_equal, single_node_hash_join, snapshot_values
 
-def run_keys(keys, seed=53):
-    workload = SyntheticWorkload.data_heavy(
-        n_keys=800, n_tuples=1, skew=1.0, seed=seed
-    )
-    cluster = Cluster.homogeneous(4)
-    job = JoinJob(
-        cluster=cluster,
+REAL_UDF = UDF(
+    result_size=64.0,
+    param_size=64.0,
+    key_size=8.0,
+    apply_fn=lambda k, p, v: f"{k}|{p}|{v}",
+)
+
+
+def make_job(workload, ft=None, schedule=None, seed=53):
+    return JoinJob(
+        cluster=Cluster.homogeneous(4),
         compute_nodes=[0, 1],
         data_nodes=[2, 3],
         table=workload.build_table(),
-        udf=workload.udf,
+        udf=REAL_UDF,
         strategy=Strategy.fo(),
         sizes=workload.sizes,
         memory_cache_bytes=20e6,
+        fault_schedule=schedule,
+        fault_tolerance=ft,
         seed=seed,
     )
-    return job.run(keys)
+
+
+def run_keys(keys, schedule=None, ft=None, seed=53):
+    workload = SyntheticWorkload.data_heavy(
+        n_keys=800, n_tuples=1, skew=1.0, seed=seed
+    )
+    job = make_job(workload, ft=ft, schedule=schedule, seed=seed)
+    values = snapshot_values(job.table)
+    result = job.run(keys)
+    return job, result, values
 
 
 class TestSpeculativeRestarts:
-    def test_duplicated_slice_completes_with_modest_overhead(self):
+    def test_replayed_slice_completes_with_modest_overhead(self):
         base_workload = SyntheticWorkload.data_heavy(
             n_keys=800, n_tuples=3000, skew=1.0, seed=53
         )
         keys = base_workload.keys()
-        clean = run_keys(keys)
-        # A straggling "task" (5% contiguous slice) replays.
-        replayed = keys + keys[: len(keys) // 20]
-        with_restart = run_keys(replayed)
+        _job, clean, _ = run_keys(keys)
+        # A straggling "task" owning the first 5% of the input restarts
+        # and replays its slice — expressed as a fault-schedule entry,
+        # not hand-rolled list surgery.
+        schedule = FaultSchedule(
+            seed=53, replays=(ReplaySlice(start=0.0, length=0.05),)
+        )
+        replayed = schedule.apply_replays(keys)
+        assert len(replayed) == len(keys) + len(keys) // 20
+        job, with_restart, values = run_keys(replayed, schedule=schedule)
         assert with_restart.n_tuples == len(replayed)
         overhead = with_restart.makespan / clean.makespan
         assert overhead < 1.25  # "did not cause any material change"
+        # ... and no material change to the *result* either.
+        assert_oracle_equal(
+            job.collected_outputs(),
+            single_node_hash_join(replayed, REAL_UDF, values),
+        )
 
     def test_duplicates_do_not_corrupt_counting(self):
-        keys = [1, 2, 3] * 50 + [1, 2, 3] * 5  # replay of an early slice
-        result = run_keys(keys)
+        schedule = FaultSchedule(
+            seed=0, replays=(ReplaySlice(start=0.0, length=0.1),)
+        )
+        keys = schedule.apply_replays([1, 2, 3] * 50)
+        _job, result, _ = run_keys(keys)
         assert result.n_tuples == len(keys)
         assert result.udfs_at_data_nodes + result.udfs_at_compute_nodes == len(keys)
+
+    def test_restart_after_straggler_matches_oracle(self):
+        """The full Section 9.1.1 story in one run: a data node
+        straggles, the framework restarts the slice it was serving,
+        and the combined run still answers exactly like the oracle."""
+        base_workload = SyntheticWorkload.data_heavy(
+            n_keys=400, n_tuples=2000, skew=1.0, seed=59
+        )
+        keys = base_workload.keys()
+        schedule = FaultSchedule(
+            seed=59,
+            stragglers=(
+                StragglerFault(node_id=2, at=0.2, duration=0.6, slowdown=5.0),
+            ),
+            replays=(ReplaySlice(start=0.2, length=0.05),),
+        )
+        replayed = schedule.apply_replays(keys)
+        ft = FaultTolerance(request_timeout=0.3, max_retries=2)
+        job, result, values = run_keys(replayed, schedule=schedule, ft=ft)
+        assert result.n_tuples == len(replayed)
+        assert_oracle_equal(
+            job.collected_outputs(),
+            single_node_hash_join(replayed, REAL_UDF, values),
+        )
