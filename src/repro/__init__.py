@@ -60,6 +60,15 @@ from repro.engine import (
     StreamResult,
     UDF,
 )
+from repro.runtime import (
+    BackendRun,
+    JoinWorkload,
+    LocalBackend,
+    RuntimeMetrics,
+    ShuffleChannel,
+    SimBackend,
+    Transport,
+)
 
 __version__ = "1.0.0"
 
@@ -106,6 +115,13 @@ __all__ = [
     "StrategyConfig",
     "StreamResult",
     "UDF",
+    "BackendRun",
+    "JoinWorkload",
+    "LocalBackend",
+    "RuntimeMetrics",
+    "ShuffleChannel",
+    "SimBackend",
+    "Transport",
     "quickstart_demo",
 ]
 

@@ -9,6 +9,11 @@ the local compute queue, and the tiered cache.
 The runtime is event-driven: the job driver calls :meth:`submit` for
 each input tuple (scheduled on the simulator), responses re-enter via
 scheduled callbacks, and every completed tuple fires ``on_complete``.
+
+All wire traffic — transmission, delivery faults, timeouts, retries
+and replica fallback — goes through the shared runtime kernel
+(:class:`repro.runtime.Transport`); this module keeps only the
+engine-side policy: what to send, and what to do with each response.
 """
 
 from __future__ import annotations
@@ -26,7 +31,6 @@ from repro.core.optimizer import JoinLocationOptimizer, Route
 from repro.core.smoothing import SmoothedValue
 from repro.engine.batching import AdaptiveBatchBuffer, BatchBuffer
 from repro.engine.requests import (
-    BatchRequest,
     BatchResponse,
     RequestItem,
     RequestKind,
@@ -34,29 +38,13 @@ from repro.engine.requests import (
 )
 from repro.engine.strategies import RoutingPolicy, StrategyConfig
 from repro.faults.policy import FaultTolerance
+from repro.runtime.transport import Transport
 from repro.sim.cluster import Cluster
-from repro.sim.events import EventHandle
 from repro.store.datanode import DataNodeServer
 from repro.store.kvstore import KVStore
 
 if False:  # pragma: no cover - import for type checkers only
     from repro.metrics.trace import FaultTrace, RoutingTrace
-
-
-class _PendingBatch:
-    """One in-flight request batch awaiting its response."""
-
-    __slots__ = ("dst", "kind", "items", "attempt", "sent_at", "timer")
-
-    def __init__(
-        self, dst: int, kind: RequestKind, items: list[RequestItem]
-    ) -> None:
-        self.dst = dst
-        self.kind = kind
-        self.items = items
-        self.attempt = 0
-        self.sent_at = 0.0
-        self.timer: EventHandle | None = None
 
 
 class _RowInfo:
@@ -212,25 +200,54 @@ class ComputeNodeRuntime:
         #: ``apply_fn``; empty in pure-timing runs).
         self.outputs: dict[int, Any] = {}
         # ------------------------------------------------------------------
-        # Fault tolerance (repro.faults.policy.FaultTolerance).
-        # Every batch carries a unique idempotency token; `_pending`
-        # maps live tokens to their batch so responses can be matched,
-        # late/duplicated responses dropped, and timed-out batches
-        # retried or degraded to replica data requests.
+        # Wire traffic is the runtime kernel's job: the transport owns
+        # idempotency tokens, delivery faults, timeouts with backoff,
+        # same-id retries and replica fallback.  The engine plugs in
+        # its policy via callbacks.
         # ------------------------------------------------------------------
         self.fault_tolerance = fault_tolerance
         self.fault_trace = fault_trace
-        self._pending: dict[str, _PendingBatch] = {}
-        self._rid_seq = 0
+        self.transport = Transport(
+            cluster,
+            node_id,
+            servers,
+            sizes,
+            key_size=udf.key_size,
+            param_size=udf.param_size,
+            comp_stats=(
+                self._snapshot_stats if udf.side_effect_free else None
+            ),
+            on_response=self._on_batch_response,
+            on_dispatch=self._on_dispatch,
+            on_timeout=self.cost_model.observe_timeout,
+            on_abandon=self._on_abandon,
+            fault_tolerance=fault_tolerance,
+            fault_trace=fault_trace,
+        )
         # Exactly-once dispatch guard: under fallback, one tuple can be
         # reachable through two live paths (e.g. a fetch-waiter list
         # and a fallback response); the first dispatch wins.
         self._settled: set[int] = set()
-        #: Fault-handling counters (aggregated into JobResult).
-        self.timeouts = 0
-        self.retries = 0
-        self.fallbacks = 0
-        self.duplicate_responses = 0
+
+    # ------------------------------------------------------------------
+    # Fault-handling counters (aggregated into JobResult) now live on
+    # the transport; keep the runtime attributes as thin views.
+    # ------------------------------------------------------------------
+    @property
+    def timeouts(self) -> int:
+        return self.transport.timeouts
+
+    @property
+    def retries(self) -> int:
+        return self.transport.retries
+
+    @property
+    def fallbacks(self) -> int:
+        return self.transport.fallbacks
+
+    @property
+    def duplicate_responses(self) -> int:
+        return self.transport.duplicate_responses
 
     # ------------------------------------------------------------------
     # Input
@@ -444,200 +461,35 @@ class ComputeNodeRuntime:
         sim.schedule_at(finish, complete)
 
     # ------------------------------------------------------------------
-    # Batch send / receive
+    # Batch send / receive (wire mechanics live in repro.runtime)
     # ------------------------------------------------------------------
     def _make_flusher(self, dst: int, kind: RequestKind):
         def flush(items: list[RequestItem]) -> None:
-            self._send_batch(dst, kind, items)
+            self.transport.send(dst, kind, items)
 
         return flush
 
-    def _send_batch(
-        self,
-        dst: int,
-        kind: RequestKind,
-        items: list[RequestItem],
-        rid: str | None = None,
-        attempt: int = 0,
+    def _on_dispatch(
+        self, dst: int, kind: RequestKind, items: list[RequestItem]
     ) -> None:
-        """Transmit one batch; ``rid``/``attempt`` are set on retries.
-
-        First transmissions mint a fresh idempotency token, register
-        the pending entry and bump the in-flight counters; retries
-        reuse all three so duplicated work is never double-counted.
-        """
-        sim = self.cluster.sim
-        if rid is None:
-            rid = f"{self.node_id}:{self._rid_seq}"
-            self._rid_seq += 1
-            if kind is RequestKind.COMPUTE:
-                self._inflight_compute[dst] += len(items)
-            else:
-                self._inflight_data += len(items)
-            entry = _PendingBatch(dst, kind, list(items))
-            # Fallback batches inherit the exhausted batch's attempt
-            # count, so the backoff keeps growing across replica
-            # generations instead of resetting — without this, a
-            # timeout shorter than the healthy service time would
-            # livelock, cycling replicas at the base timeout forever.
-            entry.attempt = attempt
-            self._pending[rid] = entry
-        entry = self._pending[rid]
-        entry.sent_at = sim.now
+        """Transport hook: a new logical batch left this node."""
         if kind is RequestKind.COMPUTE:
-            batch = BatchRequest(
-                src=self.node_id,
-                dst=dst,
-                compute_items=items,
-                comp_stats=(
-                    self._snapshot_stats(dst)
-                    if self.udf.side_effect_free
-                    else None
-                ),
-                request_id=rid,
-                attempt=attempt,
-            )
+            self._inflight_compute[dst] += len(items)
         else:
-            batch = BatchRequest(
-                src=self.node_id, dst=dst, data_items=items,
-                request_id=rid, attempt=attempt,
-            )
-        wire_bytes = batch.request_bytes(self.udf.key_size, self.udf.param_size)
-        network = self.cluster.network
-        transfer = network.transfer(sim.now, self.node_id, dst, wire_bytes)
-        for extra in network.delivery_plan(
-            self.node_id, dst, sim.now, transfer.arrive
-        ):
-            sim.schedule_at(
-                transfer.arrive + extra, lambda: self._deliver_batch(batch)
-            )
-        ft = self.fault_tolerance
-        if ft is not None and ft.enabled:
-            timeout = ft.timeout_for(attempt)
-            entry.timer = sim.schedule_at(
-                sim.now + timeout, lambda: self._check_timeout(rid, attempt)
-            )
+            self._inflight_data += len(items)
 
-    # ------------------------------------------------------------------
-    # Timeout / retry / fallback state machine
-    # ------------------------------------------------------------------
-    def _check_timeout(self, rid: str, attempt: int) -> None:
-        """Timer body: the batch ``rid`` got no response within bounds."""
-        entry = self._pending.get(rid)
-        if entry is None or entry.attempt != attempt:
-            return  # answered, degraded, or already retried
-        ft = self.fault_tolerance
-        assert ft is not None and ft.request_timeout is not None
-        self.timeouts += 1
-        waited = ft.timeout_for(attempt)
-        # Charge the wasted wait to the cost model: flaky nodes must
-        # look expensive to the router, not free.
-        self.cost_model.observe_timeout(entry.dst, waited)
-        self._record_fault("timeout", entry.dst, f"rid={rid} attempt={attempt}")
-        if entry.attempt < ft.max_retries or not ft.fallback_to_replica:
-            entry.attempt += 1
-            self.retries += 1
-            self._record_fault("retry", entry.dst,
-                               f"rid={rid} attempt={entry.attempt}")
-            self._send_batch(entry.dst, entry.kind, entry.items,
-                             rid=rid, attempt=entry.attempt)
-            return
-        self._fallback(rid, entry)
-
-    def _fallback(self, rid: str, entry: _PendingBatch) -> None:
-        """Degrade an exhausted batch to a data request at a replica.
-
-        The primary kept timing out; give up on it, fetch the raw
-        stored values from the next data node holding a replica of the
-        partition, and run the UDF locally.  The fallback batch gets a
-        fresh token and the full retry machinery, cycling onward
-        through replicas if this one is also sick — with the attempt
-        count (and hence the backoff) carried over, so successive
-        generations wait longer rather than hammering replicas at the
-        base timeout.
-        """
-        self._pending.pop(rid, None)
-        if entry.timer is not None:
-            entry.timer.cancel()
-        self.fallbacks += 1
-        if entry.kind is RequestKind.COMPUTE:
-            self._inflight_compute[entry.dst] -= len(entry.items)
+    def _on_abandon(
+        self, dst: int, kind: RequestKind, items: list[RequestItem]
+    ) -> None:
+        """Transport hook: a batch gave up on ``dst`` (replica fallback)."""
+        if kind is RequestKind.COMPUTE:
+            self._inflight_compute[dst] -= len(items)
         else:
-            self._inflight_data -= len(entry.items)
-        replica = self._replica_for(entry.dst)
-        self._record_fault(
-            "fallback", entry.dst,
-            f"rid={rid} -> data request at replica node {replica}",
-        )
-        fallback_items = [
-            RequestItem(
-                key=item.key,
-                kind=RequestKind.DATA,
-                route=Route.DATA_REQUEST_DISK,
-                tuple_id=item.tuple_id,
-                params=item.params,
-            )
-            for item in entry.items
-        ]
-        self._send_batch(
-            replica, RequestKind.DATA, fallback_items,
-            attempt=entry.attempt + 1,
-        )
+            self._inflight_data -= len(items)
 
-    def _replica_for(self, dst: int) -> int:
-        """The next data node holding a replica of ``dst``'s partitions.
-
-        The store keeps one logical copy per partition on every data
-        node's successor (chain replication at replication factor 2 and
-        up); with a single data node the only "replica" is the primary
-        itself, and the fallback degenerates to more retries.
-        """
-        nodes = self._data_nodes
-        if len(nodes) == 1:
-            return dst
-        index = nodes.index(dst)
-        return nodes[(index + 1) % len(nodes)]
-
-    def _record_fault(self, kind: str, node_id: int, detail: str) -> None:
-        if self.fault_trace is not None:
-            self.fault_trace.record(self.cluster.sim.now, kind, node_id, detail)
-
-    def _deliver_batch(self, batch: BatchRequest) -> None:
-        sim = self.cluster.sim
-        server = self.servers[batch.dst]
-        served = server.serve(sim.now, batch, self.sizes)
-        response = served.response
-
-        def send_response() -> None:
-            network = self.cluster.network
-            transfer = network.transfer(
-                sim.now, batch.dst, self.node_id, response.payload_bytes
-            )
-            for extra in network.delivery_plan(
-                batch.dst, self.node_id, sim.now, transfer.arrive
-            ):
-                sim.schedule_at(
-                    transfer.arrive + extra,
-                    lambda: self._handle_response(response),
-                )
-
-        sim.schedule_at(served.ready_at, send_response)
-
-    def _handle_response(self, response: BatchResponse) -> None:
-        if response.request_id is not None:
-            entry = self._pending.pop(response.request_id, None)
-            if entry is None:
-                # Late original after a retry already answered, a
-                # network-duplicated response, or a batch that has
-                # since degraded to a replica: the token is dead.
-                self.duplicate_responses += 1
-                self._record_fault(
-                    "duplicate-response", response.src,
-                    f"rid={response.request_id}",
-                )
-                return
-            if entry.timer is not None:
-                entry.timer.cancel()
+    def _on_batch_response(self, response: BatchResponse) -> None:
+        """Process one matched response batch (transport already
+        dropped duplicates and cancelled the retry timer)."""
         for item in response.items:
             self._row_info[item.key] = _RowInfo(
                 size=item.cost_params.value_size,

@@ -25,6 +25,7 @@ from repro.engine.compute_node import ComputeNodeRuntime
 from repro.engine.job import JobResult
 from repro.engine.requests import UDF
 from repro.engine.strategies import StrategyConfig
+from repro.faults.policy import FaultTolerance
 from repro.sim.cluster import Cluster
 from repro.sim.rng import derive_seed
 from repro.store.datanode import DataNodeServer
@@ -71,6 +72,8 @@ class MultiJoinJob:
         pipeline_window: int = 256,
         regions_per_node: int = 4,
         block_cache_bytes: float = 0.0,
+        fault_tolerance: FaultTolerance | None = None,
+        fault_trace=None,
         seed: int = 0,
     ) -> None:
         if not stages:
@@ -86,6 +89,8 @@ class MultiJoinJob:
         self.pipeline_window = pipeline_window
         self.regions_per_node = regions_per_node
         self.block_cache_bytes = block_cache_bytes
+        self.fault_tolerance = fault_tolerance
+        self.fault_trace = fault_trace
         self.seed = seed
         self._stage_servers: list[dict[int, DataNodeServer]] = []
         self._stage_stores: list[KVStore] = []
@@ -172,6 +177,8 @@ class MultiJoinJob:
                     batch_size=self.batch_size,
                     max_wait=self.max_wait,
                     counter=LossyCounter(1e-4),
+                    fault_tolerance=self.fault_tolerance,
+                    fault_trace=self.fault_trace,
                     seed=derive_seed(self.seed, f"cn:{s}:{cn}"),
                 )
 

@@ -27,6 +27,7 @@ from dataclasses import dataclass
 from typing import Hashable, Sequence
 
 from repro.mapreduce.api import Partitioner, hash_partition
+from repro.runtime.transport import ShuffleChannel
 from repro.sim.cluster import Cluster
 
 
@@ -53,6 +54,8 @@ class ReduceSideResult:
     n_pairs: int
     bytes_shuffled: float
     reducer_finish_times: list[float]
+    shuffle_retransmits: int = 0
+    shuffle_duplicates: int = 0
 
     @property
     def straggler_ratio(self) -> float:
@@ -95,6 +98,7 @@ class ReduceSideJoinJob:
         costs: ReduceSideCosts | None = None,
         reducers_per_node: int = 1,
         model_hydration: dict[Hashable, float] | None = None,
+        shuffle: ShuffleChannel | None = None,
     ) -> None:
         if reducers_per_node < 1:
             raise ValueError("reducers_per_node must be >= 1")
@@ -107,6 +111,9 @@ class ReduceSideJoinJob:
         self.partitioner = partitioner
         self.costs = costs if costs is not None else ReduceSideCosts()
         self.n_reducers = reducers_per_node * len(cluster)
+        # Shuffle traffic rides the runtime kernel's at-least-once
+        # channel so installed fault schedules perturb this engine too.
+        self.shuffle = shuffle if shuffle is not None else ShuffleChannel(cluster)
 
     def route(self, key: Hashable) -> int:
         if self.partitioner is not None:
@@ -147,13 +154,13 @@ class ReduceSideJoinJob:
         ):
             reduce_node = reducer % n_nodes
             size = len(keys) * costs.context_bytes
-            transfer = cluster.network.transfer(
+            outcome = self.shuffle.transfer(
                 map_finish_per_node[map_node], map_node, reduce_node, size
             )
             if map_node != reduce_node:
                 bytes_shuffled += size
             arrival_per_reducer[reducer] = max(
-                arrival_per_reducer[reducer], transfer.arrive
+                arrival_per_reducer[reducer], outcome.arrive
             )
         shuffle_finish = max(arrival_per_reducer) if pairs_out else map_finish
 
@@ -197,4 +204,6 @@ class ReduceSideJoinJob:
             n_pairs=n_pairs,
             bytes_shuffled=bytes_shuffled,
             reducer_finish_times=reducer_finish,
+            shuffle_retransmits=self.shuffle.retransmits,
+            shuffle_duplicates=self.shuffle.duplicates,
         )

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Iterable
 
 from repro.mapreduce.api import MapReduceSpec
+from repro.runtime.transport import ShuffleChannel
 from repro.sim.cluster import Cluster
 
 
@@ -47,6 +48,8 @@ class SimulatedMapReduceResult:
     shuffle_finish: float
     bytes_shuffled: float
     reducer_finish_times: list[float] = field(repr=False, default_factory=list)
+    shuffle_retransmits: int = 0
+    shuffle_duplicates: int = 0
 
     @property
     def straggler_ratio(self) -> float:
@@ -65,12 +68,17 @@ class SimulatedMapReduce:
         cluster: Cluster,
         costs: MapReduceCosts | None = None,
         reducers_per_node: int = 1,
+        shuffle: ShuffleChannel | None = None,
     ) -> None:
         if reducers_per_node < 1:
             raise ValueError("reducers_per_node must be >= 1")
         self.cluster = cluster
         self.costs = costs if costs is not None else MapReduceCosts()
         self.n_reducers = reducers_per_node * len(cluster)
+        # Shuffle traffic goes through the runtime kernel's
+        # at-least-once channel, so an installed fault schedule
+        # (`Network.delivery_plan`) perturbs this engine too.
+        self.shuffle = shuffle if shuffle is not None else ShuffleChannel(cluster)
 
     def run(
         self, spec: MapReduceSpec, inputs: Iterable[tuple[Any, Any]]
@@ -106,12 +114,12 @@ class SimulatedMapReduce:
         ):
             reduce_node = reducer % n_nodes
             size = sum(costs.record_bytes(k, v) for k, v in records)
-            transfer = cluster.network.transfer(
+            outcome = self.shuffle.transfer(
                 map_finish_per_node[map_node], map_node, reduce_node, size
             )
             if map_node != reduce_node:
                 bytes_shuffled += size
-            arrival[reducer] = max(arrival[reducer], transfer.arrive)
+            arrival[reducer] = max(arrival[reducer], outcome.arrive)
         shuffle_finish = max(arrival, default=map_finish)
 
         # ------------------------------------------------------------
@@ -157,4 +165,6 @@ class SimulatedMapReduce:
             shuffle_finish=shuffle_finish,
             bytes_shuffled=bytes_shuffled,
             reducer_finish_times=reducer_finish,
+            shuffle_retransmits=self.shuffle.retransmits,
+            shuffle_duplicates=self.shuffle.duplicates,
         )

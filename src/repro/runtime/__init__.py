@@ -1,0 +1,62 @@
+"""The runtime kernel: one transport/executor substrate for every engine.
+
+Three seams (see DESIGN.md Section 3):
+
+* **Transport** (:mod:`repro.runtime.transport`) — the single place
+  wire traffic happens: request/response envelopes with idempotent
+  ids, timeouts, backoff, retries, replica fallback
+  (:class:`Transport`) and at-least-once one-way shuffle transfers
+  (:class:`ShuffleChannel`).  Nothing outside this module consults
+  ``Network.delivery_plan``, so a fault schedule installed at the
+  network perturbs every engine.
+* **Executor** (:mod:`repro.runtime.backend`) — :class:`Backend`
+  implementations turning one :class:`JoinWorkload` into outputs:
+  :class:`SimBackend` (discrete-event simulation through any of the
+  four engines) and :class:`LocalBackend` (real
+  ``concurrent.futures`` workers, wall-clock).
+* **Metrics** (:mod:`repro.runtime.metrics`) — one aggregation point
+  (:class:`RuntimeMetrics`) for transport, shuffle and injector
+  counters across engines.
+"""
+
+from repro.runtime.backend import (
+    ENGINES,
+    Backend,
+    BackendRun,
+    JoinWorkload,
+    LocalBackend,
+    SimBackend,
+)
+from repro.runtime.metrics import (
+    RuntimeMetrics,
+    ShuffleStats,
+    collect_runtime_metrics,
+    shuffle_stats,
+    transport_stats,
+)
+from repro.runtime.transport import (
+    ShuffleChannel,
+    ShuffleOutcome,
+    Transport,
+    TransportError,
+    TransportStats,
+)
+
+__all__ = [
+    "ENGINES",
+    "Backend",
+    "BackendRun",
+    "JoinWorkload",
+    "LocalBackend",
+    "SimBackend",
+    "RuntimeMetrics",
+    "ShuffleStats",
+    "collect_runtime_metrics",
+    "shuffle_stats",
+    "transport_stats",
+    "ShuffleChannel",
+    "ShuffleOutcome",
+    "Transport",
+    "TransportError",
+    "TransportStats",
+]

@@ -1,0 +1,392 @@
+"""Executor seam of the runtime kernel: one workload, many engines.
+
+The paper's routing contribution is engine-agnostic, and with the
+transport seam extracted (:mod:`repro.runtime.transport`) the four
+engines in this repository are thin policies over the same substrate.
+This module makes that substrate *callable*: a :class:`JoinWorkload`
+is a value describing one join (stored relation, UDF, probe stream),
+and a :class:`Backend` turns it into outputs:
+
+* :class:`SimBackend` — runs the workload on the discrete-event
+  simulator through any of the four engines (``engine``, ``streaming``,
+  ``mapreduce``, ``sparklite``).  Fault schedules and tolerance
+  policies plug in uniformly because every engine dispatches through
+  the kernel transports.
+* :class:`LocalBackend` — runs the same job graph on real
+  :mod:`concurrent.futures` workers with no simulation at all:
+  wall-clock correctness runs, the ground truth the simulated engines
+  are differentially tested against.
+
+Every backend returns the same ``tuple_id -> result`` mapping shape as
+:func:`tests.oracle.single_node_hash_join`, which is what lets one
+parametrized suite assert all engines × backends agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any, Callable, Hashable, Protocol, Sequence, runtime_checkable
+
+from repro.core.load_balancer import SizeProfile
+from repro.faults.policy import FaultTolerance
+from repro.faults.schedule import FaultSchedule
+from repro.runtime.metrics import RuntimeMetrics, collect_runtime_metrics
+from repro.runtime.transport import ShuffleChannel
+from repro.sim.cluster import Cluster
+from repro.store.messages import UDF
+from repro.store.partitioner import stable_hash
+from repro.store.table import Table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.workloads.synthetic import SyntheticWorkload
+
+#: Engines the simulated backend can drive.
+ENGINES = ("engine", "streaming", "mapreduce", "sparklite")
+
+
+@dataclass(frozen=True)
+class JoinWorkload:
+    """One join, engine-independently: ``f'(k, p, v)`` over a stream.
+
+    ``udf.apply_fn`` must be set — backends produce *real* outputs, not
+    just timings — and must be side-effect free (the locational-
+    transparency premise of the whole paper).
+    """
+
+    table: Table
+    udf: UDF
+    keys: tuple[Hashable, ...]
+    sizes: SizeProfile
+    params: tuple[Any, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.udf.apply_fn is None:
+            raise ValueError(
+                "JoinWorkload needs a UDF with apply_fn (real outputs)"
+            )
+        if self.params is not None and len(self.params) != len(self.keys):
+            raise ValueError("params must align one-to-one with keys")
+
+    @classmethod
+    def from_synthetic(
+        cls,
+        workload: "SyntheticWorkload",
+        apply_fn: Callable[[Hashable, Any, Any], Any] | None = None,
+        params: Sequence[Any] | None = None,
+    ) -> "JoinWorkload":
+        """Lift a DH/CH/DCH timing workload into a real-output one."""
+        fn = apply_fn if apply_fn is not None else (
+            lambda k, p, v: f"{k}|{p}|{v}"
+        )
+        return cls(
+            table=workload.build_table(),
+            udf=replace(workload.udf, apply_fn=fn),
+            keys=tuple(workload.keys()),
+            sizes=workload.sizes,
+            params=tuple(params) if params is not None else None,
+        )
+
+    def stored_values(self) -> dict[Hashable, Any]:
+        """Snapshot ``key -> value`` of the stored relation."""
+        return {row.key: row.value for row in self.table.rows()}
+
+
+@dataclass(frozen=True)
+class BackendRun:
+    """Outcome of one workload execution on one backend."""
+
+    engine: str
+    backend: str
+    outputs: dict[int, Any]
+    #: Simulated makespan (SimBackend) or wall-clock seconds
+    #: (LocalBackend).
+    duration: float
+    metrics: RuntimeMetrics | None = None
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """Anything that can execute a :class:`JoinWorkload`."""
+
+    def run_join(self, workload: JoinWorkload) -> BackendRun:
+        """Run the workload to completion; returns real outputs."""
+        ...
+
+
+@dataclass
+class SimBackend:
+    """Execute a workload on the discrete-event simulator.
+
+    Parameters
+    ----------
+    engine:
+        Which execution layer to drive (see :data:`ENGINES`).  All of
+        them dispatch through the kernel transports, so
+        ``fault_schedule`` / ``fault_tolerance`` behave uniformly.
+    n_compute, n_data:
+        Cluster shape (mapreduce and sparklite treat the sum as one
+        undifferentiated node pool, matching their Hadoop/Spark
+        deployment model).
+    strategy:
+        Routing strategy name for the adaptive engines (NO/FC/.../FO).
+    """
+
+    engine: str = "engine"
+    n_compute: int = 2
+    n_data: int = 2
+    strategy: str = "FO"
+    batch_size: int = 16
+    max_wait: float = 0.005
+    seed: int = 0
+    fault_schedule: FaultSchedule | None = None
+    fault_tolerance: FaultTolerance | None = None
+    fault_trace: Any = None
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}"
+            )
+
+    def run_join(self, workload: JoinWorkload) -> BackendRun:
+        runner = getattr(self, f"_run_{self.engine}")
+        return runner(workload)
+
+    def _cluster(self) -> Cluster:
+        return Cluster.homogeneous(self.n_compute + self.n_data)
+
+    # ------------------------------------------------------------------
+    # engine / streaming: the adaptive request/response engines
+    # ------------------------------------------------------------------
+    def _run_engine(self, workload: JoinWorkload) -> BackendRun:
+        from repro.engine.job import JoinJob
+        from repro.engine.strategies import Strategy
+
+        cluster = self._cluster()
+        job = JoinJob(
+            cluster=cluster,
+            compute_nodes=list(range(self.n_compute)),
+            data_nodes=list(
+                range(self.n_compute, self.n_compute + self.n_data)
+            ),
+            table=workload.table,
+            udf=workload.udf,
+            strategy=Strategy.by_name(self.strategy),
+            sizes=workload.sizes,
+            batch_size=self.batch_size,
+            max_wait=self.max_wait,
+            fault_schedule=self.fault_schedule,
+            fault_tolerance=self.fault_tolerance,
+            fault_trace=self.fault_trace,
+            seed=self.seed,
+        )
+        result = job.run(list(workload.keys), params=workload.params)
+        return BackendRun(
+            engine="engine",
+            backend="sim",
+            outputs=job.collected_outputs(),
+            duration=result.makespan,
+            metrics=collect_runtime_metrics(
+                cluster,
+                transports=[r.transport for r in job.runtimes.values()],
+                injector=job.injector,
+            ),
+        )
+
+    def _run_streaming(self, workload: JoinWorkload) -> BackendRun:
+        from repro.streaming.muppet import MuppetJoinSimulation
+
+        if workload.params is not None:
+            raise ValueError(
+                "the streaming engine feeds bare key streams; "
+                "per-tuple params are not expressible"
+            )
+        sim = MuppetJoinSimulation(
+            table=workload.table,
+            udf=workload.udf,
+            sizes=workload.sizes,
+            n_compute_nodes=self.n_compute,
+            n_data_nodes=self.n_data,
+            batch_size=self.batch_size,
+            max_wait=self.max_wait,
+            fault_schedule=self.fault_schedule,
+            fault_tolerance=self.fault_tolerance,
+            fault_trace=self.fault_trace,
+            seed=self.seed,
+        )
+        result = sim.run(self.strategy, list(workload.keys))
+        job = sim.last_job
+        assert job is not None
+        return BackendRun(
+            engine="streaming",
+            backend="sim",
+            outputs=job.collected_outputs(),
+            duration=result.duration,
+            metrics=collect_runtime_metrics(
+                job.cluster,
+                transports=[r.transport for r in job.runtimes.values()],
+                injector=job.injector,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # mapreduce / sparklite: the shuffle engines
+    # ------------------------------------------------------------------
+    def _install_faults(self, cluster: Cluster):
+        """Arm chaos faults on a shuffle engine's cluster (if any)."""
+        if self.fault_schedule is None:
+            return None
+        from repro.faults.injector import FaultInjector
+
+        injector = FaultInjector(self.fault_schedule, trace=self.fault_trace)
+        injector.install(cluster)
+        return injector
+
+    def _run_mapreduce(self, workload: JoinWorkload) -> BackendRun:
+        from repro.mapreduce.api import MapReduceSpec
+        from repro.mapreduce.simulated import SimulatedMapReduce
+
+        cluster = self._cluster()
+        injector = self._install_faults(cluster)
+        values = workload.stored_values()
+        udf = workload.udf
+        params = workload.params
+
+        def map_fn(tuple_id: int, key: Hashable):
+            p = params[tuple_id] if params is not None else None
+            return [(key, (tuple_id, p))]
+
+        def reduce_fn(key: Hashable, pairs: list[tuple[int, Any]]):
+            stored = values[key]
+            return [(tid, udf.apply(key, p, stored)) for tid, p in pairs]
+
+        channel = ShuffleChannel(cluster)
+        engine = SimulatedMapReduce(cluster, shuffle=channel)
+        result = engine.run(
+            MapReduceSpec(map_fn=map_fn, reduce_fn=reduce_fn),
+            list(enumerate(workload.keys)),
+        )
+        return BackendRun(
+            engine="mapreduce",
+            backend="sim",
+            outputs=dict(result.outputs),
+            duration=result.makespan,
+            metrics=collect_runtime_metrics(
+                cluster, channels=[channel], injector=injector
+            ),
+        )
+
+    def _run_sparklite(self, workload: JoinWorkload) -> BackendRun:
+        from repro.sparklite.query import DimensionJoin, StarQuery
+        from repro.sparklite.relation import Relation, Schema
+        from repro.sparklite.shuffle_exec import ShuffleExecutor
+
+        cluster = self._cluster()
+        injector = self._install_faults(cluster)
+        values = workload.stored_values()
+        # The probe stream is the fact side; the stored relation is a
+        # single dimension.  Grouping by tuple id with a max aggregate
+        # is the identity on the (unique) joined value, so the query
+        # output is exactly ``tuple_id -> stored value``.
+        fact = Relation(
+            "probe",
+            Schema(("tid", "k")),
+            list(enumerate(workload.keys)),
+        )
+        dimension = Relation(
+            "stored", Schema(("k", "v")), list(values.items())
+        )
+        query = StarQuery(
+            name="kernel-join",
+            fact=fact,
+            joins=(
+                DimensionJoin(dimension=dimension, fact_key="k", dim_key="k"),
+            ),
+            group_by=("tid",),
+            aggregates=(("max", "v", "v"),),
+        )
+        channel = ShuffleChannel(cluster)
+        result = ShuffleExecutor(cluster, shuffle=channel).run(query)
+        columns = result.result.schema.columns
+        tid_at = columns.index("tid")
+        value_at = columns.index("v")
+        udf = workload.udf
+        params = workload.params
+        outputs: dict[int, Any] = {}
+        for row in result.result.rows:
+            tid = row[tid_at]
+            p = params[tid] if params is not None else None
+            outputs[tid] = udf.apply(workload.keys[tid], p, row[value_at])
+        return BackendRun(
+            engine="sparklite",
+            backend="sim",
+            outputs=outputs,
+            duration=result.makespan,
+            metrics=collect_runtime_metrics(
+                cluster, channels=[channel], injector=injector
+            ),
+        )
+
+
+@dataclass
+class LocalBackend:
+    """Execute a workload on real threads — no simulation anywhere.
+
+    The job graph is the same as the simulated engines': partition the
+    probe stream by stable key hash (the kernel's routing hash), batch
+    each partition, apply the UDF against a snapshot of the stored
+    relation, merge.  ``duration`` is wall-clock seconds, making this
+    the backend for "does the real computation agree with the
+    simulated one" checks and for benchmarking actual UDFs.
+    """
+
+    max_workers: int = 4
+    batch_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+
+    def run_join(self, workload: JoinWorkload) -> BackendRun:
+        values = workload.stored_values()
+        partitions: list[list[int]] = [[] for _ in range(self.max_workers)]
+        for tuple_id, key in enumerate(workload.keys):
+            partitions[stable_hash(key) % self.max_workers].append(tuple_id)
+        start = time.perf_counter()
+        outputs: dict[int, Any] = {}
+        with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            futures = [
+                pool.submit(self._run_partition, workload, values, part)
+                for part in partitions
+                if part
+            ]
+            for future in futures:
+                outputs.update(future.result())
+        duration = time.perf_counter() - start
+        return BackendRun(
+            engine="local",
+            backend="local",
+            outputs=outputs,
+            duration=duration,
+        )
+
+    def _run_partition(
+        self,
+        workload: JoinWorkload,
+        values: dict[Hashable, Any],
+        tuple_ids: list[int],
+    ) -> dict[int, Any]:
+        udf = workload.udf
+        keys = workload.keys
+        params = workload.params
+        outputs: dict[int, Any] = {}
+        for at in range(0, len(tuple_ids), self.batch_size):
+            for tuple_id in tuple_ids[at : at + self.batch_size]:
+                key = keys[tuple_id]
+                p = params[tuple_id] if params is not None else None
+                outputs[tuple_id] = udf.apply(key, p, values[key])
+        return outputs

@@ -1,0 +1,107 @@
+"""One metrics pipeline for every engine on the runtime kernel.
+
+Before the kernel, each engine aggregated its own counters its own way
+(and three of the four had no fault counters at all, because they had
+no fault handling).  Now every engine runs on
+:class:`~repro.runtime.transport.Transport` /
+:class:`~repro.runtime.transport.ShuffleChannel`, and this module is
+the single aggregation point: request/shuffle counters, injector
+counters, and cluster resource usage, merged into one
+:class:`RuntimeMetrics` snapshot.  The event-level view stays in
+:class:`repro.metrics.trace.FaultTrace`, which both the injector and
+the transports feed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.metrics.collector import ClusterUsage, collect_usage
+from repro.runtime.transport import ShuffleChannel, Transport, TransportStats
+from repro.sim.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class ShuffleStats:
+    """Counters of one-way shuffle traffic (see :class:`ShuffleChannel`)."""
+
+    sends: int = 0
+    retransmits: int = 0
+    duplicates: int = 0
+    bytes_retransmitted: float = 0.0
+
+    def __add__(self, other: "ShuffleStats") -> "ShuffleStats":
+        return ShuffleStats(
+            sends=self.sends + other.sends,
+            retransmits=self.retransmits + other.retransmits,
+            duplicates=self.duplicates + other.duplicates,
+            bytes_retransmitted=self.bytes_retransmitted + other.bytes_retransmitted,
+        )
+
+
+@dataclass(frozen=True)
+class RuntimeMetrics:
+    """Unified kernel-level metrics for one run of any engine."""
+
+    transport: TransportStats = field(default_factory=TransportStats)
+    shuffle: ShuffleStats = field(default_factory=ShuffleStats)
+    messages_faulted: int = 0
+    usage: ClusterUsage | None = None
+
+    @property
+    def recovery_actions(self) -> int:
+        """Total engine-side reactions to faults across both seams."""
+        return (
+            self.transport.retries
+            + self.transport.fallbacks
+            + self.shuffle.retransmits
+        )
+
+    @property
+    def perturbed(self) -> bool:
+        """Whether the fault seam visibly touched this run."""
+        return self.messages_faulted > 0 or self.recovery_actions > 0
+
+
+def transport_stats(transports: Iterable[Transport]) -> TransportStats:
+    """Sum the counters of many transports (one per compute node)."""
+    total = TransportStats()
+    for transport in transports:
+        total = total + transport.stats()
+    return total
+
+
+def shuffle_stats(channels: Iterable[ShuffleChannel]) -> ShuffleStats:
+    """Sum the counters of many shuffle channels."""
+    total = ShuffleStats()
+    for channel in channels:
+        total = total + ShuffleStats(
+            sends=channel.sends,
+            retransmits=channel.retransmits,
+            duplicates=channel.duplicates,
+            bytes_retransmitted=channel.bytes_retransmitted,
+        )
+    return total
+
+
+def collect_runtime_metrics(
+    cluster: Cluster | None = None,
+    transports: Iterable[Transport] = (),
+    channels: Iterable[ShuffleChannel] = (),
+    injector=None,
+) -> RuntimeMetrics:
+    """Merge every kernel-level counter source into one snapshot.
+
+    ``injector`` is duck-typed on ``messages_faulted`` (the
+    :class:`repro.faults.FaultInjector` attribute) so the metrics layer
+    stays import-free of the faults package.
+    """
+    return RuntimeMetrics(
+        transport=transport_stats(transports),
+        shuffle=shuffle_stats(channels),
+        messages_faulted=(
+            getattr(injector, "messages_faulted", 0) if injector else 0
+        ),
+        usage=collect_usage(cluster) if cluster is not None else None,
+    )

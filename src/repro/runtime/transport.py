@@ -1,0 +1,461 @@
+"""Transport: the one place messages touch the simulated wire.
+
+Every engine in this repository ultimately moves two kinds of traffic:
+
+* **request/response envelopes** — a compute node ships a batch of
+  ``(k, p)`` items to a data node and waits for the answering batch
+  (the join engine, the streaming engine, and the indexed sparklite
+  executor all speak this protocol), and
+* **one-way bulk transfers** — a mapper ships its partition of shuffle
+  output to a reducer and never hears back (the MapReduce engines and
+  the sparklite shuffle executor).
+
+Before the runtime kernel existed each engine carried its own copy of
+the dispatch code, so only the join engine consulted
+:meth:`repro.sim.network.Network.delivery_plan` — the fault-injection
+seam — and only the join engine had timeouts, retries and replica
+fallback.  This module is now the *single* place those live:
+
+* :class:`Transport` — reliable request/response with idempotent
+  request ids, per-attempt timeouts with bounded exponential backoff,
+  same-id retries (the server replays from its idempotency cache),
+  replica fallback after retry exhaustion, and retry-cost charging via
+  the ``on_timeout`` hook.
+* :class:`ShuffleChannel` — at-least-once one-way transfers: a dropped
+  shuffle message is retransmitted after a timeout (bounded backoff),
+  duplicated copies arrive at the earliest delivery, and every
+  retransmission pays the wire again.
+
+Nothing outside this module calls ``Network.delivery_plan``; a fault
+schedule installed at the network therefore perturbs every engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.load_balancer import ComputeNodeStats, SizeProfile
+from repro.faults.policy import FaultTolerance
+from repro.sim.cluster import Cluster
+from repro.sim.events import EventHandle
+from repro.store.messages import (
+    BatchRequest,
+    BatchResponse,
+    RequestItem,
+    RequestKind,
+)
+from repro.core.optimizer import Route
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.metrics.trace import FaultTrace
+    from repro.store.datanode import DataNodeServer
+
+
+class TransportError(RuntimeError):
+    """Raised when a transfer cannot make progress (e.g. endless drops)."""
+
+
+@dataclass(frozen=True)
+class TransportStats:
+    """Counters of one transport's fault-handling activity."""
+
+    requests_sent: int = 0
+    timeouts: int = 0
+    retries: int = 0
+    fallbacks: int = 0
+    duplicate_responses: int = 0
+
+    def __add__(self, other: "TransportStats") -> "TransportStats":
+        return TransportStats(
+            requests_sent=self.requests_sent + other.requests_sent,
+            timeouts=self.timeouts + other.timeouts,
+            retries=self.retries + other.retries,
+            fallbacks=self.fallbacks + other.fallbacks,
+            duplicate_responses=self.duplicate_responses + other.duplicate_responses,
+        )
+
+
+class _Pending:
+    """One in-flight request batch awaiting its response."""
+
+    __slots__ = ("dst", "kind", "items", "attempt", "sent_at", "timer")
+
+    def __init__(
+        self, dst: int, kind: RequestKind, items: list[RequestItem]
+    ) -> None:
+        self.dst = dst
+        self.kind = kind
+        self.items = items
+        self.attempt = 0
+        self.sent_at = 0.0
+        self.timer: EventHandle | None = None
+
+
+class Transport:
+    """Reliable request/response channel from one compute node.
+
+    Parameters
+    ----------
+    cluster:
+        The simulated hardware (network + event loop).
+    node_id:
+        The sending node this transport belongs to.
+    servers:
+        Data-node servers by node id — the RPC targets.  Their sorted
+        key order doubles as the replica ring for fallback.
+    sizes:
+        Average message sizes handed to the serving side.
+    key_size, param_size:
+        Wire sizes used to price request batches.
+    comp_stats:
+        Optional ``dst -> ComputeNodeStats | None`` provider; called at
+        every (re)transmission of a compute batch so piggybacked load
+        statistics are fresh on retries too.
+    on_response:
+        Required callback receiving every matched (or id-less)
+        :class:`BatchResponse`.  Late duplicates never reach it.
+    on_dispatch:
+        Optional ``(dst, kind, items)`` callback fired once per logical
+        request at first transmission (in-flight accounting).
+    on_timeout:
+        Optional ``(dst, waited_seconds)`` callback fired per timeout —
+        the retry-cost charging hook (cost models subscribe here).
+    on_abandon:
+        Optional ``(dst, kind, items)`` callback fired when a batch
+        gives up on its primary and degrades to a replica fallback.
+    fault_tolerance:
+        Timeout/retry/fallback knobs; ``None`` (or a disabled policy)
+        sends fire-and-forget requests exactly like the
+        pre-fault-tolerance engine.
+    fault_trace:
+        Optional :class:`repro.metrics.trace.FaultTrace` receiving one
+        event per timeout / retry / fallback / duplicate response.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        node_id: int,
+        servers: "dict[int, DataNodeServer]",
+        sizes: SizeProfile,
+        *,
+        key_size: float = 8.0,
+        param_size: float = 64.0,
+        comp_stats: Callable[[int], ComputeNodeStats | None] | None = None,
+        on_response: Callable[[BatchResponse], None] | None = None,
+        on_dispatch: Callable[[int, RequestKind, list[RequestItem]], None] | None = None,
+        on_timeout: Callable[[int, float], None] | None = None,
+        on_abandon: Callable[[int, RequestKind, list[RequestItem]], None] | None = None,
+        fault_tolerance: FaultTolerance | None = None,
+        fault_trace: "FaultTrace | None" = None,
+    ) -> None:
+        self.cluster = cluster
+        self.node_id = node_id
+        self.servers = servers
+        self.sizes = sizes
+        self.key_size = key_size
+        self.param_size = param_size
+        self.comp_stats = comp_stats
+        self.on_response = on_response
+        self.on_dispatch = on_dispatch
+        self.on_timeout = on_timeout
+        self.on_abandon = on_abandon
+        self.fault_tolerance = fault_tolerance
+        self.fault_trace = fault_trace
+        self._ring = sorted(servers)
+        self._pending: dict[str, _Pending] = {}
+        self._rid_seq = 0
+        #: Fault-handling counters (see :meth:`stats`).
+        self.requests_sent = 0
+        self.timeouts = 0
+        self.retries = 0
+        self.fallbacks = 0
+        self.duplicate_responses = 0
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        dst: int,
+        kind: RequestKind,
+        items: list[RequestItem],
+        attempt: int = 0,
+    ) -> str:
+        """Transmit one new logical request batch; returns its id.
+
+        ``attempt`` seeds the backoff clock: fallback batches inherit
+        the exhausted batch's attempt count so successive replica
+        generations wait longer instead of hammering replicas at the
+        base timeout.
+        """
+        rid = f"{self.node_id}:{self._rid_seq}"
+        self._rid_seq += 1
+        self.requests_sent += 1
+        if self.on_dispatch is not None:
+            self.on_dispatch(dst, kind, items)
+        entry = _Pending(dst, kind, list(items))
+        entry.attempt = attempt
+        self._pending[rid] = entry
+        self._transmit(rid, entry, items, attempt)
+        return rid
+
+    def pending_count(self) -> int:
+        """Live (unanswered, unabandoned) request batches."""
+        return len(self._pending)
+
+    def stats(self) -> TransportStats:
+        """Snapshot of this transport's counters."""
+        return TransportStats(
+            requests_sent=self.requests_sent,
+            timeouts=self.timeouts,
+            retries=self.retries,
+            fallbacks=self.fallbacks,
+            duplicate_responses=self.duplicate_responses,
+        )
+
+    def _transmit(
+        self, rid: str, entry: _Pending, items: list[RequestItem], attempt: int
+    ) -> None:
+        """One (re)transmission of a registered batch."""
+        sim = self.cluster.sim
+        entry.sent_at = sim.now
+        dst = entry.dst
+        if entry.kind is RequestKind.COMPUTE:
+            stats = self.comp_stats(dst) if self.comp_stats is not None else None
+            batch = BatchRequest(
+                src=self.node_id,
+                dst=dst,
+                compute_items=items,
+                comp_stats=stats,
+                request_id=rid,
+                attempt=attempt,
+            )
+        else:
+            batch = BatchRequest(
+                src=self.node_id, dst=dst, data_items=items,
+                request_id=rid, attempt=attempt,
+            )
+        wire_bytes = batch.request_bytes(self.key_size, self.param_size)
+        network = self.cluster.network
+        transfer = network.transfer(sim.now, self.node_id, dst, wire_bytes)
+        for extra in network.delivery_plan(
+            self.node_id, dst, sim.now, transfer.arrive
+        ):
+            sim.schedule_at(
+                transfer.arrive + extra, lambda: self._deliver(batch)
+            )
+        ft = self.fault_tolerance
+        if ft is not None and ft.enabled:
+            timeout = ft.timeout_for(attempt)
+            entry.timer = sim.schedule_at(
+                sim.now + timeout, lambda: self._check_timeout(rid, attempt)
+            )
+
+    # ------------------------------------------------------------------
+    # Serving side (request in, response back)
+    # ------------------------------------------------------------------
+    def _deliver(self, batch: BatchRequest) -> None:
+        sim = self.cluster.sim
+        server = self.servers[batch.dst]
+        served = server.serve(sim.now, batch, self.sizes)
+        response = served.response
+
+        def send_response() -> None:
+            network = self.cluster.network
+            transfer = network.transfer(
+                sim.now, batch.dst, self.node_id, response.payload_bytes
+            )
+            for extra in network.delivery_plan(
+                batch.dst, self.node_id, sim.now, transfer.arrive
+            ):
+                sim.schedule_at(
+                    transfer.arrive + extra,
+                    lambda: self._handle_response(response),
+                )
+
+        sim.schedule_at(served.ready_at, send_response)
+
+    def _handle_response(self, response: BatchResponse) -> None:
+        if response.request_id is not None:
+            entry = self._pending.pop(response.request_id, None)
+            if entry is None:
+                # Late original after a retry already answered, a
+                # network-duplicated response, or a batch that has
+                # since degraded to a replica: the token is dead.
+                self.duplicate_responses += 1
+                self._record_fault(
+                    "duplicate-response", response.src,
+                    f"rid={response.request_id}",
+                )
+                return
+            if entry.timer is not None:
+                entry.timer.cancel()
+        if self.on_response is not None:
+            self.on_response(response)
+
+    # ------------------------------------------------------------------
+    # Timeout / retry / fallback state machine
+    # ------------------------------------------------------------------
+    def _check_timeout(self, rid: str, attempt: int) -> None:
+        """Timer body: the batch ``rid`` got no response within bounds."""
+        entry = self._pending.get(rid)
+        if entry is None or entry.attempt != attempt:
+            return  # answered, degraded, or already retried
+        ft = self.fault_tolerance
+        assert ft is not None and ft.request_timeout is not None
+        self.timeouts += 1
+        waited = ft.timeout_for(attempt)
+        # Charge the wasted wait to the subscriber (cost models make
+        # flaky nodes look expensive to the router, not free).
+        if self.on_timeout is not None:
+            self.on_timeout(entry.dst, waited)
+        self._record_fault("timeout", entry.dst, f"rid={rid} attempt={attempt}")
+        if entry.attempt < ft.max_retries or not ft.fallback_to_replica:
+            entry.attempt += 1
+            self.retries += 1
+            self._record_fault("retry", entry.dst,
+                               f"rid={rid} attempt={entry.attempt}")
+            self._transmit(rid, entry, entry.items, entry.attempt)
+            return
+        self._fallback(rid, entry)
+
+    def _fallback(self, rid: str, entry: _Pending) -> None:
+        """Degrade an exhausted batch to a data request at a replica.
+
+        The primary kept timing out; give up on it, fetch the raw
+        stored values from the next data node holding a replica of the
+        partition, and let the caller run the UDF locally.  The
+        fallback batch gets a fresh token and the full retry machinery,
+        cycling onward through replicas if this one is also sick —
+        with the attempt count (and hence the backoff) carried over,
+        so successive generations wait longer rather than hammering
+        replicas at the base timeout.
+        """
+        self._pending.pop(rid, None)
+        if entry.timer is not None:
+            entry.timer.cancel()
+        self.fallbacks += 1
+        if self.on_abandon is not None:
+            self.on_abandon(entry.dst, entry.kind, entry.items)
+        replica = self.replica_for(entry.dst)
+        self._record_fault(
+            "fallback", entry.dst,
+            f"rid={rid} -> data request at replica node {replica}",
+        )
+        fallback_items = [
+            RequestItem(
+                key=item.key,
+                kind=RequestKind.DATA,
+                route=Route.DATA_REQUEST_DISK,
+                tuple_id=item.tuple_id,
+                params=item.params,
+            )
+            for item in entry.items
+        ]
+        self.send(replica, RequestKind.DATA, fallback_items,
+                  attempt=entry.attempt + 1)
+
+    def replica_for(self, dst: int) -> int:
+        """The next data node holding a replica of ``dst``'s partitions.
+
+        The store keeps one logical copy per partition on every data
+        node's successor (chain replication at replication factor 2 and
+        up); with a single data node the only "replica" is the primary
+        itself, and the fallback degenerates to more retries.
+        """
+        ring = self._ring
+        if len(ring) == 1:
+            return dst
+        index = ring.index(dst)
+        return ring[(index + 1) % len(ring)]
+
+    def _record_fault(self, kind: str, node_id: int, detail: str) -> None:
+        if self.fault_trace is not None:
+            self.fault_trace.record(self.cluster.sim.now, kind, node_id, detail)
+
+
+@dataclass(frozen=True)
+class ShuffleOutcome:
+    """Result of one at-least-once shuffle transfer."""
+
+    src: int
+    dst: int
+    size: float
+    start: float
+    arrive: float
+    attempts: int = 1
+    duplicates: int = 0
+
+    @property
+    def retransmits(self) -> int:
+        return self.attempts - 1
+
+
+class ShuffleChannel:
+    """At-least-once one-way bulk transfers (the shuffle seam).
+
+    Map-side engines push shuffle partitions at reducers and never get
+    an application-level response; reliability there is the transport's
+    job (TCP in Hadoop, this class here).  Each send consults
+    :meth:`Network.delivery_plan`; a dropped message is retransmitted
+    after ``retry_timeout * backoff_factor ** attempt`` seconds (every
+    retransmission books the NIC again), duplicated copies cost nothing
+    extra to the receiver beyond the wire, and a delayed copy arrives
+    at the earliest delivered offset.
+
+    The channel is deliberately synchronous (no event-loop callbacks):
+    the shuffle engines compute arrival times analytically, and the
+    channel returns the final arrival directly.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        retry_timeout: float = 0.25,
+        backoff_factor: float = 2.0,
+        max_attempts: int = 64,
+    ) -> None:
+        if retry_timeout <= 0:
+            raise ValueError("retry_timeout must be positive")
+        if backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.cluster = cluster
+        self.retry_timeout = retry_timeout
+        self.backoff_factor = backoff_factor
+        self.max_attempts = max_attempts
+        self.sends = 0
+        self.retransmits = 0
+        self.duplicates = 0
+        self.bytes_retransmitted = 0.0
+
+    def transfer(self, at: float, src: int, dst: int, size: float) -> ShuffleOutcome:
+        """Move ``size`` bytes ``src -> dst``, retrying dropped sends."""
+        network = self.cluster.network
+        self.sends += 1
+        send_time = at
+        for attempt in range(self.max_attempts):
+            transfer = network.transfer(send_time, src, dst, size)
+            plan = network.delivery_plan(src, dst, send_time, transfer.arrive)
+            if plan:
+                extra = min(plan)
+                dup = len(plan) - 1
+                self.duplicates += dup
+                return ShuffleOutcome(
+                    src=src, dst=dst, size=size, start=at,
+                    arrive=transfer.arrive + extra,
+                    attempts=attempt + 1, duplicates=dup,
+                )
+            # Dropped: the sender notices after a timeout and resends.
+            self.retransmits += 1
+            self.bytes_retransmitted += size
+            send_time = max(send_time, transfer.arrive) + min(
+                self.retry_timeout * self.backoff_factor ** attempt, 60.0
+            )
+        raise TransportError(
+            f"shuffle transfer {src}->{dst} dropped {self.max_attempts} "
+            "times in a row; the fault schedule never lets it through"
+        )

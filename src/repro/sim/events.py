@@ -57,6 +57,7 @@ class Simulator:
         self._seq = 0
         self._queue: list[tuple[float, int, Callable[[], Any], EventHandle]] = []
         self._events_processed = 0
+        self._events_cancelled = 0
 
     @property
     def now(self) -> float:
@@ -67,6 +68,16 @@ class Simulator:
     def events_processed(self) -> int:
         """Number of callbacks executed so far."""
         return self._events_processed
+
+    @property
+    def events_cancelled(self) -> int:
+        """Number of cancelled entries discarded from the heap.
+
+        Timeout timers are scheduled per request and cancelled on every
+        healthy response, so a large heap is usually cancellation churn,
+        not an event storm; this counter tells the two apart.
+        """
+        return self._events_cancelled
 
     @property
     def pending(self) -> int:
@@ -111,6 +122,7 @@ class Simulator:
         while self._queue:
             time, _seq, callback, handle = heapq.heappop(self._queue)
             if handle.cancelled:
+                self._events_cancelled += 1
                 continue
             self._now = time
             self._events_processed += 1
@@ -135,6 +147,7 @@ class Simulator:
         while self._queue:
             if self._queue[0][3].cancelled:
                 heapq.heappop(self._queue)
+                self._events_cancelled += 1
                 continue
             next_time = self._queue[0][0]
             if until is not None and next_time > until:
@@ -148,3 +161,11 @@ class Simulator:
                 )
         if until is not None and until > self._now:
             self._now = until
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulator(now={self._now:.6f}, "
+            f"processed={self._events_processed}, "
+            f"cancelled={self._events_cancelled}, "
+            f"pending={len(self._queue)})"
+        )

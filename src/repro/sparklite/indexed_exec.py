@@ -24,6 +24,7 @@ from repro.core.load_balancer import SizeProfile
 from repro.engine.job import JobResult
 from repro.engine.multi_join import JoinStageSpec, MultiJoinJob
 from repro.engine.strategies import Strategy, StrategyConfig
+from repro.faults.policy import FaultTolerance
 from repro.sim.cluster import Cluster
 from repro.sparklite.operators import select
 from repro.sparklite.planner import order_joins
@@ -83,6 +84,8 @@ class IndexedExecutor:
         batch_size: int = 128,
         max_wait: float = 0.005,
         pipeline_window: int = 1024,
+        fault_tolerance: FaultTolerance | None = None,
+        fault_trace=None,
         seed: int = 0,
     ) -> None:
         self.cluster = cluster
@@ -93,6 +96,10 @@ class IndexedExecutor:
         self.batch_size = batch_size
         self.max_wait = max_wait
         self.pipeline_window = pipeline_window
+        # Passed straight down to the kernel transports of every
+        # pipeline stage (repro.runtime.Transport).
+        self.fault_tolerance = fault_tolerance
+        self.fault_trace = fault_trace
         self.seed = seed
 
     def run(self, query: StarQuery, join_order: list[int] | None = None) -> IndexedQueryResult:
@@ -197,6 +204,8 @@ class IndexedExecutor:
             max_wait=self.max_wait,
             pipeline_window=self.pipeline_window,
             block_cache_bytes=costs.block_cache_bytes,
+            fault_tolerance=self.fault_tolerance,
+            fault_trace=self.fault_trace,
             seed=self.seed,
         )
         result = job.run(stage_keys)

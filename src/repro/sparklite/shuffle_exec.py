@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.runtime.transport import ShuffleChannel
 from repro.sim.cluster import Cluster
 from repro.sparklite.operators import hash_join, select
 from repro.sparklite.planner import order_joins
@@ -49,14 +50,25 @@ class ShuffleQueryResult:
     stage_cardinalities: list[int]
     bytes_shuffled: float
     result: Relation
+    shuffle_retransmits: int = 0
+    shuffle_duplicates: int = 0
 
 
 class ShuffleExecutor:
     """SparkSQL-style executor over the simulated cluster."""
 
-    def __init__(self, cluster: Cluster, costs: SparkCosts | None = None) -> None:
+    def __init__(
+        self,
+        cluster: Cluster,
+        costs: SparkCosts | None = None,
+        shuffle: ShuffleChannel | None = None,
+    ) -> None:
         self.cluster = cluster
         self.costs = costs if costs is not None else SparkCosts()
+        # All-to-all traffic goes through the runtime kernel's
+        # at-least-once channel: installed fault schedules
+        # (`Network.delivery_plan`) now perturb Spark-style stages too.
+        self.shuffle = shuffle if shuffle is not None else ShuffleChannel(cluster)
 
     def run(self, query: StarQuery, join_order: list[int] | None = None) -> ShuffleQueryResult:
         """Execute ``query``; returns timing plus the real result."""
@@ -115,7 +127,7 @@ class ShuffleExecutor:
                 ready = max(ser_done, spill_done)
                 # All-to-all transfer of this node's outbound share.
                 out_bytes = (fact_bytes_per_node + dim_bytes_per_node) * out_fraction
-                transfer = cluster.network.transfer(
+                outcome = self.shuffle.transfer(
                     ready, node.node_id, (node.node_id + 1) % n, out_bytes
                 )
                 bytes_shuffled += out_bytes
@@ -124,7 +136,7 @@ class ShuffleExecutor:
                 build_cpu = (len(dim) / n) * costs.build_cpu
                 probe_cpu = (rows_in / n) * costs.probe_cpu
                 _c2, cpu_done = node.cpu.acquire(
-                    transfer.arrive, de_cpu + build_cpu + probe_cpu
+                    outcome.arrive, de_cpu + build_cpu + probe_cpu
                 )
                 finish = max(finish, cpu_done)
             current = hash_join(current, dim, join.fact_key, join.dim_key)
@@ -144,11 +156,11 @@ class ShuffleExecutor:
             agg_cpu = (len(current) / n) * costs.agg_cpu
             _c, cpu_done = node.cpu.acquire(agg_start, agg_cpu)
             out_bytes = (len(result) / n) * costs.fact_row_bytes
-            transfer = cluster.network.transfer(
+            outcome = self.shuffle.transfer(
                 cpu_done, node.node_id, (node.node_id + 1) % n, out_bytes
             )
             bytes_shuffled += out_bytes
-            finish = max(finish, transfer.arrive)
+            finish = max(finish, outcome.arrive)
         stage_times.append(finish - agg_start)
         stage_cards.append(len(result))
 
@@ -159,4 +171,6 @@ class ShuffleExecutor:
             stage_cardinalities=stage_cards,
             bytes_shuffled=bytes_shuffled,
             result=result,
+            shuffle_retransmits=self.shuffle.retransmits,
+            shuffle_duplicates=self.shuffle.duplicates,
         )

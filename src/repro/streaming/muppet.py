@@ -24,6 +24,8 @@ from repro.engine.job import JoinJob, RateRunResult, StreamResult
 from repro.engine.prefetch import PreMapRunner
 from repro.engine.strategies import Strategy, StrategyConfig
 from repro.core.load_balancer import SizeProfile
+from repro.faults.policy import FaultTolerance
+from repro.faults.schedule import FaultSchedule
 from repro.sim.cluster import Cluster, NodeSpec
 from repro.store.messages import UDF
 from repro.store.table import Table
@@ -124,12 +126,18 @@ class MuppetJoinSimulation:
     batch_size: int = 64
     max_wait: float = 0.02
     block_cache_bytes: float = 0.0
+    #: Fault seam passthrough: the stream engine rides the same
+    #: runtime kernel (repro.runtime.Transport) as the batch engine,
+    #: so schedules and tolerance policies plug in identically.
+    fault_schedule: FaultSchedule | None = None
+    fault_tolerance: FaultTolerance | None = None
+    fault_trace: Any = None
     seed: int = 0
+    #: The most recent underlying :class:`JoinJob` (real UDF outputs
+    #: are reachable via ``last_job.collected_outputs()``).
+    last_job: JoinJob | None = None
 
-    def run(
-        self, strategy: StrategyConfig | str, stream: Sequence[Hashable]
-    ) -> StreamResult:
-        """Run the stream under ``strategy``; returns throughput."""
+    def _build_job(self, strategy: StrategyConfig | str) -> JoinJob:
         config = (
             Strategy.by_name(strategy) if isinstance(strategy, str) else strategy
         )
@@ -148,9 +156,19 @@ class MuppetJoinSimulation:
             max_wait=self.max_wait,
             memory_cache_bytes=self.memory_cache_bytes,
             block_cache_bytes=self.block_cache_bytes,
+            fault_schedule=self.fault_schedule,
+            fault_tolerance=self.fault_tolerance,
+            fault_trace=self.fault_trace,
             seed=self.seed,
         )
-        return job.run_streaming(list(stream))
+        self.last_job = job
+        return job
+
+    def run(
+        self, strategy: StrategyConfig | str, stream: Sequence[Hashable]
+    ) -> StreamResult:
+        """Run the stream under ``strategy``; returns throughput."""
+        return self._build_job(strategy).run_streaming(list(stream))
 
     def run_at_rate(
         self,
@@ -164,24 +182,6 @@ class MuppetJoinSimulation:
         arrive on a schedule instead of under saturation, and each
         tuple's arrival-to-completion latency is recorded.
         """
-        config = (
-            Strategy.by_name(strategy) if isinstance(strategy, str) else strategy
+        return self._build_job(strategy).run_at_rate(
+            list(stream), arrivals_per_second
         )
-        n_nodes = self.n_compute_nodes + self.n_data_nodes
-        spec = self.node_spec if self.node_spec is not None else NodeSpec()
-        cluster = Cluster.homogeneous(n_nodes, spec)
-        job = JoinJob(
-            cluster=cluster,
-            compute_nodes=list(range(self.n_compute_nodes)),
-            data_nodes=list(range(self.n_compute_nodes, n_nodes)),
-            table=self.table,
-            udf=self.udf,
-            strategy=config,
-            sizes=self.sizes,
-            batch_size=self.batch_size,
-            max_wait=self.max_wait,
-            memory_cache_bytes=self.memory_cache_bytes,
-            block_cache_bytes=self.block_cache_bytes,
-            seed=self.seed,
-        )
-        return job.run_at_rate(list(stream), arrivals_per_second)

@@ -61,6 +61,42 @@ class TestBatchBuffer:
         assert len(flushed) == 1
         assert buf.timeout_flushes == 0
 
+    def test_timer_firing_on_emptied_buffer_does_not_double_send(self):
+        # The max-wait edge: a size-triggered flush empties the buffer,
+        # then the orphaned timer fires at exactly max_wait with nothing
+        # (or with a *newer* generation of items) behind it.  Neither
+        # case may re-send.
+        sim = Simulator()
+        flushed = []
+        buf = BatchBuffer(sim, batch_size=2, on_flush=flushed.append, max_wait=1.0)
+
+        def fill():
+            buf.add(item(tid=0))
+            buf.add(item(tid=1))  # size flush; the t=1.0 timer is now stale
+
+        sim.schedule_at(0.0, fill)
+        # Refill with a new generation at exactly the stale timer's
+        # firing time; the stale timer then fires against a non-empty
+        # buffer holding items it never guarded, and must not touch it.
+        sim.schedule_at(1.0, lambda: buf.add(item(tid=2)))
+        sim.run()
+        assert [[it.tuple_id for it in batch] for batch in flushed] == [[0, 1], [2]]
+        # The first flush was by size, the second by the *new* timer
+        # (armed at t=1.0, fired at t=2.0) — never the stale one.
+        assert buf.timeout_flushes == 1
+        assert sim.now == pytest.approx(2.0)
+
+    def test_timer_firing_on_empty_buffer_is_a_no_op(self):
+        sim = Simulator()
+        flushed = []
+        buf = BatchBuffer(sim, batch_size=2, on_flush=flushed.append, max_wait=1.0)
+        sim.schedule_at(0.0, lambda: buf.add(item(tid=0)))
+        sim.schedule_at(0.5, buf.flush)  # manual flush empties the buffer
+        sim.run()  # stale timer still fires at t=1.0
+        assert len(flushed) == 1
+        assert buf.flushes == 1
+        assert buf.timeout_flushes == 0
+
     def test_validation(self):
         sim = Simulator()
         with pytest.raises(ValueError):

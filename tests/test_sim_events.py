@@ -106,3 +106,32 @@ class TestRunControls:
             sim.schedule_at(float(i), lambda: None)
         sim.run()
         assert sim.events_processed == 5
+
+    def test_events_cancelled_counter(self):
+        sim = Simulator()
+        handles = [sim.schedule_at(float(i), lambda: None) for i in range(5)]
+        handles[1].cancel()
+        handles[3].cancel()
+        assert sim.events_cancelled == 0  # counted on discard, not cancel
+        sim.run()
+        assert sim.events_processed == 3
+        assert sim.events_cancelled == 2
+        assert sim.pending == 0
+
+    def test_events_cancelled_counted_by_step(self):
+        sim = Simulator()
+        sim.schedule_at(0.0, lambda: None).cancel()
+        sim.schedule_at(1.0, lambda: None)
+        assert sim.step() is True  # discards the cancelled entry en route
+        assert sim.events_cancelled == 1
+        assert sim.events_processed == 1
+
+    def test_repr_distinguishes_churn_from_storms(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None).cancel()
+        sim.run()
+        text = repr(sim)
+        assert "processed=1" in text
+        assert "cancelled=1" in text
+        assert "pending=0" in text
