@@ -1,0 +1,58 @@
+"""Observability overhead tripwire (CI-enforced).
+
+Runs the Figure 8 smoke workload through ``repro.api.run_join`` with
+tracing off and on and compares min-of-3 wall-clock times.  Two
+failure modes are guarded:
+
+* tracing perturbs the simulation — the simulated makespan or the join
+  outputs differ between the two runs (the observation-only invariant);
+* tracing costs too much — the traced run takes more than 10% longer
+  than the untraced one (plus a small absolute epsilon so CI timer
+  noise on a sub-second run cannot flake the gate).
+"""
+
+import time
+
+from repro.api import JobSpec, ObsOptions, RunConfig, run_join
+
+#: Relative budget for the traced run, per the redesign acceptance bar.
+OVERHEAD_BUDGET = 1.10
+#: Absolute slack (seconds) against scheduler/timer noise in CI.
+EPSILON = 0.10
+
+
+def _fig8_smoke(tracing: bool):
+    spec = JobSpec.synthetic(
+        "data_heavy", n_keys=500, n_tuples=3000, skew=1.0, seed=7
+    )
+    config = RunConfig(
+        engine="engine", n_compute=4, n_data=4, seed=7,
+        obs=ObsOptions(tracing=tracing),
+    )
+    return run_join(spec, config)
+
+
+def _min_wall(fn, repeats: int = 3):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        outcome = fn()
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best, result = elapsed, outcome
+    return best, result
+
+
+def test_tracing_overhead_within_budget():
+    untraced_wall, untraced = _min_wall(lambda: _fig8_smoke(False))
+    traced_wall, traced = _min_wall(lambda: _fig8_smoke(True))
+
+    # Observation only: same simulated world, same answer.
+    assert traced.makespan == untraced.makespan
+    assert traced.outputs == untraced.outputs
+    assert traced.tracer is not None and len(traced.tracer) > 0
+
+    assert traced_wall <= OVERHEAD_BUDGET * untraced_wall + EPSILON, (
+        f"tracing overhead too high: traced {traced_wall:.3f}s vs "
+        f"untraced {untraced_wall:.3f}s"
+    )

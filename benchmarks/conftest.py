@@ -6,17 +6,44 @@ with a single round — these are end-to-end simulation harnesses, not
 microbenchmarks, and one deterministic run is exactly the quantity of
 interest.  Each benchmark also asserts the figure's headline shape so a
 performance regression that silently breaks the science fails loudly.
+
+Every run additionally writes ``out/BENCH_<name>.json`` carrying the
+ambient :class:`repro.obs.MetricsRegistry` snapshot, so a perf number
+always travels with the counters (routing mix, cache hits, fault
+reactions) that explain it.  The registry is reset per benchmark; the
+``out/`` directory is gitignored.
 """
+
+import re
+import time
+from pathlib import Path
 
 import pytest
 
+from repro.obs import ambient_registry, write_bench_json
+
+OUT_DIR = Path(__file__).resolve().parent / "out"
+
 
 @pytest.fixture
-def once(benchmark):
-    """Run a callable exactly once under the benchmark clock."""
+def once(benchmark, request):
+    """Run a callable exactly once under the benchmark clock.
+
+    Attaches ``out/BENCH_<name>.json`` with the ambient metrics the run
+    published and its wall-clock seconds.
+    """
 
     def runner(fn, *args, **kwargs):
-        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
-                                  rounds=1, iterations=1)
+        registry = ambient_registry()
+        registry.reset()
+        started = time.perf_counter()
+        result = benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                    rounds=1, iterations=1)
+        elapsed = time.perf_counter() - started
+        name = re.sub(
+            r"[^A-Za-z0-9_.-]+", "_", request.node.name.removeprefix("test_")
+        ).strip("_")
+        write_bench_json(OUT_DIR, name, registry, extra={"seconds": elapsed})
+        return result
 
     return runner

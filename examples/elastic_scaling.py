@@ -8,7 +8,8 @@ the job achieved in each phase.
 Run:  python examples/elastic_scaling.py
 """
 
-from repro import Cluster, Strategy
+from repro import Strategy
+from repro.sim import Cluster
 from repro.engine.elastic import ElasticJoinJob, MembershipEvent
 from repro.workloads.synthetic import SyntheticWorkload
 

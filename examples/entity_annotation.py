@@ -14,7 +14,9 @@ magnitude, and classification cost varies per model.  This example:
 Run:  python examples/entity_annotation.py
 """
 
-from repro import Cluster, JoinJob, Strategy
+from repro import Strategy
+from repro.engine import JoinJob
+from repro.sim import Cluster
 from repro.mapreduce.engine import ReduceSideJoinJob
 from repro.mapreduce.skew_partitioners import CSAWPartitioner, KeyStatistics
 from repro.workloads.annotation import AnnotationWorkload

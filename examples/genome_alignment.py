@@ -13,8 +13,10 @@ Run:  python examples/genome_alignment.py
 
 from collections import Counter
 
-from repro import Cluster, JoinJob, Strategy
-from repro.metrics.collector import collect_usage
+from repro import Strategy
+from repro.engine import JoinJob
+from repro.sim import Cluster
+from repro.obs import collect_usage
 from repro.workloads.genome import GenomeWorkload
 
 

@@ -2,59 +2,58 @@
 
 A skewed stream of keys joins a stored relation on a small simulated
 cluster (4 compute + 4 data nodes).  Each strategy from the paper runs
-on identical hardware; the table shows completion time, where the UDFs
-executed, and how the cache behaved.
+on identical hardware through the one-call facade
+(:func:`repro.api.run_join`); the table shows completion time, where
+the UDFs executed, and how the cache behaved, and the final FO run is
+rendered as a full observability report.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import Cluster, JoinJob, Strategy
+from repro import JobSpec, ObsOptions, RunConfig, run_join
 from repro.metrics.report import ExperimentTable
-from repro.workloads.synthetic import SyntheticWorkload
 
 
 def main() -> None:
-    workload = SyntheticWorkload.data_compute_heavy(
-        n_keys=3000, n_tuples=3000, skew=1.5, seed=42
-    )
-    print(
-        f"Workload: {workload.n_tuples} tuples over {workload.n_keys} keys, "
-        f"Zipf z={workload.skew}; stored values "
-        f"{workload.value_size / 1000:.0f} KB, UDF "
-        f"{workload.compute_cost * 1000:.0f} ms"
-    )
-
     table = ExperimentTable(
         "strategy comparison",
         ["strategy", "seconds", "throughput/s", "udfs@data", "cache hits"],
     )
+    config = RunConfig(engine="engine", n_compute=4, n_data=4, seed=42)
+    report = None
     for name in ("NO", "FC", "FD", "FR", "CO", "LO", "FO"):
-        cluster = Cluster.homogeneous(8)
-        job = JoinJob(
-            cluster=cluster,
-            compute_nodes=[0, 1, 2, 3],
-            data_nodes=[4, 5, 6, 7],
-            table=workload.build_table(),
-            udf=workload.udf,
-            strategy=Strategy.by_name(name),
-            sizes=workload.sizes,
-            memory_cache_bytes=20e6,
+        spec = JobSpec.synthetic(
+            "data_compute_heavy",
+            n_keys=3000,
+            n_tuples=3000,
+            skew=1.5,
             seed=42,
+            strategy=name,
         )
-        result = job.run(workload.keys())
+        # Trace the final (FO) run so the report below has a span tree.
+        if name == "FO":
+            config = RunConfig(
+                engine="engine", n_compute=4, n_data=4, seed=42,
+                obs=ObsOptions(tracing=True),
+            )
+        report = run_join(spec, config)
+        counters = report.snapshot["counters"]
         table.add_row([
             name,
-            result.makespan,
-            result.throughput,
-            result.udfs_at_data_nodes,
-            result.cache_memory_hits + result.cache_disk_hits,
+            report.makespan,
+            report.throughput,
+            counters.get("jobs.udfs_at_data_nodes", 0),
+            counters.get("cache.memory_hits", 0)
+            + counters.get("cache.disk_hits", 0),
         ])
-    print()
     print(table.render())
     print()
     fo = table.cell("FO", "seconds")
     fd = table.cell("FD", "seconds")
     print(f"FO (all optimizations) vs FD (pure reduce-side): {fd / fo:.2f}x faster")
+    print()
+    assert report is not None
+    print(report.render())
 
 
 if __name__ == "__main__":

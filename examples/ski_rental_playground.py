@@ -16,13 +16,11 @@ from repro import (
     CostModel,
     CostParameters,
     JoinLocationOptimizer,
-    LossyCounter,
     Route,
     SkiRental,
-    TieredCache,
-    buy_threshold,
-    competitive_ratio,
 )
+from repro.cache import TieredCache
+from repro.core import LossyCounter, buy_threshold, competitive_ratio
 
 
 def demo_ski_rental() -> None:

@@ -10,6 +10,12 @@ evaluation needs (cluster simulator, HBase-analog store, MapReduce and
 streaming engines, a mini SparkSQL, workload generators) and one
 experiment harness per paper figure.
 
+The curated surface is small: :func:`repro.api.run_join` drives any
+engine from one call, :mod:`repro.obs` observes it, and the core
+routing-decision types parameterize it.  Everything else lives in its
+subpackage (``repro.engine``, ``repro.sim``, ``repro.store``, ...);
+the old top-level re-exports still resolve but warn.
+
 Quick start
 -----------
 >>> from repro import quickstart_demo
@@ -18,134 +24,134 @@ Quick start
 'FO'
 """
 
+from repro.api import JobSpec, RunConfig, run_join
 from repro.core import (
-    BatchLoadBalancer,
     CostModel,
     CostParameters,
-    ExactCounter,
     JoinLocationOptimizer,
-    LossyCounter,
-    RequestCosts,
     Route,
     RoutingDecision,
     SizeProfile,
     SkiRental,
-    SmoothedValue,
-    UpdateTracker,
-    buy_threshold,
-    competitive_ratio,
 )
-from repro.cache import LFUDAPolicy, TieredCache, CacheTier
-from repro.sim import Cluster, Network, NodeSpec, Resource, Simulator
-from repro.store import (
-    DataNodeServer,
-    HashPartitioner,
-    KVStore,
-    RangePartitioner,
-    RegionMap,
-    Row,
-    Table,
-)
-from repro.engine import (
-    BatchBuffer,
-    ComputeNodeRuntime,
-    JobResult,
-    JoinJob,
-    JoinStageSpec,
-    MultiJoinJob,
-    PreMapRunner,
-    ResultHashMap,
-    Strategy,
-    StrategyConfig,
-    StreamResult,
-    UDF,
-)
-from repro.runtime import (
-    BackendRun,
-    JoinWorkload,
-    LocalBackend,
-    RuntimeMetrics,
-    ShuffleChannel,
-    SimBackend,
-    Transport,
-)
+from repro.engine import Strategy, StrategyConfig, UDF
+from repro.obs import MetricsRegistry, ObsOptions, RunReport, Tracer
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
-    "BatchLoadBalancer",
     "CostModel",
     "CostParameters",
-    "ExactCounter",
+    "JobSpec",
     "JoinLocationOptimizer",
-    "LossyCounter",
-    "RequestCosts",
+    "MetricsRegistry",
+    "ObsOptions",
     "Route",
     "RoutingDecision",
+    "RunConfig",
+    "RunReport",
     "SizeProfile",
     "SkiRental",
-    "SmoothedValue",
-    "UpdateTracker",
-    "buy_threshold",
-    "competitive_ratio",
-    "LFUDAPolicy",
-    "TieredCache",
-    "CacheTier",
-    "Cluster",
-    "Network",
-    "NodeSpec",
-    "Resource",
-    "Simulator",
-    "DataNodeServer",
-    "HashPartitioner",
-    "KVStore",
-    "RangePartitioner",
-    "RegionMap",
-    "Row",
-    "Table",
-    "BatchBuffer",
-    "ComputeNodeRuntime",
-    "JobResult",
-    "JoinJob",
-    "JoinStageSpec",
-    "MultiJoinJob",
-    "PreMapRunner",
-    "ResultHashMap",
     "Strategy",
     "StrategyConfig",
-    "StreamResult",
+    "Tracer",
     "UDF",
-    "BackendRun",
-    "JoinWorkload",
-    "LocalBackend",
-    "RuntimeMetrics",
-    "ShuffleChannel",
-    "SimBackend",
-    "Transport",
     "quickstart_demo",
+    "run_join",
 ]
 
+#: Legacy top-level re-exports, kept importable through ``__getattr__``
+#: below.  Each maps to the subpackage that owns the name today.
+_DEPRECATED = {
+    # repro.core
+    "BatchLoadBalancer": "repro.core",
+    "ExactCounter": "repro.core",
+    "LossyCounter": "repro.core",
+    "RequestCosts": "repro.core",
+    "SmoothedValue": "repro.core",
+    "UpdateTracker": "repro.core",
+    "buy_threshold": "repro.core",
+    "competitive_ratio": "repro.core",
+    # repro.cache
+    "CacheTier": "repro.cache",
+    "LFUDAPolicy": "repro.cache",
+    "TieredCache": "repro.cache",
+    # repro.sim
+    "Cluster": "repro.sim",
+    "Network": "repro.sim",
+    "NodeSpec": "repro.sim",
+    "Resource": "repro.sim",
+    "Simulator": "repro.sim",
+    # repro.store
+    "DataNodeServer": "repro.store",
+    "HashPartitioner": "repro.store",
+    "KVStore": "repro.store",
+    "RangePartitioner": "repro.store",
+    "RegionMap": "repro.store",
+    "Row": "repro.store",
+    "Table": "repro.store",
+    # repro.engine
+    "BatchBuffer": "repro.engine",
+    "ComputeNodeRuntime": "repro.engine",
+    "JobResult": "repro.engine",
+    "JoinJob": "repro.engine",
+    "JoinStageSpec": "repro.engine",
+    "MultiJoinJob": "repro.engine",
+    "PreMapRunner": "repro.engine",
+    "ResultHashMap": "repro.engine",
+    "StreamResult": "repro.engine",
+    # repro.runtime
+    "BackendRun": "repro.runtime",
+    "JoinWorkload": "repro.runtime",
+    "LocalBackend": "repro.runtime",
+    "RuntimeMetrics": "repro.runtime",
+    "ShuffleChannel": "repro.runtime",
+    "SimBackend": "repro.runtime",
+    "Transport": "repro.runtime",
+}
 
-def quickstart_demo(n_tuples: int = 2000, skew: float = 1.0, seed: int = 0):
-    """Run a tiny FO join job on a simulated cluster and return metrics.
+
+def __getattr__(name: str):
+    """Resolve legacy re-exports with a deprecation warning.
+
+    Deliberately does not cache the attribute into module globals, so
+    the warning machinery (not this module) decides how often to warn.
+    """
+    module_path = _DEPRECATED.get(name)
+    if module_path is None:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+    import warnings
+
+    warnings.warn(
+        f"importing {name!r} from 'repro' is deprecated; use "
+        f"'from {module_path} import {name}' instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return getattr(importlib.import_module(module_path), name)
+
+
+def __dir__() -> list:
+    return sorted([*__all__, *_DEPRECATED])
+
+
+def quickstart_demo(
+    n_tuples: int = 2000, skew: float = 1.0, seed: int = 0
+) -> RunReport:
+    """Run a tiny FO join through :func:`repro.api.run_join`.
 
     A convenience wrapper used by the README and doctests; see
     ``examples/quickstart.py`` for the expanded version.
     """
-    from repro.workloads.synthetic import SyntheticWorkload
-
-    workload = SyntheticWorkload.data_heavy(
-        n_keys=500, n_tuples=n_tuples, skew=skew, seed=seed, value_size=20_000
-    )
-    cluster = Cluster.homogeneous(8)
-    job = JoinJob(
-        cluster=cluster,
-        compute_nodes=list(range(4)),
-        data_nodes=list(range(4, 8)),
-        table=workload.build_table(),
-        udf=workload.udf,
-        strategy=Strategy.fo(),
-        sizes=workload.sizes,
+    spec = JobSpec.synthetic(
+        "data_heavy",
+        n_keys=500,
+        n_tuples=n_tuples,
+        skew=skew,
         seed=seed,
+        value_size=20_000,
     )
-    return job.run(workload.keys())
+    return run_join(
+        spec, RunConfig(engine="engine", n_compute=4, n_data=4, seed=seed)
+    )

@@ -19,15 +19,20 @@ from repro.engine.strategies import Strategy
 def _cmd_demo(args: argparse.Namespace) -> int:
     from repro import quickstart_demo
 
-    result = quickstart_demo(n_tuples=args.tuples, skew=args.skew, seed=args.seed)
-    print(f"strategy        : {result.strategy}")
-    print(f"tuples          : {result.n_tuples}")
-    print(f"makespan        : {result.makespan:.3f} s")
-    print(f"throughput      : {result.throughput:.0f} tuples/s")
-    print(f"UDFs at data    : {result.udfs_at_data_nodes}")
-    print(f"UDFs at compute : {result.udfs_at_compute_nodes}")
-    print(f"cache hits      : {result.cache_memory_hits + result.cache_disk_hits}")
-    print(f"bytes moved     : {result.bytes_moved / 1e6:.1f} MB")
+    report = quickstart_demo(n_tuples=args.tuples, skew=args.skew, seed=args.seed)
+    counters = report.snapshot["counters"]
+    print(f"strategy        : {report.strategy}")
+    print(f"tuples          : {report.n_tuples}")
+    print(f"makespan        : {report.makespan:.3f} s")
+    print(f"throughput      : {report.throughput:.0f} tuples/s")
+    print(f"UDFs at data    : {counters.get('jobs.udfs_at_data_nodes', 0):g}")
+    print(f"UDFs at compute : {counters.get('jobs.udfs_at_compute_nodes', 0):g}")
+    cache_hits = counters.get("cache.memory_hits", 0) + counters.get(
+        "cache.disk_hits", 0
+    )
+    print(f"cache hits      : {cache_hits:g}")
+    bytes_moved = report.metrics.usage.bytes_moved if report.metrics else 0.0
+    print(f"bytes moved     : {bytes_moved / 1e6:.1f} MB")
     return 0
 
 

@@ -1,0 +1,233 @@
+"""repro.api — one call to run a join on any engine.
+
+Before this module, driving the four engines meant four differently
+shaped constructors (``JoinJob``, ``MuppetJoinSimulation``,
+``SimulatedMapReduce`` + spec plumbing, ``StarQuery`` + executor).
+:func:`run_join` replaces that with two frozen values:
+
+* :class:`JobSpec` — *what* to join: the stored table, the UDF, the
+  probe keys, and the routing strategy.
+* :class:`RunConfig` — *how* to run it: engine, backend, cluster
+  shape, fault schedule/tolerance, and observability options.
+
+The return value is a :class:`repro.obs.RunReport` carrying the real
+outputs, the kernel metrics, a registry snapshot, and (when tracing is
+on) the span trace — everything needed to answer both "what was the
+answer" and "why did it cost what it cost".
+
+>>> spec = JobSpec.synthetic(n_keys=50, n_tuples=200, seed=1)
+>>> report = run_join(spec, RunConfig(engine="engine"))
+>>> report.strategy
+'FO'
+>>> len(report.outputs)
+200
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Hashable
+
+from repro.core.load_balancer import SizeProfile
+from repro.faults.policy import FaultTolerance
+from repro.faults.schedule import FaultSchedule
+from repro.obs.exporters import ObsOptions, RunReport, write_trace_jsonl
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import NO_TRACER, Tracer
+from repro.runtime.backend import (
+    ENGINES,
+    BackendRun,
+    JoinWorkload,
+    LocalBackend,
+    SimBackend,
+)
+from repro.store.messages import UDF
+from repro.store.table import Table
+
+#: Backends :func:`run_join` can target.
+BACKENDS = ("sim", "local")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What to join: stored relation, UDF, probe stream, strategy."""
+
+    table: Table
+    udf: UDF
+    keys: tuple[Hashable, ...]
+    sizes: SizeProfile
+    #: Optional per-tuple UDF argument ``p``, aligned with ``keys``.
+    params: tuple[Any, ...] | None = None
+    #: Routing strategy for the adaptive engines (NO/FC/FD/FR/CO/LO/FO).
+    strategy: str = "FO"
+
+    def __post_init__(self) -> None:
+        if self.udf.apply_fn is None:
+            raise ValueError("JobSpec needs a UDF with apply_fn (real outputs)")
+        if self.params is not None and len(self.params) != len(self.keys):
+            raise ValueError("params must align one-to-one with keys")
+
+    @classmethod
+    def from_workload(
+        cls, workload: JoinWorkload, strategy: str = "FO"
+    ) -> "JobSpec":
+        """Lift a kernel :class:`JoinWorkload` into a spec."""
+        return cls(
+            table=workload.table,
+            udf=workload.udf,
+            keys=workload.keys,
+            sizes=workload.sizes,
+            params=workload.params,
+            strategy=strategy,
+        )
+
+    @classmethod
+    def synthetic(
+        cls,
+        kind: str = "data_heavy",
+        n_keys: int = 500,
+        n_tuples: int = 2000,
+        skew: float = 1.0,
+        seed: int = 0,
+        strategy: str = "FO",
+        **workload_kwargs: Any,
+    ) -> "JobSpec":
+        """A spec over one of the paper's synthetic workloads.
+
+        ``kind`` picks the :class:`~repro.workloads.synthetic.SyntheticWorkload`
+        constructor (``data_heavy`` / ``compute_heavy`` /
+        ``data_compute_heavy``); extra keyword arguments pass through
+        (``value_size``, ``compute_cost``, ...).
+        """
+        from repro.workloads.synthetic import SyntheticWorkload
+
+        builder = getattr(SyntheticWorkload, kind, None)
+        if builder is None:
+            raise ValueError(
+                f"unknown synthetic workload {kind!r}; expected one of "
+                "'data_heavy', 'compute_heavy', 'data_compute_heavy'"
+            )
+        workload = builder(
+            n_keys=n_keys, n_tuples=n_tuples, skew=skew, seed=seed,
+            **workload_kwargs,
+        )
+        return cls.from_workload(
+            JoinWorkload.from_synthetic(workload), strategy=strategy
+        )
+
+    def to_workload(self) -> JoinWorkload:
+        """The kernel-level workload value backends execute."""
+        return JoinWorkload(
+            table=self.table,
+            udf=self.udf,
+            keys=self.keys,
+            sizes=self.sizes,
+            params=self.params,
+        )
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """How to run a :class:`JobSpec`."""
+
+    #: Execution layer (see :data:`repro.runtime.backend.ENGINES`);
+    #: ignored by the ``local`` backend, which has exactly one engine.
+    engine: str = "engine"
+    #: ``sim`` (discrete-event simulator) or ``local`` (real threads).
+    backend: str = "sim"
+    n_compute: int = 2
+    n_data: int = 2
+    batch_size: int = 16
+    max_wait: float = 0.005
+    seed: int = 0
+    #: Deterministic fault plan, armed on whichever engine runs.
+    faults: FaultSchedule | None = None
+    #: Timeout/retry/fallback policy (needed if ``faults`` loses
+    #: messages).
+    fault_tolerance: FaultTolerance | None = None
+    #: Observability knobs.
+    obs: ObsOptions = field(default_factory=ObsOptions)
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
+            )
+        if self.backend == "sim" and self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}"
+            )
+
+    def with_obs(self, **changes: Any) -> "RunConfig":
+        """Copy with updated :class:`ObsOptions` fields."""
+        return replace(self, obs=replace(self.obs, **changes))
+
+
+def run_join(spec: JobSpec, config: RunConfig | None = None) -> RunReport:
+    """Run one join described by ``spec`` under ``config``.
+
+    The single entry point over all four simulated engines and the
+    thread-pool backend: builds the observability plumbing (tracer +
+    per-run registry), executes, optionally dumps the trace, and
+    returns the :class:`RunReport`.
+    """
+    cfg = config if config is not None else RunConfig()
+    tracer = Tracer() if cfg.obs.tracing else NO_TRACER
+    registry = MetricsRegistry()
+    workload = spec.to_workload()
+    run = _backend_for(spec, cfg, tracer, registry).run_join(workload)
+    trace_path: str | None = None
+    if cfg.obs.trace_path is not None and tracer.enabled:
+        trace_path = str(write_trace_jsonl(tracer, cfg.obs.trace_path))
+    return RunReport(
+        engine=run.engine,
+        backend=run.backend,
+        strategy=spec.strategy,
+        n_tuples=len(spec.keys),
+        makespan=run.duration,
+        outputs=run.outputs,
+        result=run,
+        metrics=run.metrics,
+        snapshot=registry.snapshot(),
+        tracer=tracer if tracer.enabled else None,
+        trace_path=trace_path,
+    )
+
+
+def _backend_for(
+    spec: JobSpec,
+    cfg: RunConfig,
+    tracer: Tracer,
+    registry: MetricsRegistry,
+) -> Any:
+    if cfg.backend == "local":
+        return LocalBackend(
+            max_workers=max(cfg.n_compute, 1),
+            batch_size=cfg.batch_size,
+            tracer=tracer,
+            registry=registry,
+        )
+    return SimBackend(
+        engine=cfg.engine,
+        n_compute=cfg.n_compute,
+        n_data=cfg.n_data,
+        strategy=spec.strategy,
+        batch_size=cfg.batch_size,
+        max_wait=cfg.max_wait,
+        seed=cfg.seed,
+        fault_schedule=cfg.faults,
+        fault_tolerance=cfg.fault_tolerance,
+        tracer=tracer,
+        registry=registry,
+    )
+
+
+__all__ = [
+    "BACKENDS",
+    "BackendRun",
+    "JobSpec",
+    "ObsOptions",
+    "RunConfig",
+    "RunReport",
+    "run_join",
+]

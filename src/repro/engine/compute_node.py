@@ -38,6 +38,7 @@ from repro.engine.requests import (
 )
 from repro.engine.strategies import RoutingPolicy, StrategyConfig
 from repro.faults.policy import FaultTolerance
+from repro.obs.tracer import NO_TRACER, Span, Tracer
 from repro.runtime.transport import Transport
 from repro.sim.cluster import Cluster
 from repro.store.datanode import DataNodeServer
@@ -112,6 +113,8 @@ class ComputeNodeRuntime:
         adaptive_batching: bool = False,
         fault_tolerance: FaultTolerance | None = None,
         fault_trace: "FaultTrace | None" = None,
+        tracer: Tracer = NO_TRACER,
+        obs_parent: Span | None = None,
         seed: int = 0,
     ) -> None:
         self.cluster = cluster
@@ -129,6 +132,9 @@ class ComputeNodeRuntime:
         self.update_notifications = update_notifications
         #: Optional decision recorder (repro.metrics.trace).
         self.trace = trace
+        #: Span tracer and the job span routing/batch records nest under.
+        self.tracer = tracer
+        self.obs_parent = obs_parent
         self._node = cluster.node(node_id)
         self._rng = np.random.default_rng(seed)
         self._data_nodes = sorted(servers)
@@ -223,6 +229,7 @@ class ComputeNodeRuntime:
             on_abandon=self._on_abandon,
             fault_tolerance=fault_tolerance,
             fault_trace=fault_trace,
+            tracer=tracer,
         )
         # Exactly-once dispatch guard: under fallback, one tuple can be
         # reachable through two live paths (e.g. a fetch-waiter list
@@ -285,6 +292,17 @@ class ComputeNodeRuntime:
         if self.trace is not None:
             self.trace.record(
                 self.cluster.sim.now, self.node_id, tuple_id, key, route
+            )
+        if self.tracer.enabled:
+            self.tracer.event(
+                "route",
+                parent=self.obs_parent,
+                at=self.cluster.sim.now,
+                node=self.node_id,
+                tuple_id=tuple_id,
+                key=key,
+                route=route,
+                frozen=self._frozen(),
             )
 
     def _route_and_dispatch(
@@ -465,7 +483,20 @@ class ComputeNodeRuntime:
     # ------------------------------------------------------------------
     def _make_flusher(self, dst: int, kind: RequestKind):
         def flush(items: list[RequestItem]) -> None:
-            self.transport.send(dst, kind, items)
+            if not self.tracer.enabled:
+                self.transport.send(dst, kind, items)
+                return
+            # The batch span marks the buffer-to-wire handoff moment
+            # (zero length); the transport's request span nests under
+            # it, which keeps retries of the same batch together.
+            now = self.cluster.sim.now
+            span = self.tracer.start(
+                "batch", parent=self.obs_parent, at=now,
+                node=self.node_id, dst=dst,
+                kind=kind.name, items=len(items),
+            )
+            self.tracer.end(span, at=now)
+            self.transport.send(dst, kind, items, span_parent=span)
 
         return flush
 

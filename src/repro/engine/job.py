@@ -28,6 +28,9 @@ from repro.engine.strategies import StrategyConfig
 from repro.faults.injector import FaultInjector
 from repro.faults.policy import FaultTolerance
 from repro.faults.schedule import FaultSchedule
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import NO_TRACER, Tracer
+from repro.obs.usage import publish_job_result
 from repro.sim.cluster import Cluster
 from repro.sim.rng import derive_seed
 from repro.store.datanode import DataNodeServer
@@ -185,6 +188,12 @@ class JoinJob:
     #: Optional repro.metrics.trace.FaultTrace recording injections and
     #: the engine's reactions.
     fault_trace: Any = None
+    #: Span tracer threaded through every component (servers,
+    #: transports, injector); the run opens one ``job`` root span.
+    tracer: Tracer = NO_TRACER
+    #: Per-run metrics registry; results always also land in the
+    #: process-wide ambient registry.
+    registry: MetricsRegistry | None = None
     seed: int = 0
     kvstore: KVStore = field(init=False)
     servers: dict[int, DataNodeServer] = field(init=False)
@@ -211,6 +220,7 @@ class JoinJob:
                     rng=np.random.default_rng(derive_seed(self.seed, f"lb:{dn}")),
                 ),
                 block_cache_bytes=self.block_cache_bytes,
+                tracer=self.tracer,
             )
             for dn in self.data_nodes
         }
@@ -219,7 +229,8 @@ class JoinJob:
         self.runtimes = {}
         if self.fault_schedule is not None:
             self.injector = FaultInjector(
-                self.fault_schedule, trace=self.fault_trace
+                self.fault_schedule, trace=self.fault_trace,
+                tracer=self.tracer,
             )
             self.injector.install(
                 self.cluster, servers=self.servers, kvstore=self.kvstore
@@ -250,6 +261,15 @@ class JoinJob:
         n_tuples = len(key_list)
         self._completions = 0
         self._last_finish = 0.0
+        job_span = None
+        if self.tracer.enabled:
+            job_span = self.tracer.start(
+                "job",
+                at=self.cluster.sim.now,
+                engine="engine",
+                strategy=self.strategy.name,
+                n_tuples=n_tuples,
+            )
 
         # Round-robin input distribution across compute nodes — the
         # framework assumes the source balances compute-node load
@@ -294,6 +314,8 @@ class JoinJob:
                 adaptive_batching=self.adaptive_batching,
                 fault_tolerance=self.fault_tolerance,
                 fault_trace=self.fault_trace,
+                tracer=self.tracer,
+                obs_parent=job_span,
                 seed=derive_seed(self.seed, f"cn:{cn}"),
             )
             self.runtimes[cn] = runtime
@@ -335,6 +357,8 @@ class JoinJob:
                 f"job stalled: {self._completions}/{n_tuples} tuples "
                 f"completed{hint}"
             )
+        if job_span is not None:
+            self.tracer.end(job_span, at=self._last_finish)
         return self._collect(n_tuples)
 
     def run_streaming(self, keys: Iterable[Hashable]) -> StreamResult:
@@ -362,6 +386,16 @@ class JoinJob:
             raise ValueError("arrivals_per_second must be positive")
         key_list = list(keys)
         n_tuples = len(key_list)
+        job_span = None
+        if self.tracer.enabled:
+            job_span = self.tracer.start(
+                "job",
+                at=self.cluster.sim.now,
+                engine="engine",
+                strategy=self.strategy.name,
+                n_tuples=n_tuples,
+                arrival_rate=arrivals_per_second,
+            )
         arrival_time = [i / arrivals_per_second for i in range(n_tuples)]
         latencies: list[float] = [0.0] * n_tuples
         last_finish = 0.0
@@ -397,6 +431,8 @@ class JoinJob:
                 adaptive_batching=self.adaptive_batching,
                 fault_tolerance=self.fault_tolerance,
                 fault_trace=self.fault_trace,
+                tracer=self.tracer,
+                obs_parent=job_span,
                 seed=derive_seed(self.seed, f"cn:{cn}"),
             )
         self.runtimes.update(runtimes)
@@ -420,6 +456,8 @@ class JoinJob:
             raise RuntimeError(
                 f"rate run stalled: {completions}/{n_tuples} tuples completed"
             )
+        if job_span is not None:
+            self.tracer.end(job_span, at=last_finish)
         return RateRunResult(
             strategy=self.strategy.name,
             n_tuples=n_tuples,
@@ -473,7 +511,7 @@ class JoinJob:
         dup_requests = sum(
             server.duplicate_requests for server in self.servers.values()
         )
-        return JobResult(
+        result = JobResult(
             strategy=self.strategy.name,
             n_tuples=n_tuples,
             makespan=self._last_finish,
@@ -495,6 +533,13 @@ class JoinJob:
                 self.injector.messages_faulted if self.injector else 0
             ),
         )
+        # Every finished job lands in the ambient obs pipeline — this
+        # is what lets the benchmark JSON hook attach routing and fault
+        # counters without any per-tuple instrumentation.
+        publish_job_result(result)
+        if self.registry is not None:
+            publish_job_result(result, self.registry)
+        return result
 
 
 class _Feeder:

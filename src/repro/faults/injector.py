@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.faults.schedule import FaultSchedule
+from repro.obs.tracer import NO_TRACER, Tracer
 from repro.sim.cluster import Cluster
 from repro.sim.rng import make_rng
 
@@ -35,10 +36,14 @@ class FaultInjector:
     """Installs one schedule's faults and counts what it inflicted."""
 
     def __init__(
-        self, schedule: FaultSchedule, trace: "FaultTrace | None" = None
+        self,
+        schedule: FaultSchedule,
+        trace: "FaultTrace | None" = None,
+        tracer: Tracer = NO_TRACER,
     ) -> None:
         self.schedule = schedule
         self.trace = trace
+        self.tracer = tracer
         self._rng = make_rng(schedule.seed, "fault-injector")
         self._cluster: Cluster | None = None
         self.messages_dropped = 0
@@ -149,3 +154,7 @@ class FaultInjector:
     def _record(self, time: float, kind: str, node_id: int, detail: str) -> None:
         if self.trace is not None:
             self.trace.record(time, kind, node_id, detail)
+        if self.tracer.enabled:
+            self.tracer.event(
+                f"fault.{kind}", at=time, node=node_id, detail=detail
+            )

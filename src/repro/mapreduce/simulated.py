@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable, Iterable
 
 from repro.mapreduce.api import MapReduceSpec
+from repro.obs.tracer import NO_TRACER, Span, Tracer
 from repro.runtime.transport import ShuffleChannel
 from repro.sim.cluster import Cluster
 
@@ -69,21 +70,30 @@ class SimulatedMapReduce:
         costs: MapReduceCosts | None = None,
         reducers_per_node: int = 1,
         shuffle: ShuffleChannel | None = None,
+        tracer: Tracer = NO_TRACER,
     ) -> None:
         if reducers_per_node < 1:
             raise ValueError("reducers_per_node must be >= 1")
         self.cluster = cluster
         self.costs = costs if costs is not None else MapReduceCosts()
         self.n_reducers = reducers_per_node * len(cluster)
+        self.tracer = tracer
         # Shuffle traffic goes through the runtime kernel's
         # at-least-once channel, so an installed fault schedule
         # (`Network.delivery_plan`) perturbs this engine too.
         self.shuffle = shuffle if shuffle is not None else ShuffleChannel(cluster)
 
     def run(
-        self, spec: MapReduceSpec, inputs: Iterable[tuple[Any, Any]]
+        self,
+        spec: MapReduceSpec,
+        inputs: Iterable[tuple[Any, Any]],
+        span_parent: Span | None = None,
     ) -> SimulatedMapReduceResult:
-        """Run the job; returns outputs and timing."""
+        """Run the job; returns outputs and timing.
+
+        ``span_parent`` nests the per-phase spans (map / shuffle /
+        reduce) under the caller's job span.
+        """
         cluster = self.cluster
         costs = self.costs
         n_nodes = len(cluster)
@@ -103,10 +113,20 @@ class SimulatedMapReduce:
                 reducer = spec.route(out_key, self.n_reducers)
                 emitted[(node, reducer)].append((out_key, out_value))
         map_finish = max(map_finish_per_node, default=0.0)
+        if self.tracer.enabled:
+            phase = self.tracer.start(
+                "map_phase", parent=span_parent, at=0.0, nodes=n_nodes
+            )
+            self.tracer.end(phase, at=map_finish)
 
         # ------------------------------------------------------------
         # Shuffle with the sort barrier.
         # ------------------------------------------------------------
+        shuffle_span: Span | None = None
+        if self.tracer.enabled:
+            shuffle_span = self.tracer.start(
+                "shuffle_phase", parent=span_parent, at=map_finish
+            )
         arrival = [map_finish] * self.n_reducers
         bytes_shuffled = 0.0
         for (map_node, reducer), records in sorted(
@@ -115,12 +135,17 @@ class SimulatedMapReduce:
             reduce_node = reducer % n_nodes
             size = sum(costs.record_bytes(k, v) for k, v in records)
             outcome = self.shuffle.transfer(
-                map_finish_per_node[map_node], map_node, reduce_node, size
+                map_finish_per_node[map_node], map_node, reduce_node, size,
+                span_parent=shuffle_span,
             )
             if map_node != reduce_node:
                 bytes_shuffled += size
             arrival[reducer] = max(arrival[reducer], outcome.arrive)
         shuffle_finish = max(arrival, default=map_finish)
+        if shuffle_span is not None:
+            self.tracer.end(
+                shuffle_span, at=shuffle_finish, bytes=bytes_shuffled
+            )
 
         # ------------------------------------------------------------
         # Reduce: group, charge setup + per-record CPU, produce output.
@@ -158,6 +183,12 @@ class SimulatedMapReduce:
             reducer_finish[reducer] = finish
 
         makespan = max([map_finish, shuffle_finish] + reducer_finish)
+        if self.tracer.enabled:
+            phase = self.tracer.start(
+                "reduce_phase", parent=span_parent, at=shuffle_finish,
+                reducers=self.n_reducers,
+            )
+            self.tracer.end(phase, at=makespan)
         return SimulatedMapReduceResult(
             outputs=outputs,
             makespan=makespan,

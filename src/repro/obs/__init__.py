@@ -1,0 +1,71 @@
+"""repro.obs — the unified observability layer.
+
+One subsystem, three parts, threaded through the runtime-kernel seams:
+
+* :mod:`repro.obs.tracer` — hierarchical span tracing
+  (``job → batch → request → attempt``) with a no-op singleton
+  (:data:`NO_TRACER`) so disabled tracing costs one attribute check.
+* :mod:`repro.obs.registry` — named counters/gauges/histograms; every
+  engine emits into one :class:`MetricsRegistry` pipeline.
+* :mod:`repro.obs.exporters` — JSONL trace dump, markdown run report,
+  and the ``BENCH_*.json`` attachment hook.
+
+:mod:`repro.obs.usage` holds the cluster-usage and fault-stats
+summaries absorbed from the deleted ``repro.metrics.collector``.
+"""
+
+from repro.obs.exporters import (
+    ObsOptions,
+    RunReport,
+    bench_payload,
+    render_run_report,
+    trace_records,
+    write_bench_json,
+    write_trace_jsonl,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ambient_registry,
+)
+from repro.obs.tracer import NO_TRACER, NullTracer, Span, SpanEvent, Tracer
+from repro.obs.usage import (
+    ClusterUsage,
+    FaultStats,
+    collect_fault_stats,
+    collect_usage,
+    publish_fault_stats,
+    publish_job_result,
+    publish_usage,
+    skew_ratio,
+)
+
+__all__ = [
+    "NO_TRACER",
+    "ClusterUsage",
+    "Counter",
+    "FaultStats",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "ObsOptions",
+    "RunReport",
+    "Span",
+    "SpanEvent",
+    "Tracer",
+    "ambient_registry",
+    "bench_payload",
+    "collect_fault_stats",
+    "collect_usage",
+    "publish_fault_stats",
+    "publish_job_result",
+    "publish_usage",
+    "render_run_report",
+    "skew_ratio",
+    "trace_records",
+    "write_bench_json",
+    "write_trace_jsonl",
+]

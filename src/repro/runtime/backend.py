@@ -32,6 +32,8 @@ from typing import TYPE_CHECKING, Any, Callable, Hashable, Protocol, Sequence, r
 from repro.core.load_balancer import SizeProfile
 from repro.faults.policy import FaultTolerance
 from repro.faults.schedule import FaultSchedule
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import NO_TRACER, Tracer
 from repro.runtime.metrics import RuntimeMetrics, collect_runtime_metrics
 from repro.runtime.transport import ShuffleChannel
 from repro.sim.cluster import Cluster
@@ -143,6 +145,10 @@ class SimBackend:
     fault_schedule: FaultSchedule | None = None
     fault_tolerance: FaultTolerance | None = None
     fault_trace: Any = None
+    #: Observability: span tracer threaded through whichever engine
+    #: runs, and an optional registry the kernel metrics publish into.
+    tracer: Tracer = NO_TRACER
+    registry: MetricsRegistry | None = None
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -180,6 +186,8 @@ class SimBackend:
             fault_schedule=self.fault_schedule,
             fault_tolerance=self.fault_tolerance,
             fault_trace=self.fault_trace,
+            tracer=self.tracer,
+            registry=self.registry,
             seed=self.seed,
         )
         result = job.run(list(workload.keys), params=workload.params)
@@ -192,6 +200,7 @@ class SimBackend:
                 cluster,
                 transports=[r.transport for r in job.runtimes.values()],
                 injector=job.injector,
+                registry=self.registry,
             ),
         )
 
@@ -214,6 +223,8 @@ class SimBackend:
             fault_schedule=self.fault_schedule,
             fault_tolerance=self.fault_tolerance,
             fault_trace=self.fault_trace,
+            tracer=self.tracer,
+            registry=self.registry,
             seed=self.seed,
         )
         result = sim.run(self.strategy, list(workload.keys))
@@ -228,6 +239,7 @@ class SimBackend:
                 job.cluster,
                 transports=[r.transport for r in job.runtimes.values()],
                 injector=job.injector,
+                registry=self.registry,
             ),
         )
 
@@ -240,7 +252,9 @@ class SimBackend:
             return None
         from repro.faults.injector import FaultInjector
 
-        injector = FaultInjector(self.fault_schedule, trace=self.fault_trace)
+        injector = FaultInjector(
+            self.fault_schedule, trace=self.fault_trace, tracer=self.tracer
+        )
         injector.install(cluster)
         return injector
 
@@ -262,19 +276,29 @@ class SimBackend:
             stored = values[key]
             return [(tid, udf.apply(key, p, stored)) for tid, p in pairs]
 
-        channel = ShuffleChannel(cluster)
-        engine = SimulatedMapReduce(cluster, shuffle=channel)
+        channel = ShuffleChannel(cluster, tracer=self.tracer)
+        engine = SimulatedMapReduce(cluster, shuffle=channel, tracer=self.tracer)
+        job_span = None
+        if self.tracer.enabled:
+            job_span = self.tracer.start(
+                "job", at=0.0, engine="mapreduce",
+                n_tuples=len(workload.keys),
+            )
         result = engine.run(
             MapReduceSpec(map_fn=map_fn, reduce_fn=reduce_fn),
             list(enumerate(workload.keys)),
+            span_parent=job_span,
         )
+        if job_span is not None:
+            self.tracer.end(job_span, at=result.makespan)
         return BackendRun(
             engine="mapreduce",
             backend="sim",
             outputs=dict(result.outputs),
             duration=result.makespan,
             metrics=collect_runtime_metrics(
-                cluster, channels=[channel], injector=injector
+                cluster, channels=[channel], injector=injector,
+                registry=self.registry,
             ),
         )
 
@@ -307,8 +331,18 @@ class SimBackend:
             group_by=("tid",),
             aggregates=(("max", "v", "v"),),
         )
-        channel = ShuffleChannel(cluster)
-        result = ShuffleExecutor(cluster, shuffle=channel).run(query)
+        channel = ShuffleChannel(cluster, tracer=self.tracer)
+        job_span = None
+        if self.tracer.enabled:
+            job_span = self.tracer.start(
+                "job", at=0.0, engine="sparklite",
+                n_tuples=len(workload.keys),
+            )
+        result = ShuffleExecutor(
+            cluster, shuffle=channel, tracer=self.tracer
+        ).run(query, span_parent=job_span)
+        if job_span is not None:
+            self.tracer.end(job_span, at=result.makespan)
         columns = result.result.schema.columns
         tid_at = columns.index("tid")
         value_at = columns.index("v")
@@ -325,7 +359,8 @@ class SimBackend:
             outputs=outputs,
             duration=result.makespan,
             metrics=collect_runtime_metrics(
-                cluster, channels=[channel], injector=injector
+                cluster, channels=[channel], injector=injector,
+                registry=self.registry,
             ),
         )
 
@@ -344,6 +379,8 @@ class LocalBackend:
 
     max_workers: int = 4
     batch_size: int = 64
+    tracer: Tracer = NO_TRACER
+    registry: MetricsRegistry | None = None
 
     def __post_init__(self) -> None:
         if self.max_workers < 1:
@@ -357,6 +394,14 @@ class LocalBackend:
         for tuple_id, key in enumerate(workload.keys):
             partitions[stable_hash(key) % self.max_workers].append(tuple_id)
         start = time.perf_counter()
+        # Local spans live on the wall clock (offsets from job start),
+        # not simulated seconds — one run, one clock.
+        job_span = None
+        if self.tracer.enabled:
+            job_span = self.tracer.start(
+                "job", at=0.0, engine="local",
+                n_tuples=len(workload.keys), workers=self.max_workers,
+            )
         outputs: dict[int, Any] = {}
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
             futures = [
@@ -367,6 +412,12 @@ class LocalBackend:
             for future in futures:
                 outputs.update(future.result())
         duration = time.perf_counter() - start
+        if job_span is not None:
+            self.tracer.end(job_span, at=duration)
+        if self.registry is not None:
+            self.registry.counter("jobs.runs").inc()
+            self.registry.counter("jobs.tuples").inc(len(workload.keys))
+            self.registry.histogram("jobs.makespan").observe(duration)
         return BackendRun(
             engine="local",
             backend="local",

@@ -7,7 +7,12 @@ no fault handling).  Now every engine runs on
 :class:`~repro.runtime.transport.ShuffleChannel`, and this module is
 the single aggregation point: request/shuffle counters, injector
 counters, and cluster resource usage, merged into one
-:class:`RuntimeMetrics` snapshot.  The event-level view stays in
+:class:`RuntimeMetrics` snapshot.  The snapshot doubles as a *view* of
+the :class:`repro.obs.registry.MetricsRegistry` pipeline — pass a
+registry to :func:`collect_runtime_metrics` and every counter it
+merges is also published under the ``transport.*`` / ``shuffle.*`` /
+``faults.*`` / ``usage.*`` families.  The event-level view is the
+:class:`repro.obs.tracer.Tracer` (spans) plus the legacy
 :class:`repro.metrics.trace.FaultTrace`, which both the injector and
 the transports feed.
 """
@@ -17,7 +22,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
-from repro.metrics.collector import ClusterUsage, collect_usage
+from repro.obs.registry import MetricsRegistry
+from repro.obs.usage import ClusterUsage, collect_usage
 from repro.runtime.transport import ShuffleChannel, Transport, TransportStats
 from repro.sim.cluster import Cluster
 
@@ -90,18 +96,48 @@ def collect_runtime_metrics(
     transports: Iterable[Transport] = (),
     channels: Iterable[ShuffleChannel] = (),
     injector=None,
+    registry: MetricsRegistry | None = None,
 ) -> RuntimeMetrics:
     """Merge every kernel-level counter source into one snapshot.
 
     ``injector`` is duck-typed on ``messages_faulted`` (the
     :class:`repro.faults.FaultInjector` attribute) so the metrics layer
-    stays import-free of the faults package.
+    stays import-free of the faults package.  With a ``registry``, the
+    snapshot is also published into the obs pipeline.
     """
-    return RuntimeMetrics(
+    metrics = RuntimeMetrics(
         transport=transport_stats(transports),
         shuffle=shuffle_stats(channels),
         messages_faulted=(
             getattr(injector, "messages_faulted", 0) if injector else 0
         ),
-        usage=collect_usage(cluster) if cluster is not None else None,
+        usage=collect_usage(
+            cluster, registry=registry
+        ) if cluster is not None else None,
     )
+    if registry is not None:
+        publish_runtime_metrics(metrics, registry)
+    return metrics
+
+
+def publish_runtime_metrics(
+    metrics: RuntimeMetrics, registry: MetricsRegistry
+) -> None:
+    """Write one kernel snapshot into ``registry``.
+
+    Usage gauges are published separately by
+    :func:`repro.obs.usage.collect_usage`; this covers the transport,
+    shuffle and injector families.
+    """
+    t = metrics.transport
+    registry.counter("transport.requests_sent").inc(t.requests_sent)
+    registry.counter("transport.timeouts").inc(t.timeouts)
+    registry.counter("transport.retries").inc(t.retries)
+    registry.counter("transport.fallbacks").inc(t.fallbacks)
+    registry.counter("transport.duplicate_responses").inc(t.duplicate_responses)
+    s = metrics.shuffle
+    registry.counter("shuffle.sends").inc(s.sends)
+    registry.counter("shuffle.retransmits").inc(s.retransmits)
+    registry.counter("shuffle.duplicates").inc(s.duplicates)
+    registry.counter("shuffle.bytes_retransmitted").inc(s.bytes_retransmitted)
+    registry.counter("faults.messages_faulted").inc(metrics.messages_faulted)

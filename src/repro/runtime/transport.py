@@ -37,6 +37,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.core.load_balancer import ComputeNodeStats, SizeProfile
 from repro.faults.policy import FaultTolerance
+from repro.obs.tracer import NO_TRACER, Span, Tracer
 from repro.sim.cluster import Cluster
 from repro.sim.events import EventHandle
 from repro.store.messages import (
@@ -79,7 +80,10 @@ class TransportStats:
 class _Pending:
     """One in-flight request batch awaiting its response."""
 
-    __slots__ = ("dst", "kind", "items", "attempt", "sent_at", "timer")
+    __slots__ = (
+        "dst", "kind", "items", "attempt", "sent_at", "timer",
+        "span", "attempt_span",
+    )
 
     def __init__(
         self, dst: int, kind: RequestKind, items: list[RequestItem]
@@ -90,6 +94,10 @@ class _Pending:
         self.attempt = 0
         self.sent_at = 0.0
         self.timer: EventHandle | None = None
+        #: ``request`` span covering the whole logical batch, and the
+        #: ``attempt`` span of the latest (re)transmission.
+        self.span: Span | None = None
+        self.attempt_span: Span | None = None
 
 
 class Transport:
@@ -131,6 +139,12 @@ class Transport:
     fault_trace:
         Optional :class:`repro.metrics.trace.FaultTrace` receiving one
         event per timeout / retry / fallback / duplicate response.
+    tracer:
+        Span tracer (:data:`repro.obs.tracer.NO_TRACER` by default).
+        When enabled, every logical batch gets a ``request`` span,
+        every (re)transmission an ``attempt`` child span, and the
+        timeout/retry/fallback machinery emits events under the
+        request span.
     """
 
     def __init__(
@@ -149,6 +163,7 @@ class Transport:
         on_abandon: Callable[[int, RequestKind, list[RequestItem]], None] | None = None,
         fault_tolerance: FaultTolerance | None = None,
         fault_trace: "FaultTrace | None" = None,
+        tracer: Tracer = NO_TRACER,
     ) -> None:
         self.cluster = cluster
         self.node_id = node_id
@@ -163,6 +178,7 @@ class Transport:
         self.on_abandon = on_abandon
         self.fault_tolerance = fault_tolerance
         self.fault_trace = fault_trace
+        self.tracer = tracer
         self._ring = sorted(servers)
         self._pending: dict[str, _Pending] = {}
         self._rid_seq = 0
@@ -182,13 +198,16 @@ class Transport:
         kind: RequestKind,
         items: list[RequestItem],
         attempt: int = 0,
+        span_parent: Span | None = None,
     ) -> str:
         """Transmit one new logical request batch; returns its id.
 
         ``attempt`` seeds the backoff clock: fallback batches inherit
         the exhausted batch's attempt count so successive replica
         generations wait longer instead of hammering replicas at the
-        base timeout.
+        base timeout.  ``span_parent`` nests the batch's ``request``
+        span (a batch span from the flusher, or — for fallback
+        generations — the exhausted request span).
         """
         rid = f"{self.node_id}:{self._rid_seq}"
         self._rid_seq += 1
@@ -197,6 +216,17 @@ class Transport:
             self.on_dispatch(dst, kind, items)
         entry = _Pending(dst, kind, list(items))
         entry.attempt = attempt
+        if self.tracer.enabled:
+            entry.span = self.tracer.start(
+                "request",
+                parent=span_parent,
+                at=self.cluster.sim.now,
+                rid=rid,
+                src=self.node_id,
+                dst=dst,
+                kind=kind.name,
+                items=len(items),
+            )
         self._pending[rid] = entry
         self._transmit(rid, entry, items, attempt)
         return rid
@@ -221,6 +251,14 @@ class Transport:
         """One (re)transmission of a registered batch."""
         sim = self.cluster.sim
         entry.sent_at = sim.now
+        if self.tracer.enabled:
+            entry.attempt_span = self.tracer.start(
+                "attempt",
+                parent=entry.span,
+                at=sim.now,
+                attempt=attempt,
+                dst=entry.dst,
+            )
         dst = entry.dst
         if entry.kind is RequestKind.COMPUTE:
             stats = self.comp_stats(dst) if self.comp_stats is not None else None
@@ -259,7 +297,17 @@ class Transport:
     def _deliver(self, batch: BatchRequest) -> None:
         sim = self.cluster.sim
         server = self.servers[batch.dst]
-        served = server.serve(sim.now, batch, self.sizes)
+        # A late duplicate delivery of an already-answered batch has no
+        # live entry; its serve span then hangs off the trace root.
+        entry = (
+            self._pending.get(batch.request_id)
+            if batch.request_id is not None
+            else None
+        )
+        served = server.serve(
+            sim.now, batch, self.sizes,
+            parent_span=entry.span if entry is not None else None,
+        )
         response = served.response
 
         def send_response() -> None:
@@ -289,9 +337,24 @@ class Transport:
                     "duplicate-response", response.src,
                     f"rid={response.request_id}",
                 )
+                if self.tracer.enabled:
+                    self.tracer.event(
+                        "duplicate-response",
+                        at=self.cluster.sim.now,
+                        rid=response.request_id,
+                        src=response.src,
+                    )
                 return
             if entry.timer is not None:
                 entry.timer.cancel()
+            if self.tracer.enabled:
+                now = self.cluster.sim.now
+                if entry.attempt_span is not None:
+                    self.tracer.end(entry.attempt_span, at=now)
+                if entry.span is not None:
+                    self.tracer.end(
+                        entry.span, at=now, attempts=entry.attempt + 1
+                    )
         if self.on_response is not None:
             self.on_response(response)
 
@@ -312,11 +375,24 @@ class Transport:
         if self.on_timeout is not None:
             self.on_timeout(entry.dst, waited)
         self._record_fault("timeout", entry.dst, f"rid={rid} attempt={attempt}")
+        if self.tracer.enabled:
+            now = self.cluster.sim.now
+            self.tracer.event(
+                "timeout", parent=entry.span, at=now, rid=rid, attempt=attempt
+            )
+            if entry.attempt_span is not None:
+                self.tracer.end(entry.attempt_span, at=now, status="timeout")
+                entry.attempt_span = None
         if entry.attempt < ft.max_retries or not ft.fallback_to_replica:
             entry.attempt += 1
             self.retries += 1
             self._record_fault("retry", entry.dst,
                                f"rid={rid} attempt={entry.attempt}")
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "retry", parent=entry.span, at=self.cluster.sim.now,
+                    rid=rid, attempt=entry.attempt,
+                )
             self._transmit(rid, entry, entry.items, entry.attempt)
             return
         self._fallback(rid, entry)
@@ -344,6 +420,17 @@ class Transport:
             "fallback", entry.dst,
             f"rid={rid} -> data request at replica node {replica}",
         )
+        if self.tracer.enabled:
+            now = self.cluster.sim.now
+            self.tracer.event(
+                "fallback", parent=entry.span, at=now,
+                rid=rid, primary=entry.dst, replica=replica,
+            )
+            if entry.span is not None:
+                self.tracer.end(
+                    entry.span, at=now, status="fallback",
+                    attempts=entry.attempt + 1,
+                )
         fallback_items = [
             RequestItem(
                 key=item.key,
@@ -354,8 +441,10 @@ class Transport:
             )
             for item in entry.items
         ]
+        # The replacement request nests under the exhausted one, so the
+        # trace shows the whole degradation chain as one subtree.
         self.send(replica, RequestKind.DATA, fallback_items,
-                  attempt=entry.attempt + 1)
+                  attempt=entry.attempt + 1, span_parent=entry.span)
 
     def replica_for(self, dst: int) -> int:
         """The next data node holding a replica of ``dst``'s partitions.
@@ -416,6 +505,7 @@ class ShuffleChannel:
         retry_timeout: float = 0.25,
         backoff_factor: float = 2.0,
         max_attempts: int = 64,
+        tracer: Tracer = NO_TRACER,
     ) -> None:
         if retry_timeout <= 0:
             raise ValueError("retry_timeout must be positive")
@@ -427,15 +517,29 @@ class ShuffleChannel:
         self.retry_timeout = retry_timeout
         self.backoff_factor = backoff_factor
         self.max_attempts = max_attempts
+        self.tracer = tracer
         self.sends = 0
         self.retransmits = 0
         self.duplicates = 0
         self.bytes_retransmitted = 0.0
 
-    def transfer(self, at: float, src: int, dst: int, size: float) -> ShuffleOutcome:
+    def transfer(
+        self,
+        at: float,
+        src: int,
+        dst: int,
+        size: float,
+        span_parent: Span | None = None,
+    ) -> ShuffleOutcome:
         """Move ``size`` bytes ``src -> dst``, retrying dropped sends."""
         network = self.cluster.network
         self.sends += 1
+        span: Span | None = None
+        if self.tracer.enabled:
+            span = self.tracer.start(
+                "shuffle", parent=span_parent, at=at,
+                src=src, dst=dst, size=size,
+            )
         send_time = at
         for attempt in range(self.max_attempts):
             transfer = network.transfer(send_time, src, dst, size)
@@ -444,6 +548,11 @@ class ShuffleChannel:
                 extra = min(plan)
                 dup = len(plan) - 1
                 self.duplicates += dup
+                if span is not None:
+                    self.tracer.end(
+                        span, at=transfer.arrive + extra,
+                        attempts=attempt + 1, duplicates=dup,
+                    )
                 return ShuffleOutcome(
                     src=src, dst=dst, size=size, start=at,
                     arrive=transfer.arrive + extra,
@@ -455,6 +564,13 @@ class ShuffleChannel:
             send_time = max(send_time, transfer.arrive) + min(
                 self.retry_timeout * self.backoff_factor ** attempt, 60.0
             )
+            if span is not None:
+                self.tracer.event(
+                    "retransmit", parent=span, at=send_time,
+                    attempt=attempt + 1, size=size,
+                )
+        if span is not None:
+            self.tracer.end(span, at=send_time, status="error")
         raise TransportError(
             f"shuffle transfer {src}->{dst} dropped {self.max_attempts} "
             "times in a row; the fault schedule never lets it through"

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.tracer import NO_TRACER, Span, Tracer
 from repro.runtime.transport import ShuffleChannel
 from repro.sim.cluster import Cluster
 from repro.sparklite.operators import hash_join, select
@@ -62,16 +63,27 @@ class ShuffleExecutor:
         cluster: Cluster,
         costs: SparkCosts | None = None,
         shuffle: ShuffleChannel | None = None,
+        tracer: Tracer = NO_TRACER,
     ) -> None:
         self.cluster = cluster
         self.costs = costs if costs is not None else SparkCosts()
+        self.tracer = tracer
         # All-to-all traffic goes through the runtime kernel's
         # at-least-once channel: installed fault schedules
         # (`Network.delivery_plan`) now perturb Spark-style stages too.
         self.shuffle = shuffle if shuffle is not None else ShuffleChannel(cluster)
 
-    def run(self, query: StarQuery, join_order: list[int] | None = None) -> ShuffleQueryResult:
-        """Execute ``query``; returns timing plus the real result."""
+    def run(
+        self,
+        query: StarQuery,
+        join_order: list[int] | None = None,
+        span_parent: Span | None = None,
+    ) -> ShuffleQueryResult:
+        """Execute ``query``; returns timing plus the real result.
+
+        ``span_parent`` nests the per-stage spans under the caller's
+        job span.
+        """
         cluster = self.cluster
         n = len(cluster)
         costs = self.costs
@@ -101,6 +113,12 @@ class ShuffleExecutor:
                 clock, scan_rows_per_node * costs.scan_cpu
             )
             finish = max(finish, disk_done, cpu_done)
+        if self.tracer.enabled:
+            span = self.tracer.start(
+                "stage", parent=span_parent, at=clock,
+                kind="scan", rows=len(current),
+            )
+            self.tracer.end(span, at=finish)
         stage_times.append(finish - clock)
         stage_cards.append(len(current))
         clock = finish
@@ -114,6 +132,12 @@ class ShuffleExecutor:
             rows_in = len(current)
             stage_start = clock + costs.stage_overhead
             finish = stage_start
+            stage_span: Span | None = None
+            if self.tracer.enabled:
+                stage_span = self.tracer.start(
+                    "stage", parent=span_parent, at=stage_start,
+                    kind="shuffle-join", join=index, rows_in=rows_in,
+                )
             fact_bytes_per_node = rows_in / n * costs.fact_row_bytes
             dim_bytes_per_node = len(dim) / n * costs.dim_row_bytes
             out_fraction = (n - 1) / n  # data leaving each node
@@ -128,7 +152,8 @@ class ShuffleExecutor:
                 # All-to-all transfer of this node's outbound share.
                 out_bytes = (fact_bytes_per_node + dim_bytes_per_node) * out_fraction
                 outcome = self.shuffle.transfer(
-                    ready, node.node_id, (node.node_id + 1) % n, out_bytes
+                    ready, node.node_id, (node.node_id + 1) % n, out_bytes,
+                    span_parent=stage_span,
                 )
                 bytes_shuffled += out_bytes
                 # Shuffle read (reduce side): deserialize, build, probe.
@@ -140,6 +165,8 @@ class ShuffleExecutor:
                 )
                 finish = max(finish, cpu_done)
             current = hash_join(current, dim, join.fact_key, join.dim_key)
+            if stage_span is not None:
+                self.tracer.end(stage_span, at=finish, rows_out=len(current))
             stage_times.append(finish - stage_start)
             stage_cards.append(len(current))
             clock = finish
@@ -152,15 +179,24 @@ class ShuffleExecutor:
         result = group_aggregate(current, list(query.group_by), list(query.aggregates))
         agg_start = clock + costs.stage_overhead
         finish = agg_start
+        agg_span: Span | None = None
+        if self.tracer.enabled:
+            agg_span = self.tracer.start(
+                "stage", parent=span_parent, at=agg_start,
+                kind="aggregate", rows_in=len(current),
+            )
         for node in cluster.nodes:
             agg_cpu = (len(current) / n) * costs.agg_cpu
             _c, cpu_done = node.cpu.acquire(agg_start, agg_cpu)
             out_bytes = (len(result) / n) * costs.fact_row_bytes
             outcome = self.shuffle.transfer(
-                cpu_done, node.node_id, (node.node_id + 1) % n, out_bytes
+                cpu_done, node.node_id, (node.node_id + 1) % n, out_bytes,
+                span_parent=agg_span,
             )
             bytes_shuffled += out_bytes
             finish = max(finish, outcome.arrive)
+        if agg_span is not None:
+            self.tracer.end(agg_span, at=finish, rows_out=len(result))
         stage_times.append(finish - agg_start)
         stage_cards.append(len(result))
 

@@ -30,6 +30,7 @@ from repro.core.load_balancer import (
     DataNodeStats,
     SizeProfile,
 )
+from repro.obs.tracer import NO_TRACER, Span, Tracer
 from repro.store.messages import (
     BatchRequest,
     BatchResponse,
@@ -82,6 +83,7 @@ class DataNodeServer:
         per_item_overhead: float = 0.00005,
         batched_seek_factor: float = 0.25,
         block_cache_bytes: float = 0.0,
+        tracer: Tracer = NO_TRACER,
     ) -> None:
         if not 0.0 < batched_seek_factor <= 1.0:
             raise ValueError("batched_seek_factor must be in (0, 1]")
@@ -92,6 +94,7 @@ class DataNodeServer:
         self.kvstore = kvstore
         self.udf = udf
         self.balancer = balancer if balancer is not None else BatchLoadBalancer()
+        self.tracer = tracer
         self.per_item_overhead = per_item_overhead
         # Batched multi-gets within a region are served in key order,
         # so seeks after the first are short (elevator scheduling);
@@ -181,15 +184,28 @@ class DataNodeServer:
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
-    def serve(self, at: float, batch: BatchRequest, sizes: SizeProfile) -> ServedBatch:
+    def serve(
+        self,
+        at: float,
+        batch: BatchRequest,
+        sizes: SizeProfile,
+        parent_span: Span | None = None,
+    ) -> ServedBatch:
         """Serve one batch arriving at time ``at``.
 
         Returns the response and the time at which it is fully
-        assembled and ready to transfer back.
+        assembled and ready to transfer back.  ``parent_span`` nests
+        the ``serve`` span under the request that carried the batch.
         """
         if batch.dst != self.node_id:
             raise ValueError(
                 f"batch addressed to node {batch.dst} arrived at node {self.node_id}"
+            )
+        span: Span | None = None
+        if self.tracer.enabled:
+            span = self.tracer.start(
+                "serve", parent=parent_span, at=at,
+                node=self.node_id, items=len(batch),
             )
         if batch.request_id is not None and batch.request_id in self._response_cache:
             # Idempotent replay: the work already happened; answer from
@@ -206,6 +222,8 @@ class DataNodeServer:
                 request_id=cached.request_id,
                 replayed=True,
             )
+            if span is not None:
+                self.tracer.end(span, at=finish, status="replayed")
             return ServedBatch(response=replay, ready_at=finish, kept_at_data_node=0)
         src = batch.src
         n_compute = len(batch.compute_items)
@@ -248,6 +266,8 @@ class DataNodeServer:
         self._items_served += len(batch)
         if batch.request_id is not None:
             self._response_cache[batch.request_id] = response
+        if span is not None:
+            self.tracer.end(span, at=ready_at, kept_at_data_node=d)
         return ServedBatch(response=response, ready_at=ready_at, kept_at_data_node=d)
 
     # ------------------------------------------------------------------

@@ -26,6 +26,8 @@ from repro.engine.strategies import Strategy, StrategyConfig
 from repro.core.load_balancer import SizeProfile
 from repro.faults.policy import FaultTolerance
 from repro.faults.schedule import FaultSchedule
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import NO_TRACER, Tracer
 from repro.sim.cluster import Cluster, NodeSpec
 from repro.store.messages import UDF
 from repro.store.table import Table
@@ -132,6 +134,10 @@ class MuppetJoinSimulation:
     fault_schedule: FaultSchedule | None = None
     fault_tolerance: FaultTolerance | None = None
     fault_trace: Any = None
+    #: Span tracer and metrics registry passed through to the
+    #: underlying JoinJob.
+    tracer: Tracer = NO_TRACER
+    registry: MetricsRegistry | None = None
     seed: int = 0
     #: The most recent underlying :class:`JoinJob` (real UDF outputs
     #: are reachable via ``last_job.collected_outputs()``).
@@ -159,6 +165,8 @@ class MuppetJoinSimulation:
             fault_schedule=self.fault_schedule,
             fault_tolerance=self.fault_tolerance,
             fault_trace=self.fault_trace,
+            tracer=self.tracer,
+            registry=self.registry,
             seed=self.seed,
         )
         self.last_job = job

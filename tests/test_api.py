@@ -1,0 +1,165 @@
+"""Tests for the ``repro.api`` facade and the curated package surface.
+
+The acceptance bar from the redesign: one ``run_join`` call per engine
+must yield a trace JSONL and a rendered run report; the curated
+``repro.__all__`` must import cleanly; and every legacy top-level
+re-export must keep resolving, with a ``DeprecationWarning`` naming
+the new import path.
+"""
+
+import json
+import warnings
+
+import pytest
+
+import repro
+from repro.api import BACKENDS, JobSpec, RunConfig, run_join
+from repro.obs import ObsOptions
+from repro.runtime import ENGINES
+from tests.oracle import assert_oracle_equal, single_node_hash_join
+
+
+@pytest.fixture(scope="module")
+def spec() -> JobSpec:
+    return JobSpec.synthetic(n_keys=30, n_tuples=120, skew=0.6, seed=5)
+
+
+@pytest.fixture(scope="module")
+def oracle(spec):
+    workload = spec.to_workload()
+    return single_node_hash_join(
+        list(workload.keys), workload.udf, workload.stored_values()
+    )
+
+
+class TestJobSpec:
+    def test_synthetic_builds_all_profiles(self):
+        for kind in ("data_heavy", "compute_heavy", "data_compute_heavy"):
+            built = JobSpec.synthetic(kind, n_keys=10, n_tuples=20, seed=1)
+            assert len(built.keys) == 20
+            assert built.strategy == "FO"
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError, match="unknown synthetic workload"):
+            JobSpec.synthetic("mystery", n_keys=10, n_tuples=20)
+
+    def test_workload_round_trip(self, spec):
+        workload = spec.to_workload()
+        again = JobSpec.from_workload(workload, strategy="FD")
+        assert again.keys == spec.keys
+        assert again.strategy == "FD"
+
+    def test_params_must_align(self, spec):
+        with pytest.raises(ValueError, match="align"):
+            JobSpec(
+                table=spec.table,
+                udf=spec.udf,
+                keys=spec.keys,
+                sizes=spec.sizes,
+                params=(1, 2, 3),
+            )
+
+
+class TestRunConfig:
+    def test_rejects_unknown_engine_and_backend(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            RunConfig(engine="warp")
+        with pytest.raises(ValueError, match="unknown backend"):
+            RunConfig(backend="cloud")
+        assert set(BACKENDS) == {"sim", "local"}
+
+    def test_with_obs_copies(self):
+        config = RunConfig()
+        traced = config.with_obs(tracing=True, trace_path="t.jsonl")
+        assert traced.obs.tracing is True
+        assert config.obs.tracing is False  # original untouched
+
+
+class TestRunJoin:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_one_call_yields_trace_and_report(
+        self, engine, spec, oracle, tmp_path
+    ):
+        trace_path = tmp_path / f"{engine}.jsonl"
+        report = run_join(
+            spec,
+            RunConfig(
+                engine=engine,
+                obs=ObsOptions(tracing=True, trace_path=trace_path),
+            ),
+        )
+        assert report.engine == engine
+        assert report.strategy == "FO"
+        assert report.makespan > 0
+        assert_oracle_equal(report.outputs, oracle)
+        # Trace JSONL written and non-trivial.
+        records = [
+            json.loads(line) for line in trace_path.read_text().splitlines()
+        ]
+        assert any(
+            r["type"] == "span" and r["name"] == "job" for r in records
+        )
+        assert report.trace_path == str(trace_path)
+        # Report renders with the headline numbers.
+        text = report.render()
+        assert "makespan" in text and "throughput" in text
+        assert "## Trace" in text
+
+    def test_untraced_run_carries_no_tracer(self, spec, oracle):
+        report = run_join(spec, RunConfig())
+        assert report.tracer is None
+        assert report.trace_path is None
+        assert report.snapshot["counters"]["jobs.runs"] == 1.0
+        assert_oracle_equal(report.outputs, oracle)
+
+    def test_local_backend(self, spec, oracle):
+        report = run_join(spec, RunConfig(backend="local", n_compute=3))
+        assert report.backend == "local"
+        assert_oracle_equal(report.outputs, oracle)
+
+    def test_default_config(self, spec):
+        report = run_join(spec)
+        assert report.engine == "engine"
+        assert report.n_tuples == len(spec.keys)
+
+
+class TestCuratedSurface:
+    def test_curated_all_imports_cleanly(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            for name in repro.__all__:
+                assert getattr(repro, name) is not None
+
+    def test_deprecated_names_warn_with_new_path(self):
+        for name, module_path in (
+            ("JoinJob", "repro.engine"),
+            ("Cluster", "repro.sim"),
+            ("Transport", "repro.runtime"),
+            ("TieredCache", "repro.cache"),
+            ("Table", "repro.store"),
+        ):
+            with pytest.warns(DeprecationWarning, match=module_path):
+                obj = getattr(repro, name)
+            assert obj is not None
+
+    def test_every_deprecated_name_resolves(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            for name in repro._DEPRECATED:
+                assert getattr(repro, name) is not None
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.does_not_exist
+
+    def test_dir_covers_both_surfaces(self):
+        listing = dir(repro)
+        assert "run_join" in listing and "JoinJob" in listing
+
+
+class TestQuickstartDemo:
+    def test_returns_run_report(self):
+        report = repro.quickstart_demo(n_tuples=200, skew=1.0, seed=0)
+        assert report.strategy == "FO"
+        assert report.makespan > 0
+        assert len(report.outputs) == 200

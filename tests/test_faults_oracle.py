@@ -24,7 +24,7 @@ from repro.faults import (
     StragglerFault,
     UpdateFault,
 )
-from repro.metrics.collector import collect_fault_stats
+from repro.obs import collect_fault_stats
 from repro.metrics.trace import FaultTrace
 from repro.sim.cluster import Cluster
 from repro.workloads.synthetic import SyntheticWorkload

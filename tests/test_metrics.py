@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.metrics.collector import collect_usage, skew_ratio
+from repro.obs import MetricsRegistry, collect_usage, skew_ratio
 from repro.metrics.report import ExperimentTable
 from repro.sim.cluster import Cluster
 
@@ -32,6 +32,15 @@ class TestCollectUsage:
         assert usage.makespan >= 3.0
         assert usage.cpu_utilization(0) > 0
         assert usage.cpu_skew > 1.0
+
+    def test_publishes_usage_gauges_into_registry(self):
+        cluster = Cluster.homogeneous(2)
+        cluster.node(0).cpu.acquire(0.0, 3.0)
+        registry = MetricsRegistry()
+        usage = collect_usage(cluster, registry)
+        assert registry.value("usage.makespan") == pytest.approx(usage.makespan)
+        assert registry.value("usage.cpu_busy.0") == pytest.approx(3.0)
+        assert registry.value("usage.cpu_skew") == pytest.approx(usage.cpu_skew)
 
 
 class TestExperimentTable:

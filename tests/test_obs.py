@@ -1,0 +1,318 @@
+"""Tests for the observability layer (``repro.obs``).
+
+Three layers of coverage:
+
+* unit tests for the tracer, registry and exporters;
+* span-tree integrity under fault injection — retries and fallbacks
+  must nest under their request spans, and a completed run leaves no
+  orphan or unfinished spans;
+* the observation-only invariant — enabling tracing changes nothing
+  about a run's outputs or timings, on every engine, healthy and
+  faulted (differential against the single-node oracle).
+"""
+
+import json
+
+import pytest
+
+from repro.faults.policy import FaultTolerance
+from repro.faults.schedule import FaultSchedule, MessageChaos
+from repro.obs import (
+    MetricsRegistry,
+    NO_TRACER,
+    ObsOptions,
+    RunReport,
+    Tracer,
+    ambient_registry,
+    bench_payload,
+    render_run_report,
+    trace_records,
+    write_bench_json,
+    write_trace_jsonl,
+)
+from repro.runtime import ENGINES, JoinWorkload, SimBackend
+from repro.workloads.synthetic import SyntheticWorkload
+from tests.oracle import assert_oracle_equal, single_node_hash_join
+
+CHAOS = FaultSchedule(
+    seed=11,
+    chaos=(
+        MessageChaos(at=0.0, duration=5.0, drop=0.15, duplicate=0.1, delay=0.1),
+    ),
+)
+TOLERANCE = FaultTolerance(request_timeout=0.05)
+
+
+@pytest.fixture(scope="module")
+def workload() -> JoinWorkload:
+    synthetic = SyntheticWorkload.data_heavy(
+        n_keys=30, n_tuples=120, skew=0.6, seed=5
+    )
+    return JoinWorkload.from_synthetic(synthetic)
+
+
+@pytest.fixture(scope="module")
+def oracle(workload):
+    return single_node_hash_join(
+        list(workload.keys), workload.udf, workload.stored_values()
+    )
+
+
+# ----------------------------------------------------------------------
+# Tracer units
+# ----------------------------------------------------------------------
+class TestTracer:
+    def test_span_tree_construction(self):
+        tracer = Tracer()
+        job = tracer.start("job", at=0.0, engine="engine")
+        request = tracer.start("request", parent=job, at=0.1, rid="0:1")
+        tracer.end(request, at=0.3, attempts=1)
+        tracer.end(job, at=0.5)
+        assert len(tracer) == 2
+        assert tracer.children(job) == [request]
+        assert request.parent_id == job.span_id
+        assert request.duration == pytest.approx(0.2)
+        assert request.attrs["attempts"] == 1
+        assert tracer.orphans() == []
+        assert tracer.unfinished() == []
+        assert [s.name for s in tracer.walk(job)] == ["job", "request"]
+
+    def test_unfinished_and_orphans_detected(self):
+        tracer = Tracer()
+        tracer.start("job", at=0.0)
+        lost = tracer.start("request", parent="s999", at=0.1)
+        assert tracer.unfinished() == tracer.spans
+        assert tracer.orphans() == [lost]
+
+    def test_events_and_route_mix(self):
+        tracer = Tracer()
+        job = tracer.start("job", at=0.0)
+        tracer.event("route", parent=job, at=0.1, route="compute-request")
+        tracer.event("route", parent=job, at=0.2, route="compute-request")
+        tracer.event("route", parent=job, at=0.3, route="local-memory")
+        tracer.event("timeout", parent=job, at=0.4)
+        assert tracer.route_mix() == {"compute-request": 2, "local-memory": 1}
+        assert len(tracer.events_named("timeout")) == 1
+
+    def test_null_tracer_is_inert(self):
+        before_spans = len(NO_TRACER.spans)
+        span = NO_TRACER.start("job", at=0.0, engine="x")
+        NO_TRACER.end(span, at=1.0)
+        NO_TRACER.event("route", parent=span, at=0.5, route="r")
+        assert NO_TRACER.enabled is False
+        assert len(NO_TRACER.spans) == before_spans
+        assert NO_TRACER.events == []
+
+
+# ----------------------------------------------------------------------
+# Registry units
+# ----------------------------------------------------------------------
+class TestMetricsRegistry:
+    def test_counter_gauge_histogram(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs.runs").inc()
+        reg.counter("jobs.runs").inc(2)
+        reg.gauge("usage.makespan").set(1.5)
+        reg.histogram("jobs.makespan").observe(1.0)
+        reg.histogram("jobs.makespan").observe(3.0)
+        assert reg.value("jobs.runs") == 3.0
+        assert reg.value("usage.makespan") == 1.5
+        assert reg.value("missing", default=-1.0) == -1.0
+        hist = reg.histogram("jobs.makespan")
+        assert hist.mean == 2.0
+        assert hist.summary() == {
+            "count": 2, "total": 4.0, "mean": 2.0, "min": 1.0, "max": 3.0,
+        }
+
+    def test_counters_never_decrease(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("x").inc(-1)
+
+    def test_prefix_matching_and_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("transport.retries").inc(4)
+        reg.counter("shuffle.sends").inc(7)
+        assert reg.counters_matching("transport.") == {"transport.retries": 4.0}
+        snap = reg.snapshot()
+        assert snap["counters"] == {"shuffle.sends": 7.0, "transport.retries": 4.0}
+        assert json.dumps(snap)  # JSON-serializable
+        reg.reset()
+        assert len(reg) == 0
+
+    def test_ambient_registry_is_process_wide(self):
+        assert ambient_registry() is ambient_registry()
+
+
+# ----------------------------------------------------------------------
+# Exporter units
+# ----------------------------------------------------------------------
+class TestExporters:
+    def _tiny_report(self, tracer=None) -> RunReport:
+        return RunReport(
+            engine="engine",
+            backend="sim",
+            strategy="FO",
+            n_tuples=10,
+            makespan=2.0,
+            snapshot={
+                "counters": {
+                    "routing.compute_requests": 6.0,
+                    "faults.retries": 2.0,
+                    "transport.requests_sent": 8.0,
+                },
+                "gauges": {},
+                "histograms": {},
+            },
+            tracer=tracer,
+        )
+
+    def test_trace_jsonl_round_trip(self, tmp_path):
+        tracer = Tracer()
+        job = tracer.start("job", at=0.0)
+        tracer.event("route", parent=job, at=0.1, route="local-memory")
+        tracer.end(job, at=1.0)
+        path = write_trace_jsonl(tracer, tmp_path / "trace.jsonl")
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert records == trace_records(tracer)
+        kinds = {r["type"] for r in records}
+        assert kinds == {"span", "event"}
+
+    def test_report_sections(self):
+        report = self._tiny_report()
+        text = render_run_report(report)
+        assert "makespan" in text and "throughput" in text
+        assert "## Routing decisions" in text
+        assert "## Faults" in text
+        assert "## Kernel" in text
+        assert "## Trace" not in text  # no tracer attached
+        assert report.throughput == pytest.approx(5.0)
+
+    def test_report_trace_section(self):
+        tracer = Tracer()
+        tracer.end(tracer.start("job", at=0.0), at=1.0)
+        text = render_run_report(self._tiny_report(tracer=tracer))
+        assert "## Trace" in text and "spans[job]: 1" in text
+
+    def test_bench_json_hook(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("jobs.runs").inc()
+        path = write_bench_json(tmp_path, "fig8", reg, extra={"seconds": 1.5})
+        assert path.name == "BENCH_fig8.json"
+        payload = json.loads(path.read_text())
+        assert payload == bench_payload("fig8", reg, extra={"seconds": 1.5})
+        assert payload["metrics"]["counters"]["jobs.runs"] == 1.0
+        assert payload["seconds"] == 1.5
+
+    def test_obs_options_frozen_defaults(self):
+        opts = ObsOptions()
+        assert opts.tracing is False and opts.trace_path is None
+
+
+# ----------------------------------------------------------------------
+# Span-tree integrity under fault injection
+# ----------------------------------------------------------------------
+class TestSpanTreeUnderFaults:
+    @pytest.fixture(scope="class")
+    def faulted_trace(self, workload):
+        tracer = Tracer()
+        SimBackend(
+            engine="engine",
+            seed=5,
+            fault_schedule=CHAOS,
+            fault_tolerance=TOLERANCE,
+            tracer=tracer,
+        ).run_join(workload)
+        return tracer
+
+    def test_no_orphans_no_unfinished(self, faulted_trace):
+        assert faulted_trace.orphans() == []
+        assert faulted_trace.unfinished() == []
+
+    def test_single_job_root(self, faulted_trace):
+        roots = [s for s in faulted_trace.spans if s.parent_id is None]
+        assert [s.name for s in roots if s.name == "job"] == ["job"]
+        # The only other legal roots are serve spans for late duplicate
+        # deliveries, whose request span was already retired.
+        assert {s.name for s in roots} <= {"job", "serve"}
+
+    def test_retries_nest_under_request_spans(self, faulted_trace):
+        spans = faulted_trace.span_map()
+        retries = faulted_trace.events_named("retry")
+        assert retries, "chaos schedule should force at least one retry"
+        for event in retries:
+            assert spans[event.parent_id].name == "request"
+
+    def test_attempts_nest_under_request_spans(self, faulted_trace):
+        spans = faulted_trace.span_map()
+        attempts = faulted_trace.find("attempt")
+        assert attempts
+        for span in attempts:
+            assert spans[span.parent_id].name == "request"
+
+    def test_fault_events_recorded(self, faulted_trace):
+        fault_events = [
+            e for e in faulted_trace.events if e.name.startswith("fault.")
+        ]
+        assert fault_events, "chaos schedule should record injected faults"
+
+    def test_fallbacks_nest_under_exhausted_request(self, faulted_trace):
+        spans = faulted_trace.span_map()
+        exhausted = [
+            s for s in faulted_trace.find("request") if s.status == "fallback"
+        ]
+        for span in exhausted:
+            replacement = [
+                c for c in faulted_trace.children(span) if c.name == "request"
+            ]
+            assert replacement, (
+                f"fallback span {span.span_id} has no nested replacement request"
+            )
+        for event in faulted_trace.events_named("fallback"):
+            assert spans[event.parent_id].name == "request"
+
+
+# ----------------------------------------------------------------------
+# Observation-only invariant: tracing never changes the run
+# ----------------------------------------------------------------------
+class TestTracingIsObservationOnly:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_healthy_run_identical_with_tracing(self, engine, workload, oracle):
+        plain = SimBackend(engine=engine, seed=5).run_join(workload)
+        traced = SimBackend(
+            engine=engine, seed=5, tracer=Tracer(), registry=MetricsRegistry()
+        ).run_join(workload)
+        assert traced.outputs == plain.outputs
+        assert traced.duration == plain.duration
+        assert_oracle_equal(traced.outputs, oracle)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_faulted_run_identical_with_tracing(self, engine, workload, oracle):
+        plain = SimBackend(
+            engine=engine, seed=5,
+            fault_schedule=CHAOS, fault_tolerance=TOLERANCE,
+        ).run_join(workload)
+        traced = SimBackend(
+            engine=engine, seed=5,
+            fault_schedule=CHAOS, fault_tolerance=TOLERANCE,
+            tracer=Tracer(), registry=MetricsRegistry(),
+        ).run_join(workload)
+        assert traced.outputs == plain.outputs
+        assert traced.duration == plain.duration
+        assert_oracle_equal(traced.outputs, oracle)
+
+    def test_registry_absorbs_kernel_counters(self, workload):
+        registry = MetricsRegistry()
+        run = SimBackend(
+            engine="engine", seed=5,
+            fault_schedule=CHAOS, fault_tolerance=TOLERANCE,
+            registry=registry,
+        ).run_join(workload)
+        counters = registry.snapshot()["counters"]
+        assert counters["jobs.runs"] == 1.0
+        assert counters["jobs.tuples"] == float(len(workload.keys))
+        assert counters["transport.requests_sent"] > 0
+        assert counters["transport.retries"] == float(run.metrics.transport.retries)
+        # The cluster clock keeps ticking past job completion (timeout
+        # wakeups under faults), so usage covers at least the run.
+        assert registry.value("usage.makespan") >= run.duration

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.metrics.collector import skew_ratio
+from repro.obs import skew_ratio
 from repro.store.balancer import (
     apply_rebalance,
     node_loads,

@@ -5,11 +5,12 @@ import pytest
 from repro.engine.job import JoinJob
 from repro.engine.strategies import Strategy
 from repro.metrics.trace import RoutingTrace
+from repro.obs import NO_TRACER, Tracer
 from repro.sim.cluster import Cluster
 from repro.workloads.synthetic import SyntheticWorkload
 
 
-def traced_run(strategy="FO", n_tuples=1500, skew=1.3, seed=73):
+def traced_run(strategy="FO", n_tuples=1500, skew=1.3, seed=73, tracer=NO_TRACER):
     workload = SyntheticWorkload.data_heavy(
         n_keys=300, n_tuples=n_tuples, skew=skew, seed=seed
     )
@@ -26,6 +27,7 @@ def traced_run(strategy="FO", n_tuples=1500, skew=1.3, seed=73):
         memory_cache_bytes=20e6,
         pipeline_window=32,
         trace=trace,
+        tracer=tracer,
         seed=seed,
     )
     result = job.run(workload.keys())
@@ -75,3 +77,11 @@ class TestRoutingTrace:
             trace.windowed_mix(0)
         assert trace.windowed_mix(3) == [{}, {}, {}]
         assert trace.local_hit_rate_curve(2) == [0.0, 0.0]
+
+    def test_span_tracer_route_events_agree_with_routing_trace(self):
+        # The obs tracer observes the same _record call sites, so its
+        # route events must reproduce RoutingTrace's mix exactly.
+        tracer = Tracer()
+        result, trace = traced_run("FO", tracer=tracer)
+        assert tracer.route_mix() == trace.route_mix()
+        assert len(tracer.events_named("route")) == result.n_tuples
