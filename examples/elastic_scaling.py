@@ -3,43 +3,40 @@
 Compute nodes hold no join state, so capacity can follow load: this
 example starts a compute-heavy job on a single compute node, then adds
 two more mid-run and retires one near the end, printing the throughput
-the job achieved in each phase.
+the job achieved in each phase.  The membership schedule rides on
+:class:`repro.RunConfig` — any node named by an "add" event sits out
+until its event fires; everything else runs from time zero.
 
-Run:  python examples/elastic_scaling.py
+Run:  PYTHONPATH=src python examples/elastic_scaling.py
 """
 
-from repro import Strategy
-from repro.sim import Cluster
-from repro.engine.elastic import ElasticJoinJob, MembershipEvent
-from repro.workloads.synthetic import SyntheticWorkload
+from repro import JobSpec, MembershipEvent, RunConfig, run_join
+
+EVENTS = (
+    MembershipEvent(time=2.0, action="add", node_id=1),
+    MembershipEvent(time=2.0, action="add", node_id=2),
+    MembershipEvent(time=6.0, action="remove", node_id=2),
+)
 
 
 def main() -> None:
-    workload = SyntheticWorkload.compute_heavy(
-        n_keys=500, n_tuples=6000, skew=0.8, seed=11
+    spec = JobSpec.synthetic(
+        "compute_heavy", n_keys=500, n_tuples=6000, skew=0.8, seed=11
     )
-    cluster = Cluster.homogeneous(6)
-    events = [
-        MembershipEvent(time=2.0, action="add", node_id=1),
-        MembershipEvent(time=2.0, action="add", node_id=2),
-        MembershipEvent(time=6.0, action="remove", node_id=2),
-    ]
-    job = ElasticJoinJob(
-        cluster=cluster,
-        initial_compute_nodes=[0],
-        data_nodes=[4, 5],
-        table=workload.build_table(),
-        udf=workload.udf,
-        strategy=Strategy.fo(),
-        sizes=workload.sizes,
-        events=events,
+    report = run_join(spec, RunConfig(
+        engine="engine",
+        n_compute=3,
+        n_data=2,
+        batch_size=64,
+        max_wait=0.01,
+        membership=EVENTS,
         seed=11,
-    )
-    result = job.run(workload.keys())
+    ))
+    result = report.result.native
 
     print(f"{result.n_tuples} tuples in {result.makespan:.2f}s")
     print("membership:", ", ".join(
-        f"t={e.time:g}s {e.action} node {e.node_id}" for e in events
+        f"t={e.time:g}s {e.action} node {e.node_id}" for e in EVENTS
     ))
     print("\nper-node completions:")
     for node_id, count in sorted(result.completed_per_node.items()):

@@ -8,17 +8,18 @@ magnitude, and classification cost varies per model.  This example:
 1. builds the synthetic ClueWeb-style corpus and model store,
 2. runs the classic reduce-side joins (naive Hadoop hash partitioning,
    then the CSAW skew-aware partitioner) on the MapReduce analog,
-3. runs the paper's framework (FO) on a split compute/data cluster,
+3. runs the paper's framework (FO) on a split compute/data cluster
+   through :func:`repro.api.run_join`,
 4. prints the comparison plus where the framework cached and executed.
 
-Run:  python examples/entity_annotation.py
+Run:  PYTHONPATH=src python examples/entity_annotation.py
 """
 
-from repro import Strategy
-from repro.engine import JoinJob
+from dataclasses import replace
+
+from repro import JobSpec, RunConfig, run_join
+from repro.mapreduce import CSAWPartitioner, KeyStatistics, ReduceSideJoinJob
 from repro.sim import Cluster
-from repro.mapreduce.engine import ReduceSideJoinJob
-from repro.mapreduce.skew_partitioners import CSAWPartitioner, KeyStatistics
 from repro.workloads.annotation import AnnotationWorkload
 
 
@@ -58,19 +59,21 @@ def main() -> None:
     # ------------------------------------------------------------------
     # The paper's framework: per-key runtime decisions, no statistics.
     # ------------------------------------------------------------------
-    cluster = Cluster.homogeneous(8)
-    job = JoinJob(
-        cluster=cluster,
-        compute_nodes=[0, 1, 2, 3],
-        data_nodes=[4, 5, 6, 7],
+    spec = JobSpec(
         table=workload.build_table(),
-        udf=workload.udf,
-        strategy=Strategy.fo(),
+        udf=replace(
+            workload.udf,
+            apply_fn=lambda k, p, v: f"classified:{k}",
+        ),
+        keys=tuple(spots),
         sizes=workload.sizes,
-        memory_cache_bytes=100e6,
-        seed=5,
+        strategy="FO",
     )
-    result = job.run(spots)
+    report = run_join(spec, RunConfig(
+        engine="engine", n_compute=4, n_data=4, seed=5,
+        memory_cache_bytes=100e6,
+    ))
+    result = report.result.native
     print(f"Framework (FO, no stats):   {result.makespan:7.2f}s")
     print(
         f"\n  cache: {result.cache_memory_hits} memory hits, "

@@ -4,15 +4,18 @@ The acceptance scenario from the fault subsystem's design: one data
 node crashes mid-run, the network drops / duplicates / delays messages
 throughout, and the other data node straggles at 5x service time.  The
 engine rides it out with timeouts, idempotent retries and replica
-fallback — and the final join output is compared bit-for-bit against a
-naive single-node hash join (the differential oracle).
+fallback — and with :class:`ResilienceOptions` enabled, a heartbeat
+failure detector confirms the death and fails the node's regions over
+to its ring successor.  Every run's join output is compared bit-for-bit
+against the thread-pool backend (the differential oracle).
+
+Everything goes through :func:`repro.api.run_join` — one call, any
+engine, no engine internals.
 
 Run:  PYTHONPATH=src python examples/fault_injection_demo.py
 """
 
-from repro.engine.job import JoinJob
-from repro.engine.requests import UDF
-from repro.engine.strategies import Strategy
+from repro import JobSpec, ResilienceOptions, RunConfig, run_join
 from repro.faults import (
     CrashFault,
     FaultSchedule,
@@ -20,84 +23,77 @@ from repro.faults import (
     MessageChaos,
     StragglerFault,
 )
-from repro.metrics.trace import FaultTrace
-from repro.sim.cluster import Cluster
-from repro.workloads.synthetic import SyntheticWorkload
 
+SPEC = JobSpec.synthetic(
+    "data_heavy", n_keys=300, n_tuples=2500, skew=1.0, seed=23
+)
 
-def single_node_oracle(keys, udf, values):
-    """The reference answer: hash the relation, probe, apply the UDF."""
-    return {tid: udf.apply(key, None, values[key]) for tid, key in enumerate(keys)}
-
-
-def run(schedule=None, tolerance=None, trace=None):
-    workload = SyntheticWorkload.data_heavy(
-        n_keys=300, n_tuples=2500, skew=1.0, seed=23
-    )
-    udf = UDF(
-        result_size=64.0, param_size=64.0, key_size=8.0,
-        apply_fn=lambda k, p, v: f"{k}|{p}|{v}",
-    )
-    job = JoinJob(
-        cluster=Cluster.homogeneous(4),
-        compute_nodes=[0, 1],
-        data_nodes=[2, 3],
-        table=workload.build_table(),
-        udf=udf,
-        strategy=Strategy.fo(),
-        sizes=workload.sizes,
-        memory_cache_bytes=20e6,
-        fault_schedule=schedule,
-        fault_tolerance=tolerance,
-        fault_trace=trace,
-        seed=11,
-    )
-    keys = workload.keys()
-    values = {row.key: row.value for row in job.table.rows()}
-    result = job.run(keys)
-    oracle = single_node_oracle(keys, udf, values)
-    return result, job.collected_outputs(), oracle
+SCHEDULE = FaultSchedule(
+    seed=5,
+    crashes=(CrashFault(node_id=2, at=0.4, duration=0.8),),
+    chaos=(
+        MessageChaos(
+            at=0.0, duration=3.0,
+            drop=0.15, duplicate=0.1, delay=0.1, max_delay=0.03,
+        ),
+    ),
+    stragglers=(StragglerFault(node_id=3, at=1.0, duration=1.0, slowdown=5.0),),
+)
 
 
 def main() -> None:
+    oracle = run_join(SPEC, RunConfig(backend="local")).outputs
+
     print("=== clean run ===")
-    clean, outputs, oracle = run()
-    assert outputs == oracle
-    print(f"{clean.n_tuples} tuples in {clean.makespan:.2f}s  (oracle: exact match)")
+    clean = run_join(SPEC, RunConfig(engine="engine", seed=11))
+    assert clean.outputs == oracle
+    print(f"{clean.n_tuples} tuples in {clean.makespan:.2f}s "
+          "(oracle: exact match)")
 
     print("\n=== crash + chaos + straggler ===")
-    schedule = FaultSchedule(
-        seed=5,
-        crashes=(CrashFault(node_id=2, at=0.4, duration=0.8),),
-        chaos=(
-            MessageChaos(
-                at=0.0, duration=3.0,
-                drop=0.15, duplicate=0.1, delay=0.1, max_delay=0.03,
-            ),
-        ),
-        stragglers=(StragglerFault(node_id=3, at=1.0, duration=1.0, slowdown=5.0),),
-    )
-    trace = FaultTrace()
-    faulty, outputs, oracle = run(
-        schedule=schedule,
-        tolerance=FaultTolerance(request_timeout=0.25, max_retries=2),
-        trace=trace,
-    )
+    faulty = run_join(SPEC, RunConfig(
+        engine="engine",
+        seed=11,
+        faults=SCHEDULE,
+        fault_tolerance=FaultTolerance(request_timeout=0.25, max_retries=2),
+    ))
+    counters = faulty.snapshot.get("counters", {})
     print(f"{faulty.n_tuples} tuples in {faulty.makespan:.2f}s "
           f"({faulty.makespan / clean.makespan:.2f}x the clean makespan)")
-    print(f"  messages faulted:    {faulty.messages_faulted}")
-    print(f"  timeouts:            {faulty.timeouts}")
-    print(f"  retries:             {faulty.retries}")
-    print(f"  replica fallbacks:   {faulty.fallbacks}")
-    print(f"  duplicate responses: {faulty.duplicate_responses}")
-    print(f"  replayed requests:   {faulty.duplicate_requests}")
-    print("  trace:", dict(trace.counts_by_kind()))
+    for label, name in (
+        ("messages faulted", "faults.messages_faulted"),
+        ("timeouts", "transport.timeouts"),
+        ("retries", "transport.retries"),
+        ("replica fallbacks", "transport.fallbacks"),
+        ("duplicate responses", "transport.duplicate_responses"),
+    ):
+        print(f"  {label + ':':<22s}{counters.get(name, 0):g}")
+    assert faulty.outputs == oracle
 
-    mismatches = {t for t in oracle if outputs.get(t) != oracle[t]}
-    if mismatches:
-        raise SystemExit(f"ORACLE MISMATCH on {len(mismatches)} tuples!")
+    print("\n=== same faults, resilience on ===")
+    resilient = run_join(SPEC, RunConfig(
+        engine="engine",
+        seed=11,
+        faults=SCHEDULE,
+        fault_tolerance=FaultTolerance(request_timeout=0.25, max_retries=2),
+        resilience=ResilienceOptions.on(hedging=True, hedge_quantile=0.5),
+    ))
+    counters = resilient.snapshot.get("counters", {})
+    print(f"{resilient.n_tuples} tuples in {resilient.makespan:.2f}s "
+          f"({resilient.makespan / clean.makespan:.2f}x the clean makespan)")
+    for label, name in (
+        ("heartbeats received", "resilience.heartbeats.received"),
+        ("deaths detected", "resilience.detector.deaths"),
+        ("failovers", "resilience.failover.count"),
+        ("regions moved", "resilience.failover.regions_moved"),
+        ("hedges issued", "resilience.hedges.issued"),
+        ("hedges won", "resilience.hedges.won"),
+    ):
+        print(f"  {label + ':':<22s}{counters.get(name, 0):g}")
+    assert resilient.outputs == oracle
+
     print(f"\noracle: all {len(oracle)} outputs identical to the "
-          f"single-node hash join")
+          "thread-pool join, in every run")
 
 
 if __name__ == "__main__":

@@ -6,17 +6,16 @@ tandem repeat makes a handful of n-grams both extremely frequent and
 extremely expensive to verify — the skew that makes the reduce-side
 CloudBurst implementation straggle, and that per-key runtime routing
 dissolves: hot n-grams get cached and verified across all compute
-nodes, cold ones verify at the data nodes.
+nodes, cold ones verify at the data nodes.  All three strategies run
+through :func:`repro.api.run_join`.
 
-Run:  python examples/genome_alignment.py
+Run:  PYTHONPATH=src python examples/genome_alignment.py
 """
 
 from collections import Counter
+from dataclasses import replace
 
-from repro import Strategy
-from repro.engine import JoinJob
-from repro.sim import Cluster
-from repro.obs import collect_usage
+from repro import JobSpec, RunConfig, run_join
 from repro.workloads.genome import GenomeWorkload
 
 
@@ -38,22 +37,25 @@ def main() -> None:
         f"locations to verify per occurrence"
     )
 
+    udf = replace(
+        workload.udf,
+        apply_fn=lambda k, p, v: f"verified:{k}",
+    )
     results = {}
     for name in ("FD", "FC", "FO"):
-        cluster = Cluster.homogeneous(8)
-        job = JoinJob(
-            cluster=cluster,
-            compute_nodes=[0, 1, 2, 3],
-            data_nodes=[4, 5, 6, 7],
+        spec = JobSpec(
             table=workload.build_table(),
-            udf=workload.udf,
-            strategy=Strategy.by_name(name),
+            udf=udf,
+            keys=tuple(stream),
             sizes=workload.sizes,
-            memory_cache_bytes=50e6,
-            seed=13,
+            strategy=name,
         )
-        outcome = job.run(stream)
-        usage = collect_usage(cluster)
+        report = run_join(spec, RunConfig(
+            engine="engine", n_compute=4, n_data=4, seed=13,
+            memory_cache_bytes=50e6,
+        ))
+        outcome = report.result.native
+        usage = report.metrics.usage
         results[name] = outcome
         print(
             f"\n{name}: {outcome.makespan:6.2f}s  "

@@ -24,7 +24,13 @@ Quick start
 'FO'
 """
 
-from repro.api import JobSpec, RunConfig, run_join
+from repro.api import (
+    JobSpec,
+    MembershipEvent,
+    ResilienceOptions,
+    RunConfig,
+    run_join,
+)
 from repro.core import (
     CostModel,
     CostParameters,
@@ -44,8 +50,10 @@ __all__ = [
     "CostParameters",
     "JobSpec",
     "JoinLocationOptimizer",
+    "MembershipEvent",
     "MetricsRegistry",
     "ObsOptions",
+    "ResilienceOptions",
     "Route",
     "RoutingDecision",
     "RunConfig",

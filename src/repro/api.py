@@ -29,11 +29,13 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Hashable
 
 from repro.core.load_balancer import SizeProfile
+from repro.engine.elastic import MembershipEvent
 from repro.faults.policy import FaultTolerance
 from repro.faults.schedule import FaultSchedule
 from repro.obs.exporters import ObsOptions, RunReport, write_trace_jsonl
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import NO_TRACER, Tracer
+from repro.resilience.options import ResilienceOptions
 from repro.runtime.backend import (
     ENGINES,
     BackendRun,
@@ -145,6 +147,16 @@ class RunConfig:
     #: Timeout/retry/fallback policy (needed if ``faults`` loses
     #: messages).
     fault_tolerance: FaultTolerance | None = None
+    #: Failure detection / failover / hedging / admission control.
+    #: ``ResilienceOptions.off()`` (the default) wires nothing.
+    resilience: ResilienceOptions = field(
+        default_factory=ResilienceOptions
+    )
+    #: Mid-run compute-membership changes (``engine`` on ``sim`` only);
+    #: non-empty routes the run through :class:`ElasticJoinJob`.
+    membership: tuple[MembershipEvent, ...] = ()
+    #: Per-compute-node tiered cache budget.
+    memory_cache_bytes: float = 100e6
     #: Observability knobs.
     obs: ObsOptions = field(default_factory=ObsOptions)
 
@@ -156,6 +168,12 @@ class RunConfig:
         if self.backend == "sim" and self.engine not in ENGINES:
             raise ValueError(
                 f"unknown engine {self.engine!r}; expected one of {ENGINES}"
+            )
+        if self.membership and (
+            self.backend != "sim" or self.engine != "engine"
+        ):
+            raise ValueError(
+                "membership events require backend='sim', engine='engine'"
             )
 
     def with_obs(self, **changes: Any) -> "RunConfig":
@@ -217,6 +235,9 @@ def _backend_for(
         seed=cfg.seed,
         fault_schedule=cfg.faults,
         fault_tolerance=cfg.fault_tolerance,
+        resilience=cfg.resilience if cfg.resilience.enabled else None,
+        membership=tuple(cfg.membership),
+        memory_cache_bytes=cfg.memory_cache_bytes,
         tracer=tracer,
         registry=registry,
     )
@@ -226,7 +247,9 @@ __all__ = [
     "BACKENDS",
     "BackendRun",
     "JobSpec",
+    "MembershipEvent",
     "ObsOptions",
+    "ResilienceOptions",
     "RunConfig",
     "RunReport",
     "run_join",

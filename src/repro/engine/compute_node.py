@@ -39,6 +39,9 @@ from repro.engine.requests import (
 from repro.engine.strategies import RoutingPolicy, StrategyConfig
 from repro.faults.policy import FaultTolerance
 from repro.obs.tracer import NO_TRACER, Span, Tracer
+from repro.resilience.admission import AdmissionController
+from repro.resilience.hedging import HedgePolicy
+from repro.resilience.options import ResilienceOptions
 from repro.runtime.transport import Transport
 from repro.sim.cluster import Cluster
 from repro.store.datanode import DataNodeServer
@@ -115,6 +118,7 @@ class ComputeNodeRuntime:
         fault_trace: "FaultTrace | None" = None,
         tracer: Tracer = NO_TRACER,
         obs_parent: Span | None = None,
+        resilience: ResilienceOptions | None = None,
         seed: int = 0,
     ) -> None:
         self.cluster = cluster
@@ -235,6 +239,35 @@ class ComputeNodeRuntime:
         # reachable through two live paths (e.g. a fetch-waiter list
         # and a fallback response); the first dispatch wins.
         self._settled: set[int] = set()
+        # ------------------------------------------------------------------
+        # Resilience (opt-in; None wires nothing and stays bit-identical
+        # to the pre-resilience runtime).
+        # ------------------------------------------------------------------
+        self.resilience = resilience
+        self.admission: AdmissionController | None = None
+        if resilience is not None and resilience.enabled:
+            # Failover replay is exactly-once only for idempotent
+            # requests; side-effecting UDFs ride out a dead primary on
+            # same-id retries against its idempotency cache instead.
+            self.transport.replay_on_failover = udf.side_effect_free
+            if (
+                resilience.hedging
+                and udf.side_effect_free
+                and len(self._data_nodes) > 1
+            ):
+                self.transport.hedge_policy = HedgePolicy(
+                    quantile=resilience.hedge_quantile,
+                    warmup=resilience.hedge_warmup,
+                    min_delay=resilience.hedge_min_delay,
+                )
+            if resilience.admission and resilience.queue_bound is not None:
+                self.admission = AdmissionController(
+                    sim=cluster.sim,
+                    bound=resilience.queue_bound,
+                    dispatch=self._dispatch_admitted,
+                    shed=self._shed,
+                    deadline=resilience.shed_deadline,
+                )
 
     # ------------------------------------------------------------------
     # Fault-handling counters (aggregated into JobResult) now live on
@@ -376,12 +409,49 @@ class ComputeNodeRuntime:
         self, dst: int, tuple_id: int, key: Hashable, kind: RequestKind,
         route: Route, params: Any = None,
     ) -> None:
+        if self.admission is not None and not self.admission.submit(
+            dst, tuple_id, (key, kind, route, params)
+        ):
+            return  # parked; re-enters via _dispatch_admitted or _shed
+        self._enqueue_direct(dst, tuple_id, key, kind, route, params)
+
+    def _enqueue_direct(
+        self, dst: int, tuple_id: int, key: Hashable, kind: RequestKind,
+        route: Route, params: Any = None,
+    ) -> None:
         item = RequestItem(key=key, kind=kind, route=route, tuple_id=tuple_id,
                            params=params)
         if kind is RequestKind.COMPUTE:
             self._compute_buffers[dst].add(item)
         else:
             self._data_buffers[dst].add(item)
+
+    def _dispatch_admitted(self, dst: int, tuple_id: int, payload: Any) -> None:
+        """Admission callback: a parked tuple won a freed slot."""
+        key, kind, route, params = payload
+        self._enqueue_direct(dst, tuple_id, key, kind, route, params)
+
+    def _shed(self, dst: int, tuple_id: int, payload: Any) -> None:
+        """Admission callback: a parked tuple hit its shed deadline.
+
+        Shedding degrades rather than drops: per Section 5's linear
+        load model the overloaded server's UDF queue is the bottleneck,
+        so the tuple is forced onto the cheap route — fetch the raw
+        bytes off disk and compute here — and dispatched outside the
+        admission bound.  Side-effecting UDFs must not move off their
+        owner, so they keep their original kind (deadline expiry then
+        just ends the backpressure wait).
+        """
+        key, kind, route, params = payload
+        if self.udf.side_effect_free and kind is RequestKind.COMPUTE:
+            kind = RequestKind.DATA
+            route = Route.DATA_REQUEST_DISK
+        self._record(tuple_id, key, f"shed->{route.value}")
+        self._enqueue_direct(dst, tuple_id, key, kind, route, params)
+
+    def _admission_release(self, tuple_id: int) -> None:
+        if self.admission is not None:
+            self.admission.release(tuple_id)
 
     def _enqueue_fetch(
         self, dst: int, tuple_id: int, key: Hashable, route: Route,
@@ -473,6 +543,7 @@ class ComputeNodeRuntime:
         def complete() -> None:
             self._pending_local -= 1
             self._completed += 1
+            self._admission_release(tuple_id)
             self.on_complete(tuple_id, finish)
             self._release_worker()
 
@@ -541,6 +612,7 @@ class ComputeNodeRuntime:
                 if self.udf.apply_fn is not None:
                     self.outputs[item.tuple_id] = item.value
                 self._completed += 1
+                self._admission_release(item.tuple_id)
                 self.on_complete(item.tuple_id, self.cluster.sim.now)
                 self._release_worker()
                 continue

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Hashable, Iterable, Sequence
+from typing import Any, Hashable, Iterable, Sequence
 
 import numpy as np
 
@@ -126,6 +126,11 @@ class ElasticJoinJob:
             )
             for dn in self.data_nodes
         }
+        # Latest runtime per node (metrics) plus every runtime that ever
+        # participated (outputs) — a node that leaves and rejoins gets a
+        # fresh runtime, but its first incarnation's results still count.
+        self.runtimes: dict[int, ComputeNodeRuntime] = {}
+        self._all_runtimes: list[ComputeNodeRuntime] = []
 
     def run(self, keys: Iterable[Hashable]) -> ElasticResult:
         """Run to completion, applying the membership schedule."""
@@ -156,6 +161,8 @@ class ElasticJoinJob:
             )
             feeder = _SharedFeeder(runtime, pending, self.pipeline_window)
             active[node_id] = feeder
+            self.runtimes[node_id] = runtime
+            self._all_runtimes.append(runtime)
             completed_per_node.setdefault(node_id, 0)
             feeder.prime()
 
@@ -191,6 +198,13 @@ class ElasticJoinJob:
             completed_per_node=dict(completed_per_node),
             completion_times=sorted(completion_times),
         )
+
+    def collected_outputs(self) -> dict[int, Any]:
+        """Real UDF results by tuple id (requires ``udf.apply_fn``)."""
+        merged: dict[int, Any] = {}
+        for runtime in self._all_runtimes:
+            merged.update(runtime.outputs)
+        return merged
 
 
 class _SharedFeeder:

@@ -28,9 +28,11 @@ from repro.engine.strategies import StrategyConfig
 from repro.faults.injector import FaultInjector
 from repro.faults.policy import FaultTolerance
 from repro.faults.schedule import FaultSchedule
-from repro.obs.registry import MetricsRegistry
+from repro.obs.registry import MetricsRegistry, ambient_registry
 from repro.obs.tracer import NO_TRACER, Tracer
 from repro.obs.usage import publish_job_result
+from repro.resilience.manager import ResilienceManager
+from repro.resilience.options import ResilienceOptions
 from repro.sim.cluster import Cluster
 from repro.sim.rng import derive_seed
 from repro.store.datanode import DataNodeServer
@@ -194,11 +196,16 @@ class JoinJob:
     #: Per-run metrics registry; results always also land in the
     #: process-wide ambient registry.
     registry: MetricsRegistry | None = None
+    #: Opt-in failure detection / failover / hedging / admission
+    #: control (repro.resilience).  ``None`` or ``enabled=False`` wires
+    #: nothing and is bit-identical to a pre-resilience run.
+    resilience: ResilienceOptions | None = None
     seed: int = 0
     kvstore: KVStore = field(init=False)
     servers: dict[int, DataNodeServer] = field(init=False)
     runtimes: dict[int, ComputeNodeRuntime] = field(init=False)
     injector: FaultInjector | None = field(init=False, default=None)
+    resilience_manager: ResilienceManager | None = field(init=False, default=None)
 
     def __post_init__(self) -> None:
         if not self.compute_nodes or not self.data_nodes:
@@ -316,6 +323,7 @@ class JoinJob:
                 fault_trace=self.fault_trace,
                 tracer=self.tracer,
                 obs_parent=job_span,
+                resilience=self.resilience,
                 seed=derive_seed(self.seed, f"cn:{cn}"),
             )
             self.runtimes[cn] = runtime
@@ -339,6 +347,21 @@ class JoinJob:
                 self.kvstore.update_value(k, v, at_time=t)
 
             self.cluster.sim.schedule_at(time, apply_update)
+
+        if self.resilience is not None and self.resilience.enabled:
+            manager = ResilienceManager(
+                cluster=self.cluster,
+                options=self.resilience,
+                data_nodes=list(self.data_nodes),
+                monitor_node=min(self.compute_nodes),
+                region_map=self.kvstore.region_map,
+                tracer=self.tracer,
+            )
+            for runtime in self.runtimes.values():
+                manager.attach(runtime)
+            # Ticks gate on job progress so the event loop still drains.
+            manager.start(active=lambda: self._completions < n_tuples)
+            self.resilience_manager = manager
 
         for feeder in feeders.values():
             feeder.prime()
@@ -433,6 +456,7 @@ class JoinJob:
                 fault_trace=self.fault_trace,
                 tracer=self.tracer,
                 obs_parent=job_span,
+                resilience=self.resilience,
                 seed=derive_seed(self.seed, f"cn:{cn}"),
             )
         self.runtimes.update(runtimes)
@@ -496,7 +520,10 @@ class JoinJob:
                 data_reqs += (
                     ostats.data_requests_memory + ostats.data_requests_disk
                 )
-        udfs_compute = n_tuples - udfs_data
+        # Failover can execute one tuple at two servers (the dead owner
+        # ran it, then the replay ran it at the successor), so the
+        # derived compute-side count must not go negative.
+        udfs_compute = max(0, n_tuples - udfs_data)
         kept = [
             server.balancer.mean_kept_fraction
             for server in self.servers.values()
@@ -539,6 +566,10 @@ class JoinJob:
         publish_job_result(result)
         if self.registry is not None:
             publish_job_result(result, self.registry)
+        if self.resilience_manager is not None:
+            self.resilience_manager.publish(ambient_registry())
+            if self.registry is not None:
+                self.resilience_manager.publish(self.registry)
         return result
 
 

@@ -176,6 +176,17 @@ def render_run_report(report: RunReport) -> str:
     if kernel:
         lines += ["", "## Kernel", ""]
         lines += [f"- {name}: {value:g}" for name, value in kernel.items()]
+    resilience = {
+        name: value
+        for name, value in counters.items()
+        if name.startswith("resilience.") and value
+    }
+    if resilience:
+        lines += ["", "## Resilience", ""]
+        lines += [
+            f"- {name}: {value:g}"
+            for name, value in sorted(resilience.items())
+        ]
     if report.tracer is not None and report.tracer.enabled:
         lines += ["", "## Trace", ""]
         by_name: dict[str, int] = {}

@@ -1,0 +1,45 @@
+"""repro.resilience — surviving failures, stragglers and overload.
+
+Four cooperating components, all opt-in through one
+:class:`ResilienceOptions` value on :class:`repro.api.RunConfig` (or
+directly on :class:`repro.engine.JoinJob`):
+
+* :class:`FailureDetector` — phi-accrual heartbeat detection over the
+  simulated wire (ALIVE → SUSPECT → DEAD, with recovery back).
+* :class:`RecoveryManager` / :class:`CheckpointManager` — region
+  failover to the ring successor, in-flight idempotent request replay,
+  and periodic soft-state checkpoints for compute-node restarts.
+* :class:`HedgePolicy` — adaptive-quantile speculative duplicates for
+  straggling requests (first response wins on the idempotent ids).
+* :class:`AdmissionController` — bounded per-data-node queues with
+  FIFO backpressure and deadline shedding onto the cheap route.
+
+``ResilienceOptions.off()`` wires nothing and is bit-identical to a
+build without this package.
+"""
+
+from repro.resilience.admission import AdmissionController
+from repro.resilience.detector import FailureDetector, NodeState
+from repro.resilience.hedging import HedgePolicy
+from repro.resilience.manager import (
+    DetectionReplay,
+    ResilienceManager,
+    publish_replay,
+    replay_heartbeats,
+)
+from repro.resilience.options import ResilienceOptions
+from repro.resilience.recovery import CheckpointManager, RecoveryManager
+
+__all__ = [
+    "AdmissionController",
+    "CheckpointManager",
+    "DetectionReplay",
+    "FailureDetector",
+    "HedgePolicy",
+    "NodeState",
+    "RecoveryManager",
+    "ResilienceManager",
+    "ResilienceOptions",
+    "publish_replay",
+    "replay_heartbeats",
+]

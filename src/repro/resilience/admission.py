@@ -1,0 +1,111 @@
+"""Admission control: bounded per-data-node queues with load shedding.
+
+Section 5's load balancer models a data node's service time as linear
+in its queue length — so an unbounded queue is unbounded latency.  The
+controller keeps, per destination data node, a hard bound on admitted-
+but-unfinished tuples.  Overflow is *parked* (backpressure to the batch
+layer: the tuple simply is not enqueued yet) in FIFO order and admitted
+as completions free slots.  A parked tuple that waits past the shed
+deadline is *shed*: not dropped — correctness is sacred here — but
+degraded onto the cheap route (a raw data fetch, computed locally, per
+Section 5's guidance to move work off the overloaded server) and
+dispatched outside the bound.
+
+Occupancy is charged at admission and released when the tuple's output
+is recorded, so the bound covers the full in-flight lifetime: buffered,
+on the wire, queued at the server, and computing.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Any, Callable
+
+from repro.sim.events import Simulator
+
+#: A parked tuple: [dst, tuple_id, payload, live?].
+_Token = list
+
+
+class AdmissionController:
+    """Per-data-node admission bound with FIFO parking and shedding."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bound: int,
+        dispatch: Callable[[int, int, Any], None],
+        shed: Callable[[int, int, Any], None],
+        deadline: float | None = None,
+    ) -> None:
+        if bound < 1:
+            raise ValueError("bound must be >= 1")
+        self.sim = sim
+        self.bound = bound
+        self.dispatch = dispatch
+        self.shed = shed
+        self.deadline = deadline
+        self._occupancy: dict[int, int] = defaultdict(int)
+        self._owner: dict[int, int] = {}
+        self._parked: dict[int, deque[_Token]] = defaultdict(deque)
+        self.admitted = 0
+        self.parked_total = 0
+        self.shed_count = 0
+        self.peak_inflight = 0
+
+    def occupancy(self, dst: int) -> int:
+        return self._occupancy[dst]
+
+    def parked(self, dst: int) -> int:
+        return sum(1 for token in self._parked[dst] if token[3])
+
+    def submit(self, dst: int, tuple_id: int, payload: Any) -> bool:
+        """Try to admit one tuple bound for ``dst``.
+
+        Returns ``True`` if admitted (the caller dispatches it now);
+        ``False`` if parked — the controller will hand it back through
+        the ``dispatch`` callback when a slot frees, or through ``shed``
+        if the deadline expires first.
+        """
+        if self._occupancy[dst] < self.bound:
+            self._admit(dst, tuple_id)
+            return True
+        token: _Token = [dst, tuple_id, payload, True]
+        self._parked[dst].append(token)
+        self.parked_total += 1
+        if self.deadline is not None:
+            self.sim.schedule_after(
+                self.deadline, lambda: self._maybe_shed(token)
+            )
+        return False
+
+    def release(self, tuple_id: int) -> None:
+        """The tuple finished; free its slot and admit the next parked."""
+        dst = self._owner.pop(tuple_id, None)
+        if dst is None:
+            return  # never admitted here (local route, or shed)
+        self._occupancy[dst] -= 1
+        queue = self._parked[dst]
+        while queue:
+            token = queue.popleft()
+            if not token[3]:
+                continue  # already shed; lazily discarded
+            token[3] = False
+            self._admit(dst, token[1])
+            self.dispatch(dst, token[1], token[2])
+            break
+
+    def _admit(self, dst: int, tuple_id: int) -> None:
+        self._occupancy[dst] += 1
+        self.peak_inflight = max(self.peak_inflight, self._occupancy[dst])
+        self._owner[tuple_id] = dst
+        self.admitted += 1
+
+    def _maybe_shed(self, token: _Token) -> None:
+        if not token[3]:
+            return  # admitted in the meantime
+        token[3] = False
+        self.shed_count += 1
+        # Shed work runs outside the bound on purpose: it no longer
+        # burdens the overloaded server's UDF queue, only its disk.
+        self.shed(token[0], token[1], token[2])

@@ -1,0 +1,65 @@
+"""Adaptive hedging policy: when to duplicate a straggling request.
+
+The classic tail-at-scale recipe (Dean & Barroso): after the p-th
+latency quantile has elapsed with no response, send a speculative
+duplicate to a replica and take whichever answer lands first.  The
+quantile is tracked online from the stream of completed-request
+latencies — a bounded reservoir of recent samples, plenty at simulation
+scale — and the policy stays disarmed until a warmup count of samples
+exists, so cold starts never hedge on garbage estimates.
+
+The policy decides *when*; the :class:`repro.runtime.transport.Transport`
+decides *how* (same request id, replica target, first-response-wins via
+the idempotent pending table).
+"""
+
+from __future__ import annotations
+
+import bisect
+
+
+class HedgePolicy:
+    """Streaming-quantile hedge-delay estimator."""
+
+    def __init__(
+        self,
+        quantile: float = 0.95,
+        warmup: int = 20,
+        min_delay: float = 0.005,
+        window: int = 256,
+    ) -> None:
+        if not 0.0 < quantile < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        if warmup < 1:
+            raise ValueError("warmup must be >= 1")
+        if window < warmup:
+            raise ValueError("window must be >= warmup")
+        self.quantile = quantile
+        self.warmup = warmup
+        self.min_delay = min_delay
+        self.window = window
+        #: Sorted sliding reservoir of recent latencies.
+        self._sorted: list[float] = []
+        #: Same samples in arrival order (for window eviction).
+        self._fifo: list[float] = []
+        self.observed = 0
+
+    def observe(self, latency: float) -> None:
+        """Feed one completed request's end-to-end latency."""
+        self.observed += 1
+        bisect.insort(self._sorted, latency)
+        self._fifo.append(latency)
+        if len(self._fifo) > self.window:
+            oldest = self._fifo.pop(0)
+            index = bisect.bisect_left(self._sorted, oldest)
+            self._sorted.pop(index)
+
+    def delay(self) -> float | None:
+        """Seconds to wait before hedging, or ``None`` while warming up."""
+        if self.observed < self.warmup or not self._sorted:
+            return None
+        rank = min(
+            len(self._sorted) - 1,
+            int(self.quantile * len(self._sorted)),
+        )
+        return max(self._sorted[rank], self.min_delay)

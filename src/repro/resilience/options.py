@@ -1,0 +1,86 @@
+"""Per-run resilience configuration.
+
+One frozen value gates the whole subsystem: with ``enabled=False`` (the
+default, and :meth:`ResilienceOptions.off`) *nothing* is wired — no
+heartbeats, no detector, no hedge timers, no admission queues — and a
+run is bit-identical to a pre-resilience build.  The differential test
+in ``tests/test_resilience.py`` enforces that, so the feature is
+provably opt-in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+
+@dataclass(frozen=True)
+class ResilienceOptions:
+    """Knobs for detection, recovery, hedging and admission control."""
+
+    #: Master switch; ``False`` wires nothing at all.
+    enabled: bool = False
+
+    # -- failure detection ------------------------------------------------
+    #: Run the heartbeat channel + phi-accrual detector (and, with
+    #: :attr:`recovery`, region failover on confirmed deaths).
+    detection: bool = True
+    #: Seconds between heartbeats from each data node to the monitor.
+    heartbeat_interval: float = 0.05
+    #: Phi (missed-interval multiples) at which a node turns SUSPECT.
+    suspect_phi: float = 4.0
+    #: Phi at which a node is declared DEAD and failover begins.
+    dead_phi: float = 8.0
+
+    # -- recovery ---------------------------------------------------------
+    #: Reassign a dead node's regions and replay idempotent in-flight
+    #: requests; also checkpoint compute-node soft state periodically.
+    recovery: bool = True
+    #: Seconds between soft-state checkpoints (0 disables them).
+    checkpoint_interval: float = 0.5
+
+    # -- hedged requests --------------------------------------------------
+    #: Speculatively duplicate straggling requests at the replica.
+    hedging: bool = False
+    #: Latency quantile after which a request is considered straggling.
+    hedge_quantile: float = 0.95
+    #: Completed requests observed before hedging arms.
+    hedge_warmup: int = 20
+    #: Floor on the hedge delay (guards against a degenerate quantile).
+    hedge_min_delay: float = 0.005
+
+    # -- admission control ------------------------------------------------
+    #: Bound per-data-node in-flight work and park the overflow.
+    admission: bool = False
+    #: Max admitted-but-unfinished tuples per data node (None = admission
+    #: stays off even when :attr:`admission` is True).
+    queue_bound: int | None = None
+    #: Seconds a parked tuple waits before being shed onto the cheap
+    #: route (None = parked tuples only drain on completions).
+    shed_deadline: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if not 0 < self.suspect_phi <= self.dead_phi:
+            raise ValueError("need 0 < suspect_phi <= dead_phi")
+        if self.checkpoint_interval < 0:
+            raise ValueError("checkpoint_interval must be non-negative")
+        if not 0.0 < self.hedge_quantile < 1.0:
+            raise ValueError("hedge_quantile must be in (0, 1)")
+        if self.hedge_warmup < 1:
+            raise ValueError("hedge_warmup must be >= 1")
+        if self.queue_bound is not None and self.queue_bound < 1:
+            raise ValueError("queue_bound must be >= 1")
+        if self.shed_deadline is not None and self.shed_deadline <= 0:
+            raise ValueError("shed_deadline must be positive")
+
+    @classmethod
+    def off(cls) -> "ResilienceOptions":
+        """Explicitly disabled — bit-identical to a pre-resilience run."""
+        return cls(enabled=False)
+
+    @classmethod
+    def on(cls, **overrides: Any) -> "ResilienceOptions":
+        """Enabled with defaults; keyword overrides for any knob."""
+        return replace(cls(enabled=True), **overrides)

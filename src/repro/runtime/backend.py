@@ -32,8 +32,9 @@ from typing import TYPE_CHECKING, Any, Callable, Hashable, Protocol, Sequence, r
 from repro.core.load_balancer import SizeProfile
 from repro.faults.policy import FaultTolerance
 from repro.faults.schedule import FaultSchedule
-from repro.obs.registry import MetricsRegistry
+from repro.obs.registry import MetricsRegistry, ambient_registry
 from repro.obs.tracer import NO_TRACER, Tracer
+from repro.resilience.options import ResilienceOptions
 from repro.runtime.metrics import RuntimeMetrics, collect_runtime_metrics
 from repro.runtime.transport import ShuffleChannel
 from repro.sim.cluster import Cluster
@@ -106,6 +107,10 @@ class BackendRun:
     #: (LocalBackend).
     duration: float
     metrics: RuntimeMetrics | None = None
+    #: The engine-native result value (``JobResult``, ``StreamResult``,
+    #: ``ElasticResult``, ...) for callers that want engine-specific
+    #: detail the portable fields above do not carry.
+    native: Any = None
 
 
 @runtime_checkable
@@ -145,6 +150,16 @@ class SimBackend:
     fault_schedule: FaultSchedule | None = None
     fault_tolerance: FaultTolerance | None = None
     fault_trace: Any = None
+    #: Opt-in resilience (repro.resilience).  The event-loop engines
+    #: wire the full subsystem; the analytic shuffle engines get
+    #: detection verdicts via an after-the-fact heartbeat replay
+    #: (their recovery is the ShuffleChannel's at-least-once resend).
+    resilience: ResilienceOptions | None = None
+    #: Mid-run compute-node membership changes
+    #: (:class:`repro.engine.elastic.MembershipEvent`); non-empty
+    #: routes the ``engine`` runner through :class:`ElasticJoinJob`.
+    membership: tuple = ()
+    memory_cache_bytes: float = 100e6
     #: Observability: span tracer threaded through whichever engine
     #: runs, and an optional registry the kernel metrics publish into.
     tracer: Tracer = NO_TRACER
@@ -170,6 +185,8 @@ class SimBackend:
         from repro.engine.job import JoinJob
         from repro.engine.strategies import Strategy
 
+        if self.membership:
+            return self._run_elastic(workload)
         cluster = self._cluster()
         job = JoinJob(
             cluster=cluster,
@@ -183,11 +200,13 @@ class SimBackend:
             sizes=workload.sizes,
             batch_size=self.batch_size,
             max_wait=self.max_wait,
+            memory_cache_bytes=self.memory_cache_bytes,
             fault_schedule=self.fault_schedule,
             fault_tolerance=self.fault_tolerance,
             fault_trace=self.fault_trace,
             tracer=self.tracer,
             registry=self.registry,
+            resilience=self.resilience,
             seed=self.seed,
         )
         result = job.run(list(workload.keys), params=workload.params)
@@ -202,6 +221,61 @@ class SimBackend:
                 injector=job.injector,
                 registry=self.registry,
             ),
+            native=result,
+        )
+
+    def _run_elastic(self, workload: JoinWorkload) -> BackendRun:
+        """The ``engine`` runner with mid-run membership changes.
+
+        Nodes named by "add" events join later; everything else in the
+        compute range is active from the start.
+        """
+        from repro.engine.elastic import ElasticJoinJob, MembershipEvent
+        from repro.engine.strategies import Strategy
+
+        if workload.params is not None:
+            raise ValueError(
+                "the elastic runner feeds bare key streams; "
+                "per-tuple params are not expressible"
+            )
+        events = list(self.membership)
+        for event in events:
+            if not isinstance(event, MembershipEvent):
+                raise TypeError(
+                    f"membership entries must be MembershipEvent, got {event!r}"
+                )
+        compute = list(range(self.n_compute))
+        added = {e.node_id for e in events if e.action == "add"}
+        initial = [cn for cn in compute if cn not in added] or compute[:1]
+        cluster = self._cluster()
+        job = ElasticJoinJob(
+            cluster=cluster,
+            initial_compute_nodes=initial,
+            data_nodes=list(
+                range(self.n_compute, self.n_compute + self.n_data)
+            ),
+            table=workload.table,
+            udf=workload.udf,
+            strategy=Strategy.by_name(self.strategy),
+            sizes=workload.sizes,
+            events=events,
+            batch_size=self.batch_size,
+            max_wait=self.max_wait,
+            memory_cache_bytes=self.memory_cache_bytes,
+            seed=self.seed,
+        )
+        result = job.run(list(workload.keys))
+        return BackendRun(
+            engine="engine",
+            backend="sim",
+            outputs=job.collected_outputs(),
+            duration=result.makespan,
+            metrics=collect_runtime_metrics(
+                cluster,
+                transports=[r.transport for r in job.runtimes.values()],
+                registry=self.registry,
+            ),
+            native=result,
         )
 
     def _run_streaming(self, workload: JoinWorkload) -> BackendRun:
@@ -225,6 +299,7 @@ class SimBackend:
             fault_trace=self.fault_trace,
             tracer=self.tracer,
             registry=self.registry,
+            resilience=self.resilience,
             seed=self.seed,
         )
         result = sim.run(self.strategy, list(workload.keys))
@@ -241,6 +316,7 @@ class SimBackend:
                 injector=job.injector,
                 registry=self.registry,
             ),
+            native=result,
         )
 
     # ------------------------------------------------------------------
@@ -291,6 +367,7 @@ class SimBackend:
         )
         if job_span is not None:
             self.tracer.end(job_span, at=result.makespan)
+        self._replay_resilience(cluster, result.makespan)
         return BackendRun(
             engine="mapreduce",
             backend="sim",
@@ -300,6 +377,7 @@ class SimBackend:
                 cluster, channels=[channel], injector=injector,
                 registry=self.registry,
             ),
+            native=result,
         )
 
     def _run_sparklite(self, workload: JoinWorkload) -> BackendRun:
@@ -353,6 +431,7 @@ class SimBackend:
             tid = row[tid_at]
             p = params[tid] if params is not None else None
             outputs[tid] = udf.apply(workload.keys[tid], p, row[value_at])
+        self._replay_resilience(cluster, result.makespan)
         return BackendRun(
             engine="sparklite",
             backend="sim",
@@ -362,7 +441,28 @@ class SimBackend:
                 cluster, channels=[channel], injector=injector,
                 registry=self.registry,
             ),
+            native=result,
         )
+
+    def _replay_resilience(self, cluster: Cluster, horizon: float) -> None:
+        """Analytic detection pass for the closed-form shuffle engines."""
+        if self.resilience is None or not self.resilience.enabled:
+            return
+        if not self.resilience.detection or horizon <= 0:
+            return
+        from repro.resilience import replay_heartbeats
+
+        replay = replay_heartbeats(
+            cluster,
+            self.resilience,
+            range(self.n_compute, self.n_compute + self.n_data),
+            horizon,
+            registry=ambient_registry(),
+        )
+        if self.registry is not None:
+            from repro.resilience import publish_replay
+
+            publish_replay(replay, self.registry)
 
 
 @dataclass
@@ -381,6 +481,9 @@ class LocalBackend:
     batch_size: int = 64
     tracer: Tracer = NO_TRACER
     registry: MetricsRegistry | None = None
+    #: Accepted for config symmetry with SimBackend; real threads have
+    #: no simulated failures to survive, so the options are inert here.
+    resilience: ResilienceOptions | None = None
 
     def __post_init__(self) -> None:
         if self.max_workers < 1:

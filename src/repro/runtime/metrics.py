@@ -135,6 +135,12 @@ def publish_runtime_metrics(
     registry.counter("transport.retries").inc(t.retries)
     registry.counter("transport.fallbacks").inc(t.fallbacks)
     registry.counter("transport.duplicate_responses").inc(t.duplicate_responses)
+    registry.counter("transport.hedges_issued").inc(t.hedges_issued)
+    registry.counter("transport.hedges_won").inc(t.hedges_won)
+    registry.counter("transport.hedges_lost").inc(t.hedges_lost)
+    registry.counter("transport.failovers").inc(t.failovers)
+    for latency in t.latencies:
+        registry.histogram("transport.request_seconds").observe(latency)
     s = metrics.shuffle
     registry.counter("shuffle.sends").inc(s.sends)
     registry.counter("shuffle.retransmits").inc(s.retransmits)

@@ -32,8 +32,9 @@ schedule installed at the network therefore perturbs every engine.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable
+import dataclasses
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.core.load_balancer import ComputeNodeStats, SizeProfile
 from repro.faults.policy import FaultTolerance
@@ -66,6 +67,14 @@ class TransportStats:
     retries: int = 0
     fallbacks: int = 0
     duplicate_responses: int = 0
+    hedges_issued: int = 0
+    hedges_won: int = 0
+    hedges_lost: int = 0
+    failovers: int = 0
+    #: Per-request end-to-end latencies (dispatch to first matched
+    #: response).  The registry histogram keeps only moments, so tail
+    #: percentiles must come from the raw samples kept here.
+    latencies: tuple[float, ...] = field(default=(), repr=False)
 
     def __add__(self, other: "TransportStats") -> "TransportStats":
         return TransportStats(
@@ -74,15 +83,28 @@ class TransportStats:
             retries=self.retries + other.retries,
             fallbacks=self.fallbacks + other.fallbacks,
             duplicate_responses=self.duplicate_responses + other.duplicate_responses,
+            hedges_issued=self.hedges_issued + other.hedges_issued,
+            hedges_won=self.hedges_won + other.hedges_won,
+            hedges_lost=self.hedges_lost + other.hedges_lost,
+            failovers=self.failovers + other.failovers,
+            latencies=self.latencies + other.latencies,
         )
+
+    def latency_percentile(self, pct: float) -> float:
+        """Nearest-rank percentile of the recorded request latencies."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        rank = min(len(ordered) - 1, max(0, int(pct / 100.0 * len(ordered))))
+        return ordered[rank]
 
 
 class _Pending:
     """One in-flight request batch awaiting its response."""
 
     __slots__ = (
-        "dst", "kind", "items", "attempt", "sent_at", "timer",
-        "span", "attempt_span",
+        "dst", "kind", "items", "attempt", "sent_at", "created_at",
+        "timer", "hedged", "hedge_timer", "span", "attempt_span",
     )
 
     def __init__(
@@ -93,7 +115,12 @@ class _Pending:
         self.items = items
         self.attempt = 0
         self.sent_at = 0.0
+        self.created_at = 0.0
         self.timer: EventHandle | None = None
+        #: Whether a speculative duplicate is in flight at the replica,
+        #: and the timer that would issue one.
+        self.hedged = False
+        self.hedge_timer: EventHandle | None = None
         #: ``request`` span covering the whole logical batch, and the
         #: ``attempt`` span of the latest (re)transmission.
         self.span: Span | None = None
@@ -188,6 +215,20 @@ class Transport:
         self.retries = 0
         self.fallbacks = 0
         self.duplicate_responses = 0
+        #: Optional straggler-hedging policy (duck-typed: ``observe``
+        #: latencies, ``delay() -> float | None``).  ``None`` keeps the
+        #: transport bit-identical to its pre-resilience behaviour.
+        self.hedge_policy: Any | None = None
+        #: Whether :meth:`fail_node` may replay pending batches at a new
+        #: owner.  Replay is exactly-once only for idempotent requests,
+        #: so callers clear this for side-effecting UDFs.
+        self.replay_on_failover = True
+        self.hedges_armed = 0
+        self.hedges_issued = 0
+        self.hedges_won = 0
+        self.hedges_lost = 0
+        self.failovers = 0
+        self.request_latencies: list[float] = []
 
     # ------------------------------------------------------------------
     # Sending
@@ -216,6 +257,7 @@ class Transport:
             self.on_dispatch(dst, kind, items)
         entry = _Pending(dst, kind, list(items))
         entry.attempt = attempt
+        entry.created_at = self.cluster.sim.now
         if self.tracer.enabled:
             entry.span = self.tracer.start(
                 "request",
@@ -229,6 +271,13 @@ class Transport:
             )
         self._pending[rid] = entry
         self._transmit(rid, entry, items, attempt)
+        if self.hedge_policy is not None and len(self._ring) > 1:
+            delay = self.hedge_policy.delay()
+            if delay is not None:
+                self.hedges_armed += 1
+                entry.hedge_timer = self.cluster.sim.schedule_after(
+                    delay, lambda: self._fire_hedge(rid)
+                )
         return rid
 
     def pending_count(self) -> int:
@@ -243,6 +292,11 @@ class Transport:
             retries=self.retries,
             fallbacks=self.fallbacks,
             duplicate_responses=self.duplicate_responses,
+            hedges_issued=self.hedges_issued,
+            hedges_won=self.hedges_won,
+            hedges_lost=self.hedges_lost,
+            failovers=self.failovers,
+            latencies=tuple(self.request_latencies),
         )
 
     def _transmit(
@@ -259,10 +313,27 @@ class Transport:
                 attempt=attempt,
                 dst=entry.dst,
             )
-        dst = entry.dst
-        if entry.kind is RequestKind.COMPUTE:
+        batch = self._make_batch(rid, entry.kind, items, attempt, entry.dst)
+        self._put_on_wire(batch)
+        ft = self.fault_tolerance
+        if ft is not None and ft.enabled:
+            timeout = ft.timeout_for(attempt)
+            entry.timer = sim.schedule_at(
+                sim.now + timeout, lambda: self._check_timeout(rid, attempt)
+            )
+
+    def _make_batch(
+        self,
+        rid: str,
+        kind: RequestKind,
+        items: list[RequestItem],
+        attempt: int,
+        dst: int,
+    ) -> BatchRequest:
+        """Build the wire envelope for one (re)transmission at ``dst``."""
+        if kind is RequestKind.COMPUTE:
             stats = self.comp_stats(dst) if self.comp_stats is not None else None
-            batch = BatchRequest(
+            return BatchRequest(
                 src=self.node_id,
                 dst=dst,
                 compute_items=items,
@@ -270,25 +341,24 @@ class Transport:
                 request_id=rid,
                 attempt=attempt,
             )
-        else:
-            batch = BatchRequest(
-                src=self.node_id, dst=dst, data_items=items,
-                request_id=rid, attempt=attempt,
-            )
-        wire_bytes = batch.request_bytes(self.key_size, self.param_size)
+        return BatchRequest(
+            src=self.node_id, dst=dst, data_items=items,
+            request_id=rid, attempt=attempt,
+        )
+
+    def _put_on_wire(self, batch: BatchRequest) -> None:
+        """Book the NIC and schedule every planned delivery of ``batch``."""
+        sim = self.cluster.sim
         network = self.cluster.network
-        transfer = network.transfer(sim.now, self.node_id, dst, wire_bytes)
+        transfer = network.transfer(
+            sim.now, self.node_id, batch.dst,
+            batch.request_bytes(self.key_size, self.param_size),
+        )
         for extra in network.delivery_plan(
-            self.node_id, dst, sim.now, transfer.arrive
+            self.node_id, batch.dst, sim.now, transfer.arrive
         ):
             sim.schedule_at(
                 transfer.arrive + extra, lambda: self._deliver(batch)
-            )
-        ft = self.fault_tolerance
-        if ft is not None and ft.enabled:
-            timeout = ft.timeout_for(attempt)
-            entry.timer = sim.schedule_at(
-                sim.now + timeout, lambda: self._check_timeout(rid, attempt)
             )
 
     # ------------------------------------------------------------------
@@ -347,6 +417,24 @@ class Transport:
                 return
             if entry.timer is not None:
                 entry.timer.cancel()
+            if entry.hedge_timer is not None:
+                entry.hedge_timer.cancel()
+                entry.hedge_timer = None
+            if entry.hedged:
+                if response.src != entry.dst:
+                    self.hedges_won += 1
+                    # The subscriber's in-flight accounting charged the
+                    # primary at dispatch; credit the same bucket the
+                    # speculative winner, or the replica's counters go
+                    # negative (Appendix C stats reject that).
+                    response = dataclasses.replace(response, src=entry.dst)
+                else:
+                    self.hedges_lost += 1
+            latency = self.cluster.sim.now - entry.created_at
+            self.request_latencies.append(latency)
+            if self.hedge_policy is not None:
+                self.hedge_policy.observe(latency)
+                self._sweep_hedges()
             if self.tracer.enabled:
                 now = self.cluster.sim.now
                 if entry.attempt_span is not None:
@@ -357,6 +445,31 @@ class Transport:
                     )
         if self.on_response is not None:
             self.on_response(response)
+
+    def _sweep_hedges(self) -> None:
+        """Arm hedge timers for pending batches the policy can now cover.
+
+        The engines pipeline aggressively — most batches are dispatched
+        before the policy has observed enough latencies to arm at send
+        time — so every completed response re-evaluates the remaining
+        in-flight batches.  A batch already past the current quantile
+        delay hedges on the next event-loop step (zero-delay timer, so
+        all issuance flows through :meth:`_fire_hedge`'s guards).
+        """
+        if self.hedge_policy is None or len(self._ring) <= 1:
+            return
+        delay = self.hedge_policy.delay()
+        if delay is None:
+            return
+        now = self.cluster.sim.now
+        for rid, entry in self._pending.items():
+            if entry.hedged or entry.hedge_timer is not None:
+                continue
+            remaining = max(0.0, entry.created_at + delay - now)
+            self.hedges_armed += 1
+            entry.hedge_timer = self.cluster.sim.schedule_after(
+                remaining, lambda r=rid: self._fire_hedge(r)
+            )
 
     # ------------------------------------------------------------------
     # Timeout / retry / fallback state machine
@@ -371,8 +484,11 @@ class Transport:
         self.timeouts += 1
         waited = ft.timeout_for(attempt)
         # Charge the wasted wait to the subscriber (cost models make
-        # flaky nodes look expensive to the router, not free).
-        if self.on_timeout is not None:
+        # flaky nodes look expensive to the router, not free) — unless a
+        # hedge is already covering this batch at the replica: the wait
+        # is then speculation the hedge pays for, and charging it again
+        # would double-bill the cost model for one slow request.
+        if self.on_timeout is not None and not entry.hedged:
             self.on_timeout(entry.dst, waited)
         self._record_fault("timeout", entry.dst, f"rid={rid} attempt={attempt}")
         if self.tracer.enabled:
@@ -412,6 +528,9 @@ class Transport:
         self._pending.pop(rid, None)
         if entry.timer is not None:
             entry.timer.cancel()
+        if entry.hedge_timer is not None:
+            entry.hedge_timer.cancel()
+            entry.hedge_timer = None
         self.fallbacks += 1
         if self.on_abandon is not None:
             self.on_abandon(entry.dst, entry.kind, entry.items)
@@ -453,12 +572,100 @@ class Transport:
         node's successor (chain replication at replication factor 2 and
         up); with a single data node the only "replica" is the primary
         itself, and the fallback degenerates to more retries.
+
+        The ring is the *ascending sorted* server-id order with
+        wrap-around — a pure function of cluster membership, so two runs
+        with identical seeds pick identical fallback/hedge targets.
         """
         ring = self._ring
         if len(ring) == 1:
             return dst
         index = ring.index(dst)
         return ring[(index + 1) % len(ring)]
+
+    # ------------------------------------------------------------------
+    # Hedging and failover
+    # ------------------------------------------------------------------
+    def _fire_hedge(self, rid: str) -> None:
+        """Hedge-timer body: duplicate a straggling batch at the replica.
+
+        The duplicate reuses the batch's request id, so whichever copy
+        answers first settles the entry and the loser dies in the
+        idempotent duplicate-response path.  No ``on_dispatch`` /
+        ``on_timeout`` hooks fire — the duplicate is pure speculation,
+        not a new logical request, and must not be charged as a retry.
+        """
+        entry = self._pending.get(rid)
+        if entry is None or entry.hedged:
+            return
+        entry.hedge_timer = None
+        replica = self.replica_for(entry.dst)
+        if replica == entry.dst:
+            return
+        entry.hedged = True
+        self.hedges_issued += 1
+        self._record_fault(
+            "hedge", entry.dst,
+            f"rid={rid} -> speculative duplicate at replica node {replica}",
+        )
+        if self.tracer.enabled:
+            self.tracer.event(
+                "hedge", parent=entry.span, at=self.cluster.sim.now,
+                rid=rid, primary=entry.dst, replica=replica,
+            )
+        self._put_on_wire(
+            self._make_batch(rid, entry.kind, entry.items, entry.attempt, replica)
+        )
+
+    def fail_node(self, dead: int, new_owner: int) -> int:
+        """Fail over every pending batch addressed to ``dead``.
+
+        Called by the recovery manager once the failure detector
+        confirms a death: each in-flight batch is cancelled and replayed
+        verbatim (same items, same kind, same attempt count) at
+        ``new_owner``, which has just inherited the dead node's regions.
+        A late response from the restarted primary finds no live entry
+        and dies in the duplicate-response path.
+
+        Replay is only exactly-once for idempotent requests; when
+        :attr:`replay_on_failover` is ``False`` (side-effecting UDFs)
+        this is a no-op and in-flight batches keep retrying the primary,
+        whose idempotency cache deduplicates once it restarts.
+
+        Returns the number of batches replayed.
+        """
+        if not self.replay_on_failover or new_owner == dead:
+            return 0
+        doomed = [rid for rid, e in self._pending.items() if e.dst == dead]
+        for rid in doomed:
+            entry = self._pending.pop(rid)
+            if entry.timer is not None:
+                entry.timer.cancel()
+            if entry.hedge_timer is not None:
+                entry.hedge_timer.cancel()
+                entry.hedge_timer = None
+            self.failovers += 1
+            if self.on_abandon is not None:
+                self.on_abandon(entry.dst, entry.kind, entry.items)
+            self._record_fault(
+                "failover", dead, f"rid={rid} -> replay at node {new_owner}"
+            )
+            if self.tracer.enabled:
+                now = self.cluster.sim.now
+                self.tracer.event(
+                    "failover", parent=entry.span, at=now,
+                    rid=rid, dead=dead, new_owner=new_owner,
+                )
+                if entry.attempt_span is not None:
+                    self.tracer.end(entry.attempt_span, at=now, status="failover")
+                if entry.span is not None:
+                    self.tracer.end(
+                        entry.span, at=now, status="failover",
+                        attempts=entry.attempt + 1,
+                    )
+            self.send(new_owner, entry.kind, entry.items,
+                      attempt=entry.attempt, span_parent=entry.span)
+        return len(doomed)
 
     def _record_fault(self, kind: str, node_id: int, detail: str) -> None:
         if self.fault_trace is not None:
@@ -575,3 +782,44 @@ class ShuffleChannel:
             f"shuffle transfer {src}->{dst} dropped {self.max_attempts} "
             "times in a row; the fault schedule never lets it through"
         )
+
+
+class OnewayChannel:
+    """Best-effort one-way datagrams (heartbeats, gossip).
+
+    No retries, no responses, no timers: each send books the wire once
+    and consults :meth:`Network.delivery_plan`, so crash windows and
+    chaos faults silence or duplicate datagrams exactly as they would
+    any other message.  That is the point — the failure detector listens
+    on this channel, and must see the same faulty wire the data path
+    sees, or it would detect failures the job never experienced (and
+    miss the ones it did).
+    """
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+        self.sends = 0
+        self.dropped = 0
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        size: float,
+        payload: Any,
+        on_deliver: Callable[[Any, float], None],
+    ) -> None:
+        """Fire ``payload`` from ``src`` to ``dst`` and forget it."""
+        sim = self.cluster.sim
+        network = self.cluster.network
+        self.sends += 1
+        transfer = network.transfer(sim.now, src, dst, size)
+        plan = network.delivery_plan(src, dst, sim.now, transfer.arrive)
+        if not plan:
+            self.dropped += 1
+            return
+        for extra in plan:
+            arrive = transfer.arrive + extra
+            sim.schedule_at(
+                arrive, lambda p=payload, t=arrive: on_deliver(p, t)
+            )

@@ -134,6 +134,8 @@ class MuppetJoinSimulation:
     fault_schedule: FaultSchedule | None = None
     fault_tolerance: FaultTolerance | None = None
     fault_trace: Any = None
+    #: Resilience options passthrough (repro.resilience); opt-in.
+    resilience: Any = None
     #: Span tracer and metrics registry passed through to the
     #: underlying JoinJob.
     tracer: Tracer = NO_TRACER
@@ -167,6 +169,7 @@ class MuppetJoinSimulation:
             fault_trace=self.fault_trace,
             tracer=self.tracer,
             registry=self.registry,
+            resilience=self.resilience,
             seed=self.seed,
         )
         self.last_job = job

@@ -12,6 +12,12 @@ import warnings
 
 import pytest
 
+# This module deliberately exercises the deprecated top-level
+# re-exports; exempt it from the suite-wide error filter.
+pytestmark = pytest.mark.filterwarnings(
+    "always::DeprecationWarning"
+)
+
 import repro
 from repro.api import BACKENDS, JobSpec, RunConfig, run_join
 from repro.obs import ObsOptions

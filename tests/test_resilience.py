@@ -1,0 +1,685 @@
+"""Resilience subsystem: detection, failover, hedging, admission.
+
+Four layers of verification:
+
+* unit tests for each component (detector, hedge policy, admission
+  controller, checkpoints, replica ring);
+* differential tests that ``ResilienceOptions.off()`` is bit-identical
+  to a run without the subsystem, on every engine;
+* the acceptance scenario — kill a data node at 50% of the healthy
+  makespan — completing on every engine with oracle-identical output
+  and at least one failover;
+* hypothesis-driven random crash/straggler schedules, all engines,
+  always oracle-equal.
+"""
+
+import types
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import JobSpec, MembershipEvent, RunConfig, run_join
+from repro.engine.job import JoinJob
+from repro.engine.strategies import Strategy
+from repro.faults.policy import FaultTolerance
+from repro.faults.schedule import CrashFault, FaultSchedule, StragglerFault
+from repro.resilience import (
+    AdmissionController,
+    CheckpointManager,
+    FailureDetector,
+    HedgePolicy,
+    NodeState,
+    ResilienceOptions,
+)
+from repro.runtime import ENGINES, JoinWorkload, SimBackend
+from repro.sim.cluster import Cluster
+from repro.sim.events import Simulator
+from repro.workloads.synthetic import SyntheticWorkload
+from tests.oracle import assert_oracle_equal, single_node_hash_join
+
+
+@pytest.fixture(scope="module")
+def workload() -> JoinWorkload:
+    synthetic = SyntheticWorkload.data_heavy(
+        n_keys=30, n_tuples=240, skew=0.6, seed=5
+    )
+    return JoinWorkload.from_synthetic(synthetic)
+
+
+@pytest.fixture(scope="module")
+def oracle(workload):
+    return single_node_hash_join(
+        list(workload.keys), workload.udf, workload.stored_values()
+    )
+
+
+@pytest.fixture(scope="module")
+def healthy_makespans(workload):
+    return {
+        engine: SimBackend(engine=engine, seed=5).run_join(workload).duration
+        for engine in ENGINES
+    }
+
+
+# ----------------------------------------------------------------------
+# Options
+# ----------------------------------------------------------------------
+class TestOptions:
+    def test_off_is_disabled(self):
+        assert not ResilienceOptions.off().enabled
+        assert not ResilienceOptions().enabled
+
+    def test_on_enables_and_overrides(self):
+        opts = ResilienceOptions.on(hedging=True, heartbeat_interval=0.1)
+        assert opts.enabled and opts.hedging
+        assert opts.heartbeat_interval == 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResilienceOptions(heartbeat_interval=0.0)
+        with pytest.raises(ValueError):
+            ResilienceOptions(suspect_phi=9.0, dead_phi=8.0)
+        with pytest.raises(ValueError):
+            ResilienceOptions(hedge_quantile=1.5)
+        with pytest.raises(ValueError):
+            ResilienceOptions(queue_bound=0)
+
+
+# ----------------------------------------------------------------------
+# Failure detector
+# ----------------------------------------------------------------------
+class TestFailureDetector:
+    def make(self, **kw):
+        kw.setdefault("interval", 0.1)
+        return FailureDetector([1, 2], **kw)
+
+    def test_regular_heartbeats_stay_alive(self):
+        det = self.make()
+        t = 0.0
+        for _ in range(20):
+            t += 0.1
+            det.record_heartbeat(1, t)
+            det.record_heartbeat(2, t)
+            assert det.sweep(t) == []
+        assert det.state(1) is NodeState.ALIVE
+        assert det.deaths == 0
+
+    def test_silence_escalates_suspect_then_dead(self):
+        det = self.make(suspect_phi=4.0, dead_phi=8.0)
+        for i in range(1, 6):
+            det.record_heartbeat(1, i * 0.1)
+            det.record_heartbeat(2, i * 0.1)
+        # Node 2 goes silent after t=0.5; node 1 keeps beating.
+        det.record_heartbeat(1, 0.6)
+        assert det.sweep(0.6) == []
+        det.record_heartbeat(1, 0.9)
+        det.sweep(0.5 + 0.45)  # phi ~ 4.5 -> SUSPECT
+        assert det.state(2) is NodeState.SUSPECT
+        det.record_heartbeat(1, 1.3)
+        newly = det.sweep(0.5 + 0.9)  # phi ~ 9 -> DEAD
+        assert newly == [2]
+        assert det.state(2) is NodeState.DEAD
+        assert det.deaths == 1 and det.suspicions == 1
+        # Exactly one death per episode: node 2 is never re-declared.
+        assert 2 not in det.sweep(5.0)
+
+    def test_heartbeat_revives_dead_node(self):
+        det = self.make()
+        det.record_heartbeat(1, 0.1)
+        det.sweep(5.0)
+        assert det.state(1) is NodeState.DEAD
+        det.record_heartbeat(1, 5.1)
+        assert det.state(1) is NodeState.ALIVE
+        assert det.recoveries >= 1
+
+    def test_outage_gap_does_not_poison_the_mean(self):
+        det = self.make()
+        for i in range(1, 11):
+            det.record_heartbeat(1, i * 0.1)
+        det.record_heartbeat(1, 10.0)  # 9s outage gap, clamped
+        # The smoothed mean must stay near the true interval, so the
+        # next silence is still detected promptly.
+        assert det.phi(1, 10.0 + 0.9) >= 4.0
+
+
+# ----------------------------------------------------------------------
+# Hedge policy
+# ----------------------------------------------------------------------
+class TestHedgePolicy:
+    def test_disarmed_during_warmup(self):
+        policy = HedgePolicy(warmup=5)
+        for latency in (0.1, 0.1, 0.1, 0.1):
+            policy.observe(latency)
+            assert policy.delay() is None
+        policy.observe(0.1)
+        assert policy.delay() is not None
+
+    def test_tracks_the_quantile(self):
+        policy = HedgePolicy(quantile=0.9, warmup=10, min_delay=0.0)
+        for i in range(100):
+            policy.observe(0.01 * (i % 10 + 1))
+        assert policy.delay() == pytest.approx(0.1, abs=0.011)
+
+    def test_min_delay_floor(self):
+        policy = HedgePolicy(warmup=1, min_delay=0.5)
+        policy.observe(0.001)
+        assert policy.delay() == 0.5
+
+    def test_window_evicts_old_samples(self):
+        policy = HedgePolicy(quantile=0.5, warmup=1, window=10, min_delay=0.0)
+        for _ in range(10):
+            policy.observe(100.0)
+        for _ in range(10):
+            policy.observe(0.1)
+        assert policy.delay() == pytest.approx(0.1)
+
+
+# ----------------------------------------------------------------------
+# Admission controller
+# ----------------------------------------------------------------------
+class TestAdmissionController:
+    def make(self, bound=2, deadline=None):
+        sim = Simulator()
+        dispatched, shed = [], []
+        ctl = AdmissionController(
+            sim=sim,
+            bound=bound,
+            dispatch=lambda dst, tid, payload: dispatched.append(tid),
+            shed=lambda dst, tid, payload: shed.append(tid),
+            deadline=deadline,
+        )
+        return sim, ctl, dispatched, shed
+
+    def test_bound_is_respected(self):
+        sim, ctl, dispatched, shed = self.make(bound=2)
+        assert ctl.submit(9, 1, "a") and ctl.submit(9, 2, "b")
+        assert not ctl.submit(9, 3, "c")  # parked
+        assert ctl.occupancy(9) == 2
+        assert ctl.peak_inflight == 2
+        assert ctl.parked(9) == 1
+
+    def test_release_admits_fifo(self):
+        sim, ctl, dispatched, shed = self.make(bound=1)
+        ctl.submit(9, 1, "a")
+        ctl.submit(9, 2, "b")
+        ctl.submit(9, 3, "c")
+        ctl.release(1)
+        assert dispatched == [2]
+        ctl.release(2)
+        assert dispatched == [2, 3]
+        ctl.release(3)
+        assert ctl.occupancy(9) == 0
+
+    def test_deadline_sheds_parked_work(self):
+        sim, ctl, dispatched, shed = self.make(bound=1, deadline=0.1)
+        ctl.submit(9, 1, "a")
+        ctl.submit(9, 2, "b")
+        sim.run()
+        assert shed == [2]
+        assert ctl.shed_count == 1
+        # A shed token must not be re-dispatched on release.
+        ctl.release(1)
+        assert dispatched == []
+
+
+# ----------------------------------------------------------------------
+# Checkpoints
+# ----------------------------------------------------------------------
+class _Estimator:
+    def __init__(self, value):
+        self.value = value
+        self.history = [value]
+
+
+class TestCheckpointManager:
+    def runtime(self):
+        return types.SimpleNamespace(
+            node_id=0,
+            cost_model=_Estimator(1.0),
+            cache=_Estimator("warm"),
+            optimizer=None,
+        )
+
+    def test_restore_rolls_back_soft_state(self):
+        mgr = CheckpointManager()
+        rt = self.runtime()
+        mgr.capture(rt, at=1.0)
+        rt.cost_model.value = 99.0
+        rt.cache.value = "cold"
+        assert mgr.restore(rt)
+        assert rt.cost_model.value == 1.0
+        assert rt.cache.value == "warm"
+        assert mgr.taken == 1 and mgr.restored == 1
+
+    def test_restore_preserves_object_identity(self):
+        # Live references (e.g. the transport's bound on_timeout) must
+        # keep pointing at the same object after a restore.
+        mgr = CheckpointManager()
+        rt = self.runtime()
+        alias = rt.cost_model
+        mgr.capture(rt, at=1.0)
+        rt.cost_model.value = 99.0
+        mgr.restore(rt)
+        assert rt.cost_model is alias
+        assert alias.value == 1.0
+
+    def test_one_checkpoint_seeds_many_restores(self):
+        mgr = CheckpointManager()
+        rt = self.runtime()
+        mgr.capture(rt, at=1.0)
+        for _ in range(3):
+            rt.cost_model.value = 7.0
+            assert mgr.restore(rt)
+            assert rt.cost_model.value == 1.0
+
+    def test_restore_without_checkpoint_is_a_noop(self):
+        mgr = CheckpointManager()
+        assert not mgr.restore(self.runtime())
+
+
+# ----------------------------------------------------------------------
+# Replica ring determinism (bugfix sweep)
+# ----------------------------------------------------------------------
+class TestReplicaRing:
+    """The documented ordering rule: ascending sorted server ids with
+    wrap-around.  Fallback, hedging and failover all use this ring, so
+    two runs with identical seeds pick identical replicas."""
+
+    def make_transport(self, servers):
+        workload = SyntheticWorkload.data_heavy(
+            n_keys=5, n_tuples=5, seed=1
+        )
+        job = JoinJob(
+            cluster=Cluster.homogeneous(max(servers) + 1),
+            compute_nodes=[0],
+            data_nodes=list(servers),
+            table=workload.build_table(),
+            udf=workload.udf,
+            strategy=Strategy.by_name("FD"),
+            sizes=workload.sizes,
+            seed=1,
+        )
+        # The job builds transports lazily in run(); build one directly.
+        from repro.engine.compute_node import ComputeNodeRuntime
+
+        runtime = ComputeNodeRuntime(
+            cluster=job.cluster,
+            node_id=0,
+            kvstore=job.kvstore,
+            servers=job.servers,
+            udf=job.udf,
+            config=job.strategy,
+            sizes=job.sizes,
+            on_complete=lambda tid, at: None,
+            seed=1,
+        )
+        return runtime.transport
+
+    def test_successor_is_next_ascending_id(self):
+        transport = self.make_transport([5, 2, 9])  # arrival order shuffled
+        assert transport.replica_for(2) == 5
+        assert transport.replica_for(5) == 9
+        assert transport.replica_for(9) == 2  # wrap-around
+
+    def test_single_node_degenerates_to_self(self):
+        transport = self.make_transport([4])
+        assert transport.replica_for(4) == 4
+
+
+# ----------------------------------------------------------------------
+# Differential: off() is bit-identical
+# ----------------------------------------------------------------------
+class TestOffBitIdentity:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_off_matches_no_resilience_exactly(self, engine, workload):
+        plain = SimBackend(engine=engine, seed=5).run_join(workload)
+        off = SimBackend(
+            engine=engine, seed=5, resilience=None
+        ).run_join(workload)
+        assert off.outputs == plain.outputs
+        assert off.duration == plain.duration
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_off_through_the_facade(self, engine):
+        spec = JobSpec.synthetic(n_keys=20, n_tuples=80, seed=7)
+        plain = run_join(spec, RunConfig(engine=engine, seed=7))
+        off = run_join(spec, RunConfig(
+            engine=engine, seed=7, resilience=ResilienceOptions.off()
+        ))
+        assert off.outputs == plain.outputs
+        assert off.makespan == plain.makespan
+
+
+# ----------------------------------------------------------------------
+# Acceptance: kill a data node at 50% progress
+# ----------------------------------------------------------------------
+class TestKillAtHalfway:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_every_engine_survives_and_fails_over(
+        self, engine, workload, oracle, healthy_makespans
+    ):
+        makespan = healthy_makespans[engine]
+        crash_at = 0.5 * makespan
+        if engine in ("mapreduce", "sparklite"):
+            # The shuffle engines recover via at-least-once
+            # retransmission once the node restarts; detection replays
+            # the same heartbeat schedule analytically.
+            faults = FaultSchedule(crashes=(
+                CrashFault(node_id=2, at=crash_at,
+                           duration=max(makespan, 1e-3)),
+            ))
+            tolerance = None
+        else:
+            # The adaptive engines never get the node back: the
+            # detector must confirm the death and recovery must move
+            # its regions to the ring successor.
+            faults = FaultSchedule(crashes=(
+                CrashFault(node_id=2, at=crash_at,
+                           duration=10 * makespan + 1.0),
+            ))
+            tolerance = FaultTolerance(
+                request_timeout=makespan / 20, max_retries=64
+            )
+        run = SimBackend(
+            engine=engine,
+            seed=5,
+            fault_schedule=faults,
+            fault_tolerance=tolerance,
+            resilience=ResilienceOptions.on(heartbeat_interval=makespan / 40),
+            registry=None,
+        ).run_join(workload)
+        assert_oracle_equal(run.outputs, oracle)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_failover_count_is_published(
+        self, engine, healthy_makespans
+    ):
+        spec = JobSpec.synthetic(n_keys=30, n_tuples=240, skew=0.6, seed=5)
+        makespan = healthy_makespans[engine]
+        crash_at = 0.5 * makespan
+        if engine in ("mapreduce", "sparklite"):
+            faults = FaultSchedule(crashes=(
+                CrashFault(node_id=2, at=crash_at,
+                           duration=max(makespan, 1e-3)),
+            ))
+            tolerance = None
+        else:
+            faults = FaultSchedule(crashes=(
+                CrashFault(node_id=2, at=crash_at,
+                           duration=10 * makespan + 1.0),
+            ))
+            tolerance = FaultTolerance(
+                request_timeout=makespan / 20, max_retries=64
+            )
+        report = run_join(spec, RunConfig(
+            engine=engine,
+            seed=5,
+            faults=faults,
+            fault_tolerance=tolerance,
+            resilience=ResilienceOptions.on(
+                heartbeat_interval=makespan / 40
+            ),
+        ))
+        counters = report.snapshot.get("counters", {})
+        assert counters.get("resilience.failover.count", 0) >= 1
+        assert counters.get("resilience.detector.deaths", 0) >= 1
+
+
+# ----------------------------------------------------------------------
+# Hedging
+# ----------------------------------------------------------------------
+def run_straggled(workload, resilience=None, seed=5):
+    makespan = SimBackend(engine="engine", seed=seed).run_join(workload).duration
+    faults = FaultSchedule(stragglers=(
+        StragglerFault(node_id=2, at=0.0, duration=100 * makespan,
+                       slowdown=8.0),
+    ))
+    backend = SimBackend(
+        engine="engine",
+        strategy="FD",
+        seed=seed,
+        fault_schedule=faults,
+        fault_tolerance=FaultTolerance(request_timeout=5.0, max_retries=8),
+        resilience=resilience,
+    )
+    return backend.run_join(workload)
+
+
+class TestHedging:
+    def test_hedging_cuts_the_tail(self, workload, oracle):
+        base = run_straggled(workload)
+        hedged = run_straggled(workload, ResilienceOptions.on(
+            hedging=True, hedge_quantile=0.5, hedge_warmup=5,
+            detection=False,
+        ))
+        assert hedged.metrics.transport.hedges_issued > 0
+        assert_oracle_equal(hedged.outputs, oracle)
+        base_p99 = base.metrics.transport.latency_percentile(99)
+        hedged_p99 = hedged.metrics.transport.latency_percentile(99)
+        assert hedged_p99 <= 0.8 * base_p99
+
+    def test_first_response_wins_accounting(self, workload):
+        hedged = run_straggled(workload, ResilienceOptions.on(
+            hedging=True, hedge_quantile=0.5, hedge_warmup=5,
+            detection=False,
+        ))
+        t = hedged.metrics.transport
+        # Every issued hedge resolved exactly once: the speculative
+        # copy either won (response came from the replica) or lost.
+        assert t.hedges_issued == t.hedges_won + t.hedges_lost
+
+    def test_cancelled_hedge_timers_are_reclaimed(self, workload):
+        # Armed hedge timers that never fired must be cancelled on the
+        # event loop, not left to run: the simulator's cancellation
+        # counter bounds them from below.
+        synthetic = SyntheticWorkload.data_heavy(
+            n_keys=30, n_tuples=240, skew=0.6, seed=5
+        )
+        job = JoinJob(
+            cluster=Cluster.homogeneous(4),
+            compute_nodes=[0, 1],
+            data_nodes=[2, 3],
+            table=synthetic.build_table(),
+            udf=workload.udf,
+            strategy=Strategy.by_name("FD"),
+            sizes=synthetic.sizes,
+            batch_size=8,
+            max_wait=0.005,
+            # A small pipeline window spreads sends over time, so most
+            # requests are issued after the hedge policy has warmed up
+            # and carry a timer from birth; their responses then beat
+            # the p90 delay and the timers must be cancelled.
+            pipeline_window=16,
+            resilience=ResilienceOptions.on(
+                hedging=True, hedge_quantile=0.9, hedge_warmup=5,
+                detection=False,
+            ),
+            seed=5,
+        )
+        job.run(list(workload.keys))
+        armed = sum(r.transport.hedges_armed for r in job.runtimes.values())
+        issued = sum(r.transport.hedges_issued for r in job.runtimes.values())
+        assert armed > issued  # most requests finish before the delay
+        assert job.cluster.sim.events_cancelled >= armed - issued
+
+    def test_hedged_timeout_not_charged_to_cost_model(self):
+        # Bugfix: when a hedge is already covering a straggling batch,
+        # the eventual timeout of the slow primary must not also bill
+        # the cost model — the wait is speculation the hedge pays for.
+        from repro.core.optimizer import Route
+        from repro.runtime.transport import Transport
+        from repro.store.messages import RequestItem, RequestKind
+
+        synthetic = SyntheticWorkload.data_heavy(n_keys=4, n_tuples=4, seed=3)
+        job = JoinJob(
+            cluster=Cluster.homogeneous(3),
+            compute_nodes=[0],
+            data_nodes=[1, 2],
+            table=synthetic.build_table(),
+            udf=synthetic.udf,
+            strategy=Strategy.by_name("FD"),
+            sizes=synthetic.sizes,
+            seed=3,
+        )
+        charged = []
+        transport = Transport(
+            cluster=job.cluster,
+            node_id=0,
+            servers=job.servers,
+            sizes=synthetic.sizes,
+            on_timeout=lambda dst, waited: charged.append((dst, waited)),
+            fault_tolerance=FaultTolerance(request_timeout=0.05, max_retries=3),
+        )
+        transport.hedge_policy = HedgePolicy(
+            quantile=0.5, warmup=1, min_delay=0.0
+        )
+        item = RequestItem(
+            key=0, kind=RequestKind.DATA,
+            route=Route.DATA_REQUEST_DISK, tuple_id=0,
+        )
+        rid = transport.send(1, RequestKind.DATA, [item])
+        transport._fire_hedge(rid)
+        assert transport._pending[rid].hedged
+        assert transport.hedges_issued == 1
+        # The primary's timeout fires while the hedge is in flight:
+        # counted, but not billed.
+        transport._check_timeout(rid, attempt=0)
+        assert transport.timeouts == 1
+        assert charged == []
+        # Control: an un-hedged batch's timeout IS billed.
+        rid2 = transport.send(1, RequestKind.DATA, [item])
+        transport._check_timeout(rid2, attempt=0)
+        assert transport.timeouts == 2
+        assert len(charged) == 1 and charged[0][0] == 1
+
+
+# ----------------------------------------------------------------------
+# Admission through the facade
+# ----------------------------------------------------------------------
+class TestAdmissionIntegration:
+    def test_bound_holds_and_output_is_exact(self, oracle):
+        spec = JobSpec.synthetic(
+            n_keys=30, n_tuples=240, skew=0.6, seed=5, strategy="FD"
+        )
+        report = run_join(spec, RunConfig(
+            engine="engine",
+            seed=5,
+            resilience=ResilienceOptions.on(
+                admission=True, queue_bound=8, shed_deadline=0.05,
+                detection=False,
+            ),
+        ))
+        assert_oracle_equal(report.outputs, oracle)
+        gauges = report.snapshot.get("gauges", {})
+        counters = report.snapshot.get("counters", {})
+        assert 0 < gauges.get("resilience.admission.peak_inflight", 0) <= 8
+        assert counters.get("resilience.admission.parked", 0) > 0
+
+
+# ----------------------------------------------------------------------
+# Checkpoints ride the live engine
+# ----------------------------------------------------------------------
+class TestCheckpointIntegration:
+    def test_checkpoints_are_taken_during_a_run(self, workload):
+        backend = SimBackend(
+            engine="engine",
+            seed=5,
+            resilience=ResilienceOptions.on(checkpoint_interval=0.02),
+        )
+        run = backend.run_join(workload)
+        counters = {}
+        # The facade run publishes into the ambient registry; rerun via
+        # the facade to read the counter from the snapshot.
+        spec = JobSpec.synthetic(n_keys=30, n_tuples=240, skew=0.6, seed=5)
+        report = run_join(spec, RunConfig(
+            engine="engine",
+            seed=5,
+            resilience=ResilienceOptions.on(checkpoint_interval=0.02),
+        ))
+        counters = report.snapshot.get("counters", {})
+        assert counters.get("resilience.checkpoint.count", 0) > 0
+        assert run.outputs == report.outputs
+
+
+# ----------------------------------------------------------------------
+# Elastic membership through the facade
+# ----------------------------------------------------------------------
+class TestElasticFacade:
+    def test_membership_run_matches_oracle(self, oracle):
+        spec = JobSpec.synthetic(n_keys=30, n_tuples=240, skew=0.6, seed=5)
+        report = run_join(spec, RunConfig(
+            engine="engine",
+            n_compute=3,
+            n_data=2,
+            seed=5,
+            membership=(
+                MembershipEvent(0.02, "add", 1),
+                MembershipEvent(0.04, "add", 2),
+                MembershipEvent(0.1, "remove", 2),
+            ),
+        ))
+        assert_oracle_equal(report.outputs, oracle)
+        native = report.result.native
+        assert sum(native.completed_per_node.values()) == 240
+
+    def test_membership_rejected_off_the_engine_path(self):
+        with pytest.raises(ValueError):
+            RunConfig(engine="mapreduce", membership=(
+                MembershipEvent(0.1, "add", 1),
+            ))
+
+
+# ----------------------------------------------------------------------
+# Random schedules (hypothesis)
+# ----------------------------------------------------------------------
+@st.composite
+def fault_plans(draw):
+    crash_frac = draw(st.floats(min_value=0.2, max_value=0.8))
+    crash_duration_frac = draw(st.floats(min_value=0.3, max_value=1.5))
+    straggle = draw(st.booleans())
+    slowdown = draw(st.floats(min_value=2.0, max_value=8.0))
+    node = draw(st.sampled_from([2, 3]))
+    return crash_frac, crash_duration_frac, straggle, slowdown, node
+
+
+class TestRandomSchedules:
+    @settings(max_examples=8, deadline=None)
+    @given(plan=fault_plans(), engine=st.sampled_from(list(ENGINES)))
+    def test_any_schedule_stays_oracle_equal(self, plan, engine):
+        crash_frac, duration_frac, straggle, slowdown, node = plan
+        synthetic = SyntheticWorkload.data_heavy(
+            n_keys=20, n_tuples=120, skew=0.6, seed=9
+        )
+        workload = JoinWorkload.from_synthetic(synthetic)
+        oracle = single_node_hash_join(
+            list(workload.keys), workload.udf, workload.stored_values()
+        )
+        makespan = SimBackend(engine=engine, seed=9).run_join(workload).duration
+        crashes = (CrashFault(
+            node_id=node,
+            at=crash_frac * makespan,
+            duration=max(duration_frac * makespan, 1e-3),
+        ),)
+        stragglers = ()
+        # The analytic shuffle engines have no data-node servers to
+        # slow down; stragglers only exist on the event-loop engines.
+        if straggle and engine in ("engine", "streaming"):
+            other = 5 - node  # the other data node of {2, 3}
+            stragglers = (StragglerFault(
+                node_id=other, at=0.0, duration=10 * makespan,
+                slowdown=slowdown,
+            ),)
+        faults = FaultSchedule(seed=9, crashes=crashes, stragglers=stragglers)
+        run = SimBackend(
+            engine=engine,
+            seed=9,
+            fault_schedule=faults,
+            fault_tolerance=FaultTolerance(
+                request_timeout=max(makespan / 10, 1e-3), max_retries=64
+            ),
+            resilience=ResilienceOptions.on(
+                heartbeat_interval=max(makespan / 40, 1e-4)
+            ),
+        ).run_join(workload)
+        assert_oracle_equal(run.outputs, oracle)

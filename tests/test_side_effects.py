@@ -9,12 +9,22 @@ the exactly-once, single-site property.
 from repro.core.load_balancer import SizeProfile
 from repro.engine.job import JoinJob
 from repro.engine.strategies import Strategy
+from repro.faults.policy import FaultTolerance
+from repro.faults.schedule import CrashFault, FaultSchedule
+from repro.resilience import ResilienceOptions
 from repro.sim.cluster import Cluster
 from repro.store.messages import UDF
 from repro.store.table import Row, Table
 
 
-def run_with_side_effects(strategy_name="FO", n=400, seed=83):
+def run_with_side_effects(
+    strategy_name="FO",
+    n=400,
+    seed=83,
+    fault_schedule=None,
+    fault_tolerance=None,
+    resilience=None,
+):
     table = Table("ledger")
     for key in range(40):
         table.put(Row(key=key, value=0, size=200.0, compute_cost=0.001))
@@ -31,6 +41,8 @@ def run_with_side_effects(strategy_name="FO", n=400, seed=83):
         cluster=cluster, compute_nodes=[0, 1], data_nodes=[2, 3],
         table=table, udf=udf, strategy=Strategy.by_name(strategy_name),
         sizes=sizes, pipeline_window=32, seed=seed,
+        fault_schedule=fault_schedule, fault_tolerance=fault_tolerance,
+        resilience=resilience,
     )
     keys = [i % 40 for i in range(n)]
     result = job.run(keys)
@@ -59,3 +71,43 @@ class TestSideEffectingUDFs:
         _result, _invocations, job = run_with_side_effects("FO")
         outputs = job.collected_outputs()
         assert len(outputs) == 400
+
+
+class TestSideEffectsUnderFailover:
+    """Failover must not replay side-effecting work (ISSUE 4 bugfix).
+
+    The recovery manager replays in-flight batches at the new region
+    owner only for idempotent requests; with ``side_effect_free=False``
+    replay is suppressed, in-flight batches keep retrying the primary,
+    and its idempotency cache deduplicates once it restarts — so each
+    ledger entry is still written exactly once."""
+
+    def test_no_duplicate_side_effects_after_failover(self):
+        # Healthy makespan calibrates the crash window.
+        healthy, _, _ = run_with_side_effects("FO")
+        makespan = healthy.makespan
+        faults = FaultSchedule(crashes=(
+            CrashFault(node_id=2, at=0.5 * makespan, duration=makespan),
+        ))
+        result, invocations, job = run_with_side_effects(
+            "FO",
+            fault_schedule=faults,
+            fault_tolerance=FaultTolerance(
+                request_timeout=makespan / 20,
+                max_retries=64,
+                fallback_to_replica=False,
+            ),
+            resilience=ResilienceOptions.on(
+                heartbeat_interval=makespan / 40
+            ),
+        )
+        # Exactly once, despite the crash and the region failover.
+        assert len(invocations) == 400
+        assert len(job.collected_outputs()) == 400
+        manager = job.resilience_manager
+        assert manager is not None
+        assert manager.recovery.failovers >= 1
+        # The replay path stayed closed for side-effecting work.
+        assert manager.recovery.requests_replayed == 0
+        for runtime in job.runtimes.values():
+            assert runtime.transport.replay_on_failover is False
