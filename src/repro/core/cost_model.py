@@ -27,9 +27,10 @@ from dataclasses import dataclass
 from typing import Hashable
 
 from repro.core.smoothing import SmoothedValue
+from repro.perf.mode import reference_mode
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CostParameters:
     """One observed set of cost parameters for a key at a data node.
 
@@ -64,7 +65,7 @@ class CostParameters:
         return self.cpu_service_time
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RequestCosts:
     """The four decision costs for one (key, data node) pair."""
 
@@ -149,32 +150,135 @@ class CostModel:
         # and surfaced as counters for the metrics layer.
         self._timeouts_per_node: dict[int, int] = {}
         self._retry_seconds = 0.0
+        # Memoized cost formulas, keyed on smoothed-stat epochs.  Only
+        # the *remote* terms (tCompute, tFetch) are memoized: they read
+        # three disjoint groups of estimates — global sizes, per key,
+        # and per data node — each carrying its own epoch, so an entry
+        # stays valid until one of *its* groups changes.  The local
+        # recurring costs are deliberately excluded: ``tc_i`` folds a
+        # queueing-dependent wall time on every local execution and
+        # would invalidate the memo constantly, while recomputing it is
+        # two attribute reads.  Epochs only advance when an observation
+        # actually moves a smoothed value, so a hit always returns the
+        # exact floats the formulas would have produced.  Disabled in
+        # reference mode to keep the pre-optimization path verbatim.
+        self._epoch = 0
+        self._key_epoch: dict[Hashable, int] = {}
+        self._node_epoch: dict[int, int] = {}
+        self._memo: dict[
+            tuple[Hashable, int], tuple[int, int, int, float, float]
+        ] = {}
+        self._memo_enabled = not reference_mode()
 
     # ------------------------------------------------------------------
     # Observation side: fold measured parameters into the estimates.
     # ------------------------------------------------------------------
     def observe(self, params: CostParameters) -> None:
         """Fold a data node's reported parameters into the estimates."""
-        self._key_size.observe(params.key_size)
-        self._param_size.observe(params.param_size)
+        if not self._memo_enabled:
+            self._key_size.observe(params.key_size)
+            self._param_size.observe(params.param_size)
+            if params.computed_size > 0:
+                self._computed_size.observe(params.computed_size)
+            node_disk = self._remote_disk.get(params.node_id)
+            if node_disk is None:
+                node_disk = SmoothedValue(alpha=self._alpha)
+                self._remote_disk[params.node_id] = node_disk
+            node_disk.observe(params.disk_time)
+            self._remote_compute.observe(params.compute_time)
+            per_key = self._per_key.get(params.key)
+            if per_key is None:
+                per_key = _KeyEstimates(self._alpha)
+                self._per_key[params.key] = per_key
+            per_key.value_size.observe(params.value_size)
+            per_key.compute_time.observe(params.compute_time)
+            per_key.service_time.observe(params.service_time)
+            return
+        # Tracking path: the EWMA folds are inlined (exact expression
+        # from SmoothedValue.observe, all estimates share this model's
+        # alpha) so change detection costs attribute reads, not method
+        # calls.  Each epoch advances only when an observation actually
+        # moved its group's estimate.
+        a = self._alpha
+        b = 1.0 - a
+        sv = self._key_size
+        v = sv._value
+        x = params.key_size
+        nv = x if v is None else a * x + b * v
+        sv._value = nv
+        sv._observations += 1
+        changed = nv != v
+        sv = self._param_size
+        v = sv._value
+        x = params.param_size
+        nv = x if v is None else a * x + b * v
+        sv._value = nv
+        sv._observations += 1
+        changed = (nv != v) or changed
         if params.computed_size > 0:
-            self._computed_size.observe(params.computed_size)
+            sv = self._computed_size
+            v = sv._value
+            x = params.computed_size
+            nv = x if v is None else a * x + b * v
+            sv._value = nv
+            sv._observations += 1
+            changed = (nv != v) or changed
+        if changed:
+            self._epoch += 1
         node_disk = self._remote_disk.get(params.node_id)
         if node_disk is None:
-            node_disk = SmoothedValue(alpha=self._alpha)
+            node_disk = SmoothedValue(alpha=a)
             self._remote_disk[params.node_id] = node_disk
-        node_disk.observe(params.disk_time)
-        self._remote_compute.observe(params.compute_time)
+        v = node_disk._value
+        x = params.disk_time
+        nv = x if v is None else a * x + b * v
+        node_disk._value = nv
+        node_disk._observations += 1
+        if nv != v:
+            self._node_epoch[params.node_id] = (
+                self._node_epoch.get(params.node_id, 0) + 1
+            )
+        # _remote_compute feeds average_compute_time (load statistics),
+        # not the memoized cost formulas — no epoch involvement.
+        sv = self._remote_compute
+        v = sv._value
+        x = params.compute_time
+        sv._value = x if v is None else a * x + b * v
+        sv._observations += 1
         per_key = self._per_key.get(params.key)
         if per_key is None:
-            per_key = _KeyEstimates(self._alpha)
+            per_key = _KeyEstimates(a)
             self._per_key[params.key] = per_key
-        per_key.value_size.observe(params.value_size)
-        per_key.compute_time.observe(params.compute_time)
-        per_key.service_time.observe(params.service_time)
+        sv = per_key.value_size
+        v = sv._value
+        x = params.value_size
+        nv = x if v is None else a * x + b * v
+        sv._value = nv
+        sv._observations += 1
+        key_changed = nv != v
+        sv = per_key.compute_time
+        v = sv._value
+        x = params.compute_time
+        nv = x if v is None else a * x + b * v
+        sv._value = nv
+        sv._observations += 1
+        key_changed = (nv != v) or key_changed
+        sv = per_key.service_time
+        v = sv._value
+        x = params.service_time
+        nv = x if v is None else a * x + b * v
+        sv._value = nv
+        sv._observations += 1
+        key_changed = (nv != v) or key_changed
+        if key_changed:
+            self._key_epoch[params.key] = self._key_epoch.get(params.key, 0) + 1
 
     def observe_local_compute(self, seconds: float) -> None:
-        """Record a locally measured UDF execution time (``tc_i``)."""
+        """Record a locally measured UDF execution time (``tc_i``).
+
+        No epoch bookkeeping: ``tc_i`` is outside the memoized remote
+        terms, so this stays a plain fold in both modes.
+        """
         self._local_compute.observe(seconds)
 
     def observe_timeout(self, data_node: int, waited: float) -> None:
@@ -196,7 +300,12 @@ class CostModel:
         if node_disk is None:
             node_disk = SmoothedValue(alpha=self._alpha)
             self._remote_disk[data_node] = node_disk
-        node_disk.observe(waited)
+        if not self._memo_enabled:
+            node_disk.observe(waited)
+            return
+        before = node_disk._value
+        if node_disk.observe(waited) != before:
+            self._node_epoch[data_node] = self._node_epoch.get(data_node, 0) + 1
 
     @property
     def timeouts_charged(self) -> int:
@@ -211,6 +320,8 @@ class CostModel:
     def forget_key(self, key: Hashable) -> None:
         """Drop per-key estimates (e.g. after a data-store update)."""
         self._per_key.pop(key, None)
+        if self._memo_enabled:
+            self._key_epoch[key] = self._key_epoch.get(key, 0) + 1
 
     # ------------------------------------------------------------------
     # Query side.
@@ -246,6 +357,15 @@ class CostModel:
         per_key = self._per_key.get(key)
         if per_key is None:
             raise KeyError(f"no cost parameters yet for key {key!r}")
+        if self._memo_enabled:
+            t_compute, t_fetch = self._remote_costs(key, data_node, per_key)
+            tc_local = self._local_compute.value_or(per_key.service_time.value)
+            return RequestCosts(
+                t_compute=t_compute,
+                t_fetch=t_fetch,
+                t_rec_mem=tc_local,
+                t_rec_disk=max(tc_local, self._local_disk_time),
+            )
         bw = self.bandwidth_to(data_node)
         sk = self._key_size.value_or(8.0)
         sp = self._param_size.value_or(0.0)
@@ -268,6 +388,72 @@ class CostModel:
             t_fetch=t_fetch,
             t_rec_mem=t_rec_mem,
             t_rec_disk=t_rec_disk,
+        )
+
+    def _remote_costs(
+        self, key: Hashable, data_node: int, per_key: _KeyEstimates
+    ) -> tuple[float, float]:
+        """Memoized ``(tCompute, tFetch)`` — optimized mode only.
+
+        The formulas are evaluated with exactly the reference
+        expressions on a miss; a hit returns the floats computed under
+        identical estimate values, so results are bit-equal either way.
+        """
+        k_ep = self._key_epoch.get(key, 0)
+        n_ep = self._node_epoch.get(data_node, 0)
+        memo_key = (key, data_node)
+        entry = self._memo.get(memo_key)
+        if (
+            entry is not None
+            and entry[0] == self._epoch
+            and entry[1] == k_ep
+            and entry[2] == n_ep
+        ):
+            return entry[3], entry[4]
+        bw = self.bandwidth_to(data_node)
+        sk = self._key_size.value_or(8.0)
+        sp = self._param_size.value_or(0.0)
+        scv = self._computed_size.value_or(0.0)
+        sv = per_key.value_size.value
+        node_disk = self._remote_disk.get(data_node)
+        t_disk_remote = node_disk.value_or(0.0) if node_disk is not None else 0.0
+        tc_remote = per_key.compute_time.value
+        t_compute = max(t_disk_remote, (sk + sp + scv) / bw, tc_remote)
+        t_fetch = max(t_disk_remote, (sk + sv) / bw)
+        self._memo[memo_key] = (self._epoch, k_ep, n_ep, t_compute, t_fetch)
+        return t_compute, t_fetch
+
+    def costs4(self, key: Hashable, data_node: int) -> tuple[float, float, float, float]:
+        """``(tCompute, tFetch, tRecMem, tRecDisk)`` as a plain tuple.
+
+        Optimized-mode hot-path variant of :meth:`costs`: same values,
+        no :class:`RequestCosts` allocation and no property dispatch
+        for ``rent``/``buy`` on the caller side.  Raises ``KeyError``
+        exactly when :meth:`costs` would (unknown key or bandwidth).
+        """
+        per_key = self._per_key.get(key)
+        if per_key is None:
+            raise KeyError(f"no cost parameters yet for key {key!r}")
+        entry = self._memo.get((key, data_node))
+        if (
+            entry is not None
+            and entry[0] == self._epoch
+            and entry[1] == self._key_epoch.get(key, 0)
+            and entry[2] == self._node_epoch.get(data_node, 0)
+        ):
+            t_compute = entry[3]
+            t_fetch = entry[4]
+        else:
+            t_compute, t_fetch = self._remote_costs(key, data_node, per_key)
+        tc_local = self._local_compute._value
+        if tc_local is None:
+            tc_local = per_key.service_time.value
+        ldt = self._local_disk_time
+        return (
+            t_compute,
+            t_fetch,
+            tc_local,
+            tc_local if tc_local >= ldt else ldt,
         )
 
     def average_compute_time(self) -> float:

@@ -32,6 +32,8 @@ from repro.core.update_tracker import UpdateTracker
 #: recurring cost; this floor keeps LFU-DA well defined.
 _MIN_WEIGHT = 1e-9
 
+_INF = float("inf")
+
 
 class Route(enum.Enum):
     """Where one request is sent / executed."""
@@ -172,6 +174,84 @@ class JoinLocationOptimizer:
 
         self._n_data_disk += 1
         return RoutingDecision(key=key, route=Route.DATA_REQUEST_DISK, costs=costs)
+
+    def route_fast(self, key: Hashable, data_node: int) -> tuple[Route, Any]:
+        """Optimized-mode :meth:`route` body returning ``(route, value)``.
+
+        Same decision sequence and side effects as :meth:`route`, but
+        the cost formulas are evaluated once up front (the benefit
+        weight and the ski-rental thresholds read the same
+        :class:`RequestCosts`) and no :class:`RoutingDecision` is
+        allocated.  Dispatch paths that do not need the costs attached
+        to the decision call this instead of :meth:`route`.
+        """
+        model = self.cost_model
+        try:
+            c4 = model.costs4(key, data_node)
+        except KeyError:
+            # Unknown key or missing bandwidth: same weight fallback as
+            # the reference `_benefit_weight`.
+            c4 = None
+        if c4 is not None:
+            weight = c4[0] - c4[2]
+            if not weight > _MIN_WEIGHT:
+                weight = max(weight, _MIN_WEIGHT)
+        else:
+            weight = 1.0
+        # Benefit update and lookup fused into one cache probe; the
+        # counter add in between touches disjoint state, so the swap
+        # with the lookup is unobservable.
+        cached = self.cache.access_fast(key, weight)
+        count = self.counter.add(key)
+
+        if cached is not None:
+            value, tier = cached
+            if tier is CacheTier.MEMORY:
+                self._n_local_mem += 1
+                return Route.LOCAL_MEMORY, value
+            self._n_local_disk += 1
+            size = self._item_size(key)
+            self.cache.cond_cache_in_memory(key, value, size)
+            return Route.LOCAL_DISK, value
+
+        if not model.knows_key(key):
+            self._n_first += 1
+            self._n_compute += 1
+            return Route.COMPUTE_REQUEST, None
+
+        if c4 is None:
+            # knows_key but no usable costs (e.g. missing bandwidth):
+            # raise exactly where the reference path would.
+            c4 = model.costs4(key, data_node)
+        rent, buy, rec_mem, rec_disk = c4
+        fixed = self.fixed_threshold
+        if fixed is not None:
+            mem_threshold = fixed
+        elif rent <= rec_mem:
+            mem_threshold = _INF
+        else:
+            mem_threshold = buy / (rent - rec_mem)
+        if count <= mem_threshold:
+            self._n_compute += 1
+            return Route.COMPUTE_REQUEST, None
+
+        size = self._item_size(key)
+        if self.cache.cond_cache_in_memory(key, None, size):
+            self._n_data_mem += 1
+            return Route.DATA_REQUEST_MEMORY, None
+
+        if fixed is not None:
+            disk_threshold = fixed
+        elif rent <= rec_disk:
+            disk_threshold = _INF
+        else:
+            disk_threshold = buy / (rent - rec_disk)
+        if count <= disk_threshold:
+            self._n_compute += 1
+            return Route.COMPUTE_REQUEST, None
+
+        self._n_data_disk += 1
+        return Route.DATA_REQUEST_DISK, None
 
     # ------------------------------------------------------------------
     # Completion callbacks

@@ -35,6 +35,8 @@ class SmoothedValue:
     15.0
     """
 
+    __slots__ = ("alpha", "_value", "_observations")
+
     def __init__(self, alpha: float = 0.3, initial: float | None = None) -> None:
         if not 0.0 < alpha <= 1.0:
             raise ValueError(f"alpha must be in (0, 1], got {alpha!r}")

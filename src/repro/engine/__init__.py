@@ -21,6 +21,7 @@ parallel data store (:mod:`repro.store`):
 from repro.engine.requests import (
     BatchRequest,
     BatchResponse,
+    RequestBlock,
     RequestItem,
     RequestKind,
     ResponseItem,
@@ -37,6 +38,7 @@ from repro.engine.elastic import ElasticJoinJob, ElasticResult, MembershipEvent
 __all__ = [
     "BatchRequest",
     "BatchResponse",
+    "RequestBlock",
     "RequestItem",
     "RequestKind",
     "ResponseItem",

@@ -19,6 +19,7 @@ engine-side policy: what to send, and what to do with each response.
 from __future__ import annotations
 
 from collections import deque
+from heapq import heapreplace
 from typing import Any, Callable, Hashable
 
 import numpy as np
@@ -32,10 +33,12 @@ from repro.core.smoothing import SmoothedValue
 from repro.engine.batching import AdaptiveBatchBuffer, BatchBuffer
 from repro.engine.requests import (
     BatchResponse,
+    RequestBlock,
     RequestItem,
     RequestKind,
     UDF,
 )
+from repro.perf.mode import reference_mode
 from repro.engine.strategies import RoutingPolicy, StrategyConfig
 from repro.faults.policy import FaultTolerance
 from repro.obs.tracer import NO_TRACER, Span, Tracer
@@ -157,10 +160,16 @@ class ComputeNodeRuntime:
                 reset_count_on_update=reset_count_on_update,
             )
         # Batch buffers per data node, separate for compute and data
-        # requests (Algorithm 1 routes to distinct queues).
+        # requests (Algorithm 1 routes to distinct queues).  Columnar
+        # buffers skip the per-tuple RequestItem envelope; the
+        # reference mode keeps the item-list encoding.
         self._compute_buffers: dict[int, BatchBuffer] = {}
         self._data_buffers: dict[int, BatchBuffer] = {}
         effective_batch = batch_size if config.batching else 1
+        columnar = not reference_mode()
+        # Single-evaluation routing fast path (see route_fast); the
+        # reference mode keeps the original two-pass route().
+        self._fast_route = columnar and self.optimizer is not None
 
         def make_buffer(dn: int, kind: RequestKind) -> BatchBuffer:
             if adaptive_batching and config.batching and max_wait is not None:
@@ -169,12 +178,16 @@ class ComputeNodeRuntime:
                     effective_batch,
                     on_flush=self._make_flusher(dn, kind),
                     max_wait=max_wait,
+                    kind=kind,
+                    columnar=columnar,
                 )
             return BatchBuffer(
                 cluster.sim,
                 effective_batch,
                 on_flush=self._make_flusher(dn, kind),
                 max_wait=max_wait if config.batching else None,
+                kind=kind,
+                columnar=columnar,
             )
 
         for dn in self._data_nodes:
@@ -227,7 +240,13 @@ class ComputeNodeRuntime:
             comp_stats=(
                 self._snapshot_stats if udf.side_effect_free else None
             ),
-            on_response=self._on_batch_response,
+            # The fused handler skips the worker-release hook, which
+            # only does work in blocking mode.
+            on_response=(
+                self._on_batch_response_fast
+                if columnar and not config.blocking
+                else self._on_batch_response
+            ),
             on_dispatch=self._on_dispatch,
             on_timeout=self.cost_model.observe_timeout,
             on_abandon=self._on_abandon,
@@ -268,6 +287,59 @@ class ComputeNodeRuntime:
                     shed=self._shed,
                     deadline=resilience.shed_deadline,
                 )
+        # ------------------------------------------------------------------
+        # Optimized-mode fused submit: when the steady-state
+        # configuration holds (ski-rental routing, non-blocking, no
+        # adaptive freeze, side-effect-free UDF), per-tuple dispatch
+        # skips the submit -> _route_and_dispatch -> node_for_key frame
+        # chain.  The decision sequence and all side effects are
+        # identical to the reference path.
+        # ------------------------------------------------------------------
+        self._recording = trace is not None or tracer.enabled
+        self._dst_cache: dict[Hashable, int] = {}
+        self._dst_gen = -1
+        if (
+            self._fast_route
+            and not config.blocking
+            and self._freeze_after is None
+            and udf.side_effect_free
+        ):
+            self.submit = self._submit_fast  # type: ignore[method-assign]
+
+    def _submit_fast(
+        self, tuple_id: int, key: Hashable, params: Any = None
+    ) -> None:
+        """Fused optimized-mode :meth:`submit` (see wiring above)."""
+        self._submitted += 1
+        region_map = self.kvstore.region_map
+        if region_map.generation != self._dst_gen:
+            self._dst_cache.clear()
+            self._dst_gen = region_map.generation
+            dst = None
+        else:
+            dst = self._dst_cache.get(key)
+        if dst is None:
+            dst = region_map.node_for_key(key)
+            self._dst_cache[key] = dst
+        assert self.optimizer is not None
+        route, value = self.optimizer.route_fast(key, dst)
+        if self._recording:
+            self._record(tuple_id, key, route.value)
+        if route is Route.LOCAL_MEMORY:
+            self._execute_local_mem(tuple_id, key, value, params)
+        elif route is Route.LOCAL_DISK:
+            self._execute_local(tuple_id, key, CacheTier.DISK,
+                                value=value, params=params)
+        elif route is Route.COMPUTE_REQUEST:
+            if self.admission is None:
+                self._compute_buffers[dst].add_request(
+                    key, route, tuple_id, params
+                )
+            else:
+                self._enqueue(dst, tuple_id, key, RequestKind.COMPUTE,
+                              route, params)
+        else:
+            self._enqueue_fetch(dst, tuple_id, key, route, params)
 
     # ------------------------------------------------------------------
     # Fault-handling counters (aggregated into JobResult) now live on
@@ -368,6 +440,21 @@ class ComputeNodeRuntime:
                     self._enqueue(dst, tuple_id, key, RequestKind.COMPUTE,
                                   Route.COMPUTE_REQUEST, params)
                 return
+            if self._fast_route:
+                route, value = self.optimizer.route_fast(key, dst)
+                self._record(tuple_id, key, route.value)
+                if route is Route.LOCAL_MEMORY:
+                    self._execute_local(tuple_id, key, CacheTier.MEMORY,
+                                        value=value, params=params)
+                elif route is Route.LOCAL_DISK:
+                    self._execute_local(tuple_id, key, CacheTier.DISK,
+                                        value=value, params=params)
+                elif route is Route.COMPUTE_REQUEST:
+                    self._enqueue(dst, tuple_id, key, RequestKind.COMPUTE,
+                                  route, params)
+                else:
+                    self._enqueue_fetch(dst, tuple_id, key, route, params)
+                return
             decision = self.optimizer.route(key, dst)
             self._record(tuple_id, key, decision.route.value)
             if decision.route.is_local:
@@ -419,12 +506,13 @@ class ComputeNodeRuntime:
         self, dst: int, tuple_id: int, key: Hashable, kind: RequestKind,
         route: Route, params: Any = None,
     ) -> None:
-        item = RequestItem(key=key, kind=kind, route=route, tuple_id=tuple_id,
-                           params=params)
+        # add_request appends scalars: columnar buffers write straight
+        # into the block's columns, item buffers materialize the
+        # RequestItem themselves.
         if kind is RequestKind.COMPUTE:
-            self._compute_buffers[dst].add(item)
+            self._compute_buffers[dst].add_request(key, route, tuple_id, params)
         else:
-            self._data_buffers[dst].add(item)
+            self._data_buffers[dst].add_request(key, route, tuple_id, params)
 
     def _dispatch_admitted(self, dst: int, tuple_id: int, payload: Any) -> None:
         """Admission callback: a parked tuple won a freed slot."""
@@ -549,11 +637,70 @@ class ComputeNodeRuntime:
 
         sim.schedule_at(finish, complete)
 
+    def _execute_local_mem(
+        self, tuple_id: int, key: Hashable, value: Any, params: Any
+    ) -> None:
+        """Fused memory-hit variant of :meth:`_execute_local`.
+
+        Only reachable through :meth:`_submit_fast` (non-blocking,
+        side-effect-free), so the worker-release hook is statically a
+        no-op and the disk/hydration branches fall away; the simulated
+        reservation, observations and completion sequence are the ones
+        the general path would perform for ``tier=MEMORY``.
+        """
+        settled = self._settled
+        if tuple_id in settled:
+            return
+        settled.add(tuple_id)
+        sim = self.cluster.sim
+        info = self._row_info.get(key)
+        if info is None:
+            raise KeyError(
+                f"local execution for {key!r} before its parameters are known"
+            )
+        at = sim.now
+        cpu_time = info.compute_cost + 0.0
+        # Inlined Resource.acquire on the node CPU: peek the earliest
+        # free server, then heapreplace the root with the new finish
+        # (finish >= the popped min, so one sift-down call yields the
+        # same multiset as pop+push).  Accounting matches acquire().
+        cpu = self._node.cpu
+        free = cpu._free
+        earliest = free[0]
+        start = earliest if earliest > at else at
+        finish = start + cpu_time
+        heapreplace(free, finish)
+        cpu._requests += 1
+        cpu._busy_time += cpu_time
+        cpu._total_wait += start - at
+        if finish > cpu._last_finish:
+            cpu._last_finish = finish
+        apply_fn = self.udf.apply_fn
+        if apply_fn is not None:
+            self.outputs[tuple_id] = apply_fn(key, params, value)
+        self._pending_local += 1
+        self._tcc.observe(cpu_time)
+        self.cost_model.observe_local_compute(finish - start)
+        admission = self.admission
+        if admission is None:
+            def complete() -> None:
+                self._pending_local -= 1
+                self._completed += 1
+                self.on_complete(tuple_id, finish)
+        else:
+            def complete() -> None:
+                self._pending_local -= 1
+                self._completed += 1
+                admission.release(tuple_id)
+                self.on_complete(tuple_id, finish)
+
+        sim.schedule_call(finish, complete)
+
     # ------------------------------------------------------------------
     # Batch send / receive (wire mechanics live in repro.runtime)
     # ------------------------------------------------------------------
     def _make_flusher(self, dst: int, kind: RequestKind):
-        def flush(items: list[RequestItem]) -> None:
+        def flush(items: "list[RequestItem] | RequestBlock") -> None:
             if not self.tracer.enabled:
                 self.transport.send(dst, kind, items)
                 return
@@ -572,7 +719,8 @@ class ComputeNodeRuntime:
         return flush
 
     def _on_dispatch(
-        self, dst: int, kind: RequestKind, items: list[RequestItem]
+        self, dst: int, kind: RequestKind,
+        items: "list[RequestItem] | RequestBlock",
     ) -> None:
         """Transport hook: a new logical batch left this node."""
         if kind is RequestKind.COMPUTE:
@@ -581,7 +729,8 @@ class ComputeNodeRuntime:
             self._inflight_data += len(items)
 
     def _on_abandon(
-        self, dst: int, kind: RequestKind, items: list[RequestItem]
+        self, dst: int, kind: RequestKind,
+        items: "list[RequestItem] | RequestBlock",
     ) -> None:
         """Transport hook: a batch gave up on ``dst`` (replica fallback)."""
         if kind is RequestKind.COMPUTE:
@@ -621,6 +770,78 @@ class ComputeNodeRuntime:
             else:
                 # Compute request bounced back by load balancing: the
                 # value arrived uncomputed; run the UDF locally.
+                self._execute_local(
+                    item.tuple_id, item.key, tier=None,
+                    value=item.value, params=item.params,
+                )
+
+    def _on_batch_response_fast(self, response: BatchResponse) -> None:
+        """Optimized-mode :meth:`_on_batch_response`.
+
+        Same per-item sequence with batch invariants hoisted: the
+        response source, clock reading (constant within one delivery
+        event), smoothed fraction-computed estimate, and the optimizer
+        observation targets.  Only installed for non-blocking runs, so
+        the worker-release no-op is dropped.
+        """
+        src = response.src
+        row_info = self._row_info
+        optimizer = self.optimizer
+        if optimizer is not None:
+            cm_observe = optimizer.cost_model.observe
+            ut_observe = optimizer.updates.observe_timestamp
+        settled = self._settled
+        outputs = self.outputs
+        has_apply = self.udf.apply_fn is not None
+        on_complete = self.on_complete
+        now = self.cluster.sim.now
+        admission = self.admission
+        inflight_compute = self._inflight_compute
+        fsv = None
+        for item in response.items:
+            cp = item.cost_params
+            service = cp.cpu_service_time
+            if service is None:
+                service = cp.compute_time
+            row_info[item.key] = _RowInfo(
+                size=cp.value_size,
+                compute_cost=service,
+                hydration_cost=cp.hydration_time,
+            )
+            route = item.route
+            if route is Route.COMPUTE_REQUEST:
+                inflight_compute[src] -= 1
+                if fsv is None:
+                    fsv = self._frac_computed[src]
+                    fa = fsv.alpha
+                    fb = 1.0 - fa
+                x = 1.0 if item.computed else 0.0
+                v = fsv._value
+                fsv._value = x if v is None else fa * x + fb * v
+                fsv._observations += 1
+            else:
+                self._inflight_data -= 1
+            if optimizer is not None:
+                cm_observe(cp)
+                ut_observe(item.key, item.updated_at)
+            if item.computed:
+                tuple_id = item.tuple_id
+                if tuple_id in settled:
+                    continue  # exactly-once guard (see _execute_local)
+                settled.add(tuple_id)
+                if has_apply:
+                    outputs[tuple_id] = item.value
+                self._completed += 1
+                if admission is not None:
+                    admission.release(tuple_id)
+                on_complete(tuple_id, now)
+                continue
+            if (
+                route is Route.DATA_REQUEST_MEMORY
+                or route is Route.DATA_REQUEST_DISK
+            ):
+                self._complete_fetch(item)
+            else:
                 self._execute_local(
                     item.tuple_id, item.key, tier=None,
                     value=item.value, params=item.params,

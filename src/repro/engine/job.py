@@ -31,6 +31,7 @@ from repro.faults.schedule import FaultSchedule
 from repro.obs.registry import MetricsRegistry, ambient_registry
 from repro.obs.tracer import NO_TRACER, Tracer
 from repro.obs.usage import publish_job_result
+from repro.perf.mode import reference_mode
 from repro.resilience.manager import ResilienceManager
 from repro.resilience.options import ResilienceOptions
 from repro.sim.cluster import Cluster
@@ -332,9 +333,27 @@ class JoinJob:
             )
 
         # Chain feeding onto completions so the pipeline window holds.
+        fused = not reference_mode()
         for cn, feeder in feeders.items():
             runtime = self.runtimes[cn]
             original = runtime.on_complete
+
+            if fused:
+                # Optimized mode: inline the job counters and the
+                # feeder decrement into one callback — this runs once
+                # per tuple.  Same statement order as the chained
+                # reference closure below.
+                def chained_fast(
+                    tuple_id: int, finish: float, _f=feeder, _j=self
+                ) -> None:
+                    _j._completions += 1
+                    if finish > _j._last_finish:
+                        _j._last_finish = finish
+                    _f._outstanding -= 1
+                    _f.feed_fast()
+
+                runtime.on_complete = chained_fast
+                continue
 
             def chained(tuple_id: int, finish: float, _f=feeder, _o=original) -> None:
                 _o(tuple_id, finish)
@@ -605,5 +624,29 @@ class _Feeder:
             self._outstanding += 1
             self.runtime.submit(tuple_id, key, params)
         if self._next >= len(self.items) and not self._finished_input:
+            self._finished_input = True
+            self.runtime.finish_input()
+
+    def feed_fast(self) -> None:
+        """Optimized-mode :meth:`_feed`: counters held in locals.
+
+        ``submit`` never re-enters the feeder synchronously (all
+        completions arrive through scheduled events), so the cursor and
+        window count can be written back once after the loop.
+        """
+        items = self.items
+        n = len(items)
+        nxt = self._next
+        out = self._outstanding
+        window = self.window
+        submit = self.runtime.submit
+        while nxt < n and out < window:
+            tuple_id, key, params = items[nxt]
+            nxt += 1
+            out += 1
+            submit(tuple_id, key, params)
+        self._next = nxt
+        self._outstanding = out
+        if nxt >= n and not self._finished_input:
             self._finished_input = True
             self.runtime.finish_input()

@@ -10,6 +10,7 @@ engine's runtime classes.
 from repro.store.messages import (
     BatchRequest,
     BatchResponse,
+    RequestBlock,
     RequestItem,
     RequestKind,
     ResponseItem,
@@ -19,6 +20,7 @@ from repro.store.messages import (
 __all__ = [
     "BatchRequest",
     "BatchResponse",
+    "RequestBlock",
     "RequestItem",
     "RequestKind",
     "ResponseItem",

@@ -1,0 +1,100 @@
+"""CLI for the performance harness.
+
+Usage::
+
+    python -m repro.perf run [--out BENCH_perf.json] [--scenarios a,b]
+                             [--reps 5] [--smoke] [--no-memory]
+    python -m repro.perf compare BASELINE CURRENT [--threshold 0.1]
+                                 [--warn-only]
+
+``run`` executes the pinned-seed scenarios (differential verification
+first, then timing/memory passes) and writes the JSON payload.
+``compare`` gates a current payload against a committed baseline and
+exits non-zero on regressions unless ``--warn-only`` is given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.perf.harness import run_scenarios, write_bench
+    from repro.perf.scenarios import smoke_scenarios
+
+    names = args.scenarios.split(",") if args.scenarios else None
+    pool = smoke_scenarios() if args.smoke else None
+    payload = run_scenarios(
+        names=names,
+        reps=args.reps,
+        memory=not args.no_memory,
+        scenarios=pool,
+    )
+    path = write_bench(payload, args.out)
+    failures = [
+        s["name"] for s in payload["scenarios"] if not s["verified_identical"]
+    ]
+    for s in payload["scenarios"]:
+        median = s.get("wall_median_s")
+        line = f"{s['name']:28s}"
+        if median is not None:
+            line += f" {median * 1e3:9.2f}ms ±{s['wall_mad_s'] * 1e3:.2f}"
+        speed = s.get("speedup")
+        if speed:
+            line += f"  speedup {speed['speedup_vs_reference']:.2f}x"
+        print(line)
+    print(f"wrote {path}")
+    if failures:
+        print(f"DIVERGENCE in: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.perf.compare import compare_benchmarks, load_bench
+
+    regressions = compare_benchmarks(
+        load_bench(args.baseline),
+        load_bench(args.current),
+        threshold=args.threshold,
+    )
+    if not regressions:
+        print("perf gate: OK (no regressions)")
+        return 0
+    for reg in regressions:
+        print(f"perf gate: {reg.render()}", file=sys.stderr)
+    if args.warn_only:
+        print("perf gate: WARN-ONLY mode, not failing", file=sys.stderr)
+        return 0
+    return 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.perf")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run scenarios, write BENCH_perf.json")
+    run_p.add_argument("--out", default="BENCH_perf.json")
+    run_p.add_argument("--scenarios", default=None,
+                       help="comma-separated scenario names (default: all)")
+    run_p.add_argument("--reps", type=int, default=5)
+    run_p.add_argument("--smoke", action="store_true",
+                       help="only the CI smoke subset")
+    run_p.add_argument("--no-memory", action="store_true",
+                       help="skip the tracemalloc pass")
+    run_p.set_defaults(fn=_cmd_run)
+
+    cmp_p = sub.add_parser("compare", help="gate current vs baseline")
+    cmp_p.add_argument("baseline")
+    cmp_p.add_argument("current")
+    cmp_p.add_argument("--threshold", type=float, default=0.10)
+    cmp_p.add_argument("--warn-only", action="store_true")
+    cmp_p.set_defaults(fn=_cmd_compare)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

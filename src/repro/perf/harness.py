@@ -1,0 +1,186 @@
+"""The ``repro.perf`` benchmark runner.
+
+For each scenario the harness does, in order:
+
+1. **Differential verification** — one run in reference mode and one
+   in optimized mode; their :class:`ScenarioRun` digests (join
+   outputs, simulated makespan, subsystem state) must be identical or
+   the harness refuses to emit timings for that scenario.  A perf
+   number for a code path that changed behaviour is worse than no
+   number.
+2. **Timing** — ``reps`` optimized-mode runs; reported as median
+   wall-time with the median absolute deviation (MAD) as the noise
+   bar.  Median-of-5 + MAD is robust to the one-off scheduler hiccups
+   that make min/mean gates flaky in CI.
+3. **Memory** — one run under :mod:`tracemalloc`: peak traced bytes
+   and total allocation count.  Process peak RSS is recorded once per
+   harness invocation (``ru_maxrss`` is a high-water mark, not
+   per-scenario).
+4. For **headline** scenarios, a paired interleaved ref/opt pass
+   computing ``speedup_vs_reference`` from the per-mode minima —
+   interleaving cancels slow drift (thermal throttling, noisy
+   neighbours) that back-to-back blocks would alias into the ratio.
+
+The result is one JSON payload, written as ``BENCH_perf.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import resource
+import statistics
+import time
+import tracemalloc
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+from repro.perf.mode import REFERENCE_ENV
+from repro.perf.scenarios import SCENARIOS, Scenario, ScenarioRun
+
+__all__ = ["run_scenarios", "write_bench", "verify_scenario"]
+
+#: Harness defaults: median-of-5 timing, min-of-7 paired speedup.
+DEFAULT_REPS = 5
+SPEEDUP_PAIRS = 7
+
+
+def _in_mode(reference: bool, fn: Callable[[], ScenarioRun]) -> ScenarioRun:
+    """Run ``fn`` with the reference switch pinned, then restore it."""
+    saved = os.environ.get(REFERENCE_ENV)
+    os.environ[REFERENCE_ENV] = "1" if reference else "0"
+    try:
+        return fn()
+    finally:
+        if saved is None:
+            os.environ.pop(REFERENCE_ENV, None)
+        else:
+            os.environ[REFERENCE_ENV] = saved
+
+
+def verify_scenario(scenario: Scenario) -> tuple[bool, ScenarioRun, ScenarioRun]:
+    """Run ``scenario`` once per mode and compare the digests."""
+    ref = _in_mode(True, scenario.runner)
+    opt = _in_mode(False, scenario.runner)
+    return ref == opt, ref, opt
+
+
+def _timed(scenario: Scenario, reference: bool) -> tuple[float, ScenarioRun]:
+    t0 = time.perf_counter()
+    run = _in_mode(reference, scenario.runner)
+    return time.perf_counter() - t0, run
+
+
+def _memory_pass(scenario: Scenario) -> dict[str, Any]:
+    tracemalloc.start()
+    try:
+        _in_mode(False, scenario.runner)
+        stats = tracemalloc.take_snapshot().statistics("filename")
+        _current, peak = tracemalloc.get_traced_memory()
+        return {
+            "peak_traced_bytes": int(peak),
+            "allocation_count": int(sum(s.count for s in stats)),
+        }
+    finally:
+        tracemalloc.stop()
+
+
+def _speedup_pass(scenario: Scenario, pairs: int) -> dict[str, Any]:
+    """Interleaved ref/opt minima; also re-checks digest equality."""
+    refs: list[float] = []
+    opts: list[float] = []
+    identical = True
+    # Warmup pair so neither mode pays first-run import/JIT-warm costs.
+    _timed(scenario, reference=True)
+    _timed(scenario, reference=False)
+    for _ in range(pairs):
+        dt_ref, run_ref = _timed(scenario, reference=True)
+        dt_opt, run_opt = _timed(scenario, reference=False)
+        refs.append(dt_ref)
+        opts.append(dt_opt)
+        identical = identical and run_ref == run_opt
+    return {
+        "reference_min_s": min(refs),
+        "optimized_min_s": min(opts),
+        "speedup_vs_reference": min(refs) / min(opts) if min(opts) > 0 else 0.0,
+        "pairs": pairs,
+        "identical_outputs": identical,
+    }
+
+
+def _measure(
+    scenario: Scenario, reps: int, memory: bool, speedup_pairs: int
+) -> dict[str, Any]:
+    verified, ref_run, opt_run = verify_scenario(scenario)
+    entry: dict[str, Any] = {
+        "name": scenario.name,
+        "kind": scenario.kind,
+        "description": scenario.description,
+        "tags": list(scenario.tags),
+        "n_items": opt_run.n_items,
+        "verified_identical": verified,
+        "digest": opt_run.digest,
+    }
+    if not verified:
+        entry["error"] = (
+            "reference/optimized divergence: "
+            f"ref={ref_run.digest} opt={opt_run.digest}"
+        )
+        return entry
+
+    walls = []
+    for _ in range(reps):
+        dt, run = _timed(scenario, reference=False)
+        walls.append(dt)
+    median = statistics.median(walls)
+    mad = statistics.median(abs(w - median) for w in walls)
+    entry.update(
+        {
+            "reps": reps,
+            "wall_median_s": median,
+            "wall_mad_s": mad,
+            "wall_min_s": min(walls),
+            "sim_time_s": run.sim_time,
+        }
+    )
+    if memory:
+        entry.update(_memory_pass(scenario))
+    if scenario.headline:
+        entry["speedup"] = _speedup_pass(scenario, speedup_pairs)
+    return entry
+
+
+def run_scenarios(
+    names: Iterable[str] | None = None,
+    reps: int = DEFAULT_REPS,
+    memory: bool = True,
+    speedup_pairs: int = SPEEDUP_PAIRS,
+    scenarios: tuple[Scenario, ...] | None = None,
+) -> dict[str, Any]:
+    """Run the selected scenarios and return the ``BENCH_perf`` payload."""
+    pool = scenarios if scenarios is not None else SCENARIOS
+    if names is not None:
+        wanted = set(names)
+        unknown = wanted - {s.name for s in pool}
+        if unknown:
+            raise ValueError(f"unknown scenario(s): {sorted(unknown)}")
+        pool = tuple(s for s in pool if s.name in wanted)
+    results = [
+        _measure(s, reps=reps, memory=memory, speedup_pairs=speedup_pairs)
+        for s in pool
+    ]
+    return {
+        "bench": "perf",
+        "schema": 1,
+        "reps": reps,
+        "peak_rss_kb": int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss),
+        "scenarios": results,
+    }
+
+
+def write_bench(payload: dict[str, Any], path: str | Path) -> Path:
+    """Write the payload as pretty-printed JSON (``BENCH_perf.json``)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return target

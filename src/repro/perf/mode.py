@@ -1,0 +1,31 @@
+"""Reference-mode switch for the hot-path optimizations (repro.perf).
+
+Every optimization in the performance pass (cost-formula memoization,
+heap tombstone compaction, columnar request blocks) keeps the exact
+pre-optimization algorithm alive behind this switch.  With
+``REPRO_PERF_REFERENCE=1`` in the environment, newly constructed
+components take the reference code paths verbatim, which is what the
+differential equivalence suite (``tests/test_perf_equivalence.py``)
+and the harness's verification stage compare against: both paths must
+produce byte-identical join outputs, simulated costs, and span trees.
+
+The flag is read at *component construction time* (one ``os.environ``
+lookup per simulator / cache / cost model, never per event), so tests
+can flip it per-run without reloading modules.  This module must stay
+dependency-free: the core packages import it, and anything heavier
+would create an import cycle.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Environment variable selecting the pre-optimization reference path.
+REFERENCE_ENV = "REPRO_PERF_REFERENCE"
+
+_TRUTHY = ("1", "true", "yes", "on")
+
+
+def reference_mode() -> bool:
+    """Whether new components should take the pre-optimization paths."""
+    return os.environ.get(REFERENCE_ENV, "").strip().lower() in _TRUTHY

@@ -28,7 +28,7 @@ from repro.runtime.transport import ShuffleChannel, Transport, TransportStats
 from repro.sim.cluster import Cluster
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ShuffleStats:
     """Counters of one-way shuffle traffic (see :class:`ShuffleChannel`)."""
 
@@ -46,7 +46,7 @@ class ShuffleStats:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RuntimeMetrics:
     """Unified kernel-level metrics for one run of any engine."""
 

@@ -44,6 +44,7 @@ from repro.sim.events import EventHandle
 from repro.store.messages import (
     BatchRequest,
     BatchResponse,
+    RequestBlock,
     RequestItem,
     RequestKind,
 )
@@ -58,7 +59,7 @@ class TransportError(RuntimeError):
     """Raised when a transfer cannot make progress (e.g. endless drops)."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TransportStats:
     """Counters of one transport's fault-handling activity."""
 
@@ -108,7 +109,7 @@ class _Pending:
     )
 
     def __init__(
-        self, dst: int, kind: RequestKind, items: list[RequestItem]
+        self, dst: int, kind: RequestKind, items: "list[RequestItem] | RequestBlock"
     ) -> None:
         self.dst = dst
         self.kind = kind
@@ -185,9 +186,15 @@ class Transport:
         param_size: float = 64.0,
         comp_stats: Callable[[int], ComputeNodeStats | None] | None = None,
         on_response: Callable[[BatchResponse], None] | None = None,
-        on_dispatch: Callable[[int, RequestKind, list[RequestItem]], None] | None = None,
+        on_dispatch: (
+            Callable[[int, RequestKind, "list[RequestItem] | RequestBlock"], None]
+            | None
+        ) = None,
         on_timeout: Callable[[int, float], None] | None = None,
-        on_abandon: Callable[[int, RequestKind, list[RequestItem]], None] | None = None,
+        on_abandon: (
+            Callable[[int, RequestKind, "list[RequestItem] | RequestBlock"], None]
+            | None
+        ) = None,
         fault_tolerance: FaultTolerance | None = None,
         fault_trace: "FaultTrace | None" = None,
         tracer: Tracer = NO_TRACER,
@@ -237,12 +244,15 @@ class Transport:
         self,
         dst: int,
         kind: RequestKind,
-        items: list[RequestItem],
+        items: "list[RequestItem] | RequestBlock",
         attempt: int = 0,
         span_parent: Span | None = None,
     ) -> str:
         """Transmit one new logical request batch; returns its id.
 
+        ``items`` is either a ``RequestItem`` list or one columnar
+        :class:`RequestBlock` (the optimized batch-buffer flush);
+        flushers hand over ownership, so blocks are kept by reference.
         ``attempt`` seeds the backoff clock: fallback batches inherit
         the exhausted batch's attempt count so successive replica
         generations wait longer instead of hammering replicas at the
@@ -255,7 +265,10 @@ class Transport:
         self.requests_sent += 1
         if self.on_dispatch is not None:
             self.on_dispatch(dst, kind, items)
-        entry = _Pending(dst, kind, list(items))
+        entry = _Pending(
+            dst, kind,
+            items if isinstance(items, RequestBlock) else list(items),
+        )
         entry.attempt = attempt
         entry.created_at = self.cluster.sim.now
         if self.tracer.enabled:
@@ -300,7 +313,11 @@ class Transport:
         )
 
     def _transmit(
-        self, rid: str, entry: _Pending, items: list[RequestItem], attempt: int
+        self,
+        rid: str,
+        entry: _Pending,
+        items: "list[RequestItem] | RequestBlock",
+        attempt: int,
     ) -> None:
         """One (re)transmission of a registered batch."""
         sim = self.cluster.sim
@@ -326,13 +343,22 @@ class Transport:
         self,
         rid: str,
         kind: RequestKind,
-        items: list[RequestItem],
+        items: "list[RequestItem] | RequestBlock",
         attempt: int,
         dst: int,
     ) -> BatchRequest:
         """Build the wire envelope for one (re)transmission at ``dst``."""
         if kind is RequestKind.COMPUTE:
             stats = self.comp_stats(dst) if self.comp_stats is not None else None
+            if isinstance(items, RequestBlock):
+                return BatchRequest(
+                    src=self.node_id,
+                    dst=dst,
+                    compute_block=items,
+                    comp_stats=stats,
+                    request_id=rid,
+                    attempt=attempt,
+                )
             return BatchRequest(
                 src=self.node_id,
                 dst=dst,
@@ -340,6 +366,11 @@ class Transport:
                 comp_stats=stats,
                 request_id=rid,
                 attempt=attempt,
+            )
+        if isinstance(items, RequestBlock):
+            return BatchRequest(
+                src=self.node_id, dst=dst, data_block=items,
+                request_id=rid, attempt=attempt,
             )
         return BatchRequest(
             src=self.node_id, dst=dst, data_items=items,
@@ -550,16 +581,27 @@ class Transport:
                     entry.span, at=now, status="fallback",
                     attempts=entry.attempt + 1,
                 )
-        fallback_items = [
-            RequestItem(
-                key=item.key,
+        fallback_items: "list[RequestItem] | RequestBlock"
+        if isinstance(entry.items, RequestBlock):
+            block = entry.items
+            fallback_items = RequestBlock(
                 kind=RequestKind.DATA,
-                route=Route.DATA_REQUEST_DISK,
-                tuple_id=item.tuple_id,
-                params=item.params,
+                keys=list(block.keys),
+                routes=[Route.DATA_REQUEST_DISK] * len(block),
+                tuple_ids=list(block.tuple_ids),
+                params=list(block.params),
             )
-            for item in entry.items
-        ]
+        else:
+            fallback_items = [
+                RequestItem(
+                    key=item.key,
+                    kind=RequestKind.DATA,
+                    route=Route.DATA_REQUEST_DISK,
+                    tuple_id=item.tuple_id,
+                    params=item.params,
+                )
+                for item in entry.items
+            ]
         # The replacement request nests under the exhausted one, so the
         # trace shows the whole degradation chain as one subtree.
         self.send(replica, RequestKind.DATA, fallback_items,
@@ -672,7 +714,7 @@ class Transport:
             self.fault_trace.record(self.cluster.sim.now, kind, node_id, detail)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ShuffleOutcome:
     """Result of one at-least-once shuffle transfer."""
 

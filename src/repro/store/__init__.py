@@ -28,6 +28,7 @@ from repro.store.kvstore import KVStore
 from repro.store.messages import (
     BatchRequest,
     BatchResponse,
+    RequestBlock,
     RequestItem,
     RequestKind,
     ResponseItem,
@@ -50,6 +51,7 @@ __all__ = [
     "KVStore",
     "BatchRequest",
     "BatchResponse",
+    "RequestBlock",
     "RequestItem",
     "RequestKind",
     "ResponseItem",

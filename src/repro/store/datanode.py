@@ -21,8 +21,10 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
+from heapq import heapreplace
 
 from repro.core.cost_model import CostParameters
+from repro.perf.mode import reference_mode
 from repro.core.smoothing import SmoothedValue
 from repro.core.load_balancer import (
     BatchLoadBalancer,
@@ -34,7 +36,6 @@ from repro.obs.tracer import NO_TRACER, Span, Tracer
 from repro.store.messages import (
     BatchRequest,
     BatchResponse,
-    RequestItem,
     ResponseItem,
     UDF,
 )
@@ -134,6 +135,9 @@ class DataNodeServer:
         # Straggler windows: (start, end, slowdown) factors scaling
         # every disk and CPU service time while active.
         self._slowdowns: list[tuple[float, float, float]] = []
+        # Optimized-mode serving loop (batch invariants hoisted out of
+        # the per-item body); reference mode keeps the per-item calls.
+        self._fast_serve = not reference_mode()
 
     # ------------------------------------------------------------------
     # Fault injection
@@ -226,8 +230,8 @@ class DataNodeServer:
                 self.tracer.end(span, at=finish, status="replayed")
             return ServedBatch(response=replay, ready_at=finish, kept_at_data_node=0)
         src = batch.src
-        n_compute = len(batch.compute_items)
-        self._pending_data += len(batch.data_items)
+        n_compute = batch.n_compute
+        self._pending_data += batch.n_data
         self._pending_compute[src] += n_compute
 
         if n_compute > 0 and batch.comp_stats is not None:
@@ -241,23 +245,38 @@ class DataNodeServer:
 
         batched = len(batch) > 1
         response_items: list[ResponseItem] = []
-        ready_at = at
-        for index, item in enumerate(batch.compute_items):
-            execute_here = index < d
-            finish, resp = self._serve_item(
-                at, item, execute_here, short_seek=batched and index > 0
+        if self._fast_serve:
+            ready_at = self._serve_batch_fast(
+                at, batch, d, src, n_compute, batched, response_items
             )
-            response_items.append(resp)
-            ready_at = max(ready_at, finish)
-            self._schedule_compute_decrement(finish, src, executed=execute_here)
-        for index, item in enumerate(batch.data_items):
-            short = batched and (index > 0 or batch.compute_items)
-            finish, resp = self._serve_item(
-                at, item, execute_here=False, short_seek=bool(short)
-            )
-            response_items.append(resp)
-            ready_at = max(ready_at, finish)
-            self._schedule_data_decrement(finish)
+        else:
+            ready_at = at
+            for index, (key, tuple_id, route, params) in enumerate(
+                batch.compute_entries()
+            ):
+                execute_here = index < d
+                finish, resp = self._serve_item(
+                    at, key, tuple_id, route, params, execute_here,
+                    short_seek=batched and index > 0,
+                )
+                response_items.append(resp)
+                if finish > ready_at:
+                    ready_at = finish
+                self._schedule_compute_decrement(
+                    finish, src, executed=execute_here
+                )
+            for index, (key, tuple_id, route, params) in enumerate(
+                batch.data_entries()
+            ):
+                short = batched and (index > 0 or n_compute > 0)
+                finish, resp = self._serve_item(
+                    at, key, tuple_id, route, params,
+                    execute_here=False, short_seek=short,
+                )
+                response_items.append(resp)
+                if finish > ready_at:
+                    ready_at = finish
+                self._schedule_data_decrement(finish)
 
         response = BatchResponse(
             src=self.node_id, dst=src, items=response_items,
@@ -292,18 +311,31 @@ class DataNodeServer:
     # Internals
     # ------------------------------------------------------------------
     def _serve_item(
-        self, at: float, item: RequestItem, execute_here: bool, short_seek: bool
+        self,
+        at: float,
+        key,
+        tuple_id: int,
+        route,
+        req_params,
+        execute_here: bool,
+        short_seek: bool,
     ) -> tuple[float, ResponseItem]:
-        row = self.kvstore.table.get_or_none(item.key)
+        """Serve one request given its fields as scalars.
+
+        Taking scalars (rather than a :class:`RequestItem`) lets the
+        caller iterate a columnar block's columns directly; the item
+        path destructures into the same arguments.
+        """
+        row = self.kvstore.table.get_or_none(key)
         if row is None:
             raise KeyError(
-                f"key {item.key!r} not found in table {self.kvstore.table.name!r}"
+                f"key {key!r} not found in table {self.kvstore.table.name!r}"
             )
         spec = self._node.spec
         # Straggler injection: a slowed node takes ``slow`` times longer
         # for every disk and CPU operation while the window is active.
         slow = self.speed_factor(at)
-        if item.key in self._block_cached:
+        if key in self._block_cached:
             # Block-cache hit: the row is already in server memory.
             disk_time = 0.0
             disk_done = at
@@ -314,7 +346,7 @@ class DataNodeServer:
                 # only every Nth uncached read in a region positions
                 # the head; the rest ride along in the same block.
                 rows_per_block = max(int(self.block_bytes // max(row.size, 1.0)), 1)
-                region = self.kvstore.region_map.region_of(item.key)
+                region = self.kvstore.region_map.region_of(key)
                 reads = self._region_reads[region]
                 self._region_reads[region] = reads + 1
                 if reads % rows_per_block != 0:
@@ -322,7 +354,7 @@ class DataNodeServer:
             disk_time = (seek + row.size / spec.disk_bandwidth) * slow
             _start, disk_done = self._node.disk.acquire(at, disk_time)
             if self._block_cache_used + row.size <= self.block_cache_bytes:
-                self._block_cached.add(item.key)
+                self._block_cached.add(key)
                 self._block_cache_used += row.size
         service = self.udf.cost(row)
         if execute_here:
@@ -339,7 +371,7 @@ class DataNodeServer:
             payload = self.udf.result_size
             if self.udf.apply_fn is not None:
                 # Real execution: the coprocessor computes f'(k, p, v).
-                value = self.udf.apply(item.key, item.params, row.value)
+                value = self.udf.apply(key, req_params, row.value)
             else:
                 value = row.value  # timing sim: carry the raw value through
         else:
@@ -350,7 +382,7 @@ class DataNodeServer:
             value = row.value
         ratio = max(self._sojourn_ratio.value, 1.0)
         params = CostParameters(
-            key=item.key,
+            key=key,
             value_size=row.size,
             compute_time=(service + row.hydration_cost) * ratio,
             disk_time=max(disk_done - at, disk_time),
@@ -362,17 +394,200 @@ class DataNodeServer:
             hydration_time=row.hydration_cost,
         )
         response = ResponseItem(
-            key=item.key,
-            tuple_id=item.tuple_id,
-            route=item.route,
+            key=key,
+            tuple_id=tuple_id,
+            route=route,
             computed=execute_here,
             value=value,
             payload_size=payload,
             cost_params=params,
             updated_at=row.updated_at,
-            params=None if execute_here else item.params,
+            params=None if execute_here else req_params,
         )
         return finish, response
+
+    def _serve_batch_fast(
+        self,
+        at: float,
+        batch: BatchRequest,
+        d: int,
+        src: int,
+        n_compute: int,
+        batched: bool,
+        response_items: list[ResponseItem],
+    ) -> float:
+        """Optimized-mode serving loop.
+
+        The :meth:`_serve_item` body with the batch invariants hoisted
+        out of the per-item path: the slowdown factor (every item sees
+        the same arrival time), resource/heap handles, UDF callables
+        and size constants.  Resource reservations use peek +
+        ``heapreplace`` (same multiset as pop+push), queue decrements
+        go through :meth:`Simulator.schedule_call` in identical event
+        order, and every simulated quantity is computed with the
+        reference expressions.
+        """
+        sim = self.cluster.sim
+        schedule = sim.schedule_call
+        table = self.kvstore.table
+        table_get = table.get_or_none
+        spec = self._node.spec
+        slow = self.speed_factor(at)
+        udf = self.udf
+        cost_fn = udf.cost_fn
+        apply_fn = udf.apply_fn
+        overhead = self.per_item_overhead
+        disk = self._node.disk
+        cpu = self._node.cpu
+        disk_free = disk._free
+        cpu_free = cpu._free
+        sr = self._sojourn_ratio
+        sr_a = sr.alpha
+        sr_b = 1.0 - sr_a
+        bc_bytes = self.block_cache_bytes
+        bc_on = bc_bytes > 0
+        block_cached = self._block_cached
+        full_seek = spec.disk_seek
+        short_seek_time = full_seek * self.batched_seek_factor
+        disk_bw = spec.disk_bandwidth
+        pending_compute = self._pending_compute
+        node_id = self.node_id
+        key_size = udf.key_size
+        param_size = udf.param_size
+        result_size = udf.result_size
+        append = response_items.append
+        ready_at = at
+        udfs = 0
+
+        for compute_pass in (True, False):
+            entries = (
+                batch.compute_entries() if compute_pass else batch.data_entries()
+            )
+            index = 0
+            for key, tuple_id, route, req_params in entries:
+                row = table_get(key)
+                if row is None:
+                    raise KeyError(
+                        f"key {key!r} not found in table {table.name!r}"
+                    )
+                rsize = row.size
+                if key in block_cached:
+                    disk_time = 0.0
+                    disk_done = at
+                else:
+                    if compute_pass:
+                        short = batched and index > 0
+                    else:
+                        short = batched and (index > 0 or n_compute > 0)
+                    seek = short_seek_time if short else full_seek
+                    if bc_on:
+                        rows_per_block = max(
+                            int(self.block_bytes // max(rsize, 1.0)), 1
+                        )
+                        region = self.kvstore.region_map.region_of(key)
+                        reads = self._region_reads[region]
+                        self._region_reads[region] = reads + 1
+                        if reads % rows_per_block != 0:
+                            seek = 0.0
+                    disk_time = (seek + rsize / disk_bw) * slow
+                    earliest = disk_free[0]
+                    dstart = earliest if earliest > at else at
+                    disk_done = dstart + disk_time
+                    heapreplace(disk_free, disk_done)
+                    disk._requests += 1
+                    disk._busy_time += disk_time
+                    disk._total_wait += dstart - at
+                    if disk_done > disk._last_finish:
+                        disk._last_finish = disk_done
+                    if self._block_cache_used + rsize <= bc_bytes:
+                        block_cached.add(key)
+                        self._block_cache_used += rsize
+                service = cost_fn(row) if cost_fn is not None else row.compute_cost
+                if compute_pass and index < d:
+                    cpu_time = (row.hydration_cost + service + overhead) * slow
+                    earliest = cpu_free[0]
+                    cstart = earliest if earliest > disk_done else disk_done
+                    finish = cstart + cpu_time
+                    heapreplace(cpu_free, finish)
+                    cpu._requests += 1
+                    cpu._busy_time += cpu_time
+                    cpu._total_wait += cstart - disk_done
+                    if finish > cpu._last_finish:
+                        cpu._last_finish = finish
+                    udfs += 1
+                    if cpu_time > 0:
+                        x = (finish - disk_done) / cpu_time
+                        sr._value = sr_a * x + sr_b * sr._value
+                        sr._observations += 1
+                    payload = result_size
+                    if apply_fn is not None:
+                        value = apply_fn(key, req_params, row.value)
+                    else:
+                        value = row.value
+                    executed = True
+                else:
+                    cpu_time = overhead * slow
+                    earliest = cpu_free[0]
+                    cstart = earliest if earliest > disk_done else disk_done
+                    finish = cstart + cpu_time
+                    heapreplace(cpu_free, finish)
+                    cpu._requests += 1
+                    cpu._busy_time += cpu_time
+                    cpu._total_wait += cstart - disk_done
+                    if finish > cpu._last_finish:
+                        cpu._last_finish = finish
+                    payload = key_size + rsize
+                    value = row.value
+                    executed = False
+                srv = sr._value
+                ratio = srv if srv > 1.0 else 1.0
+                waited = disk_done - at
+                params = CostParameters(
+                    key=key,
+                    value_size=rsize,
+                    compute_time=(service + row.hydration_cost) * ratio,
+                    disk_time=waited if waited >= disk_time else disk_time,
+                    param_size=param_size,
+                    key_size=key_size,
+                    computed_size=result_size,
+                    node_id=node_id,
+                    cpu_service_time=service,
+                    hydration_time=row.hydration_cost,
+                )
+                append(
+                    ResponseItem(
+                        key=key,
+                        tuple_id=tuple_id,
+                        route=route,
+                        computed=executed,
+                        value=value,
+                        payload_size=payload,
+                        cost_params=params,
+                        updated_at=row.updated_at,
+                        params=None if executed else req_params,
+                    )
+                )
+                if finish > ready_at:
+                    ready_at = finish
+                if compute_pass:
+                    if executed:
+                        def decrement(
+                            _pc=pending_compute, _tc=self._to_compute, _s=src
+                        ) -> None:
+                            _pc[_s] -= 1
+                            _tc[_s] -= 1
+                    else:
+                        def decrement(
+                            _pc=pending_compute, _s=src
+                        ) -> None:
+                            _pc[_s] -= 1
+                else:
+                    def decrement() -> None:
+                        self._pending_data -= 1
+                schedule(finish, decrement)
+                index += 1
+        self._udfs_executed += udfs
+        return ready_at
 
     def _udf_time_estimate(self) -> float:
         """Average UDF time at this node (``tcd``) from stored rows.

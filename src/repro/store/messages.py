@@ -22,7 +22,7 @@ if TYPE_CHECKING:  # imported lazily to avoid an engine <-> store cycle
     from repro.store.table import Row
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UDF:
     """The user function ``f'(k, p, v)`` (Section 3.1).
 
@@ -77,7 +77,7 @@ class RequestKind(enum.Enum):
     DATA = "data"  # fetch the stored value for caching
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RequestItem:
     """One ``(k, p)`` request inside a batch."""
 
@@ -92,12 +92,86 @@ class RequestItem:
         return self.kind is RequestKind.COMPUTE
 
 
-@dataclass
+class RequestBlock:
+    """Columnar encoding of one request batch (structure of arrays).
+
+    The optimized hot path keeps a batch as parallel ``keys`` /
+    ``routes`` / ``tuple_ids`` / ``params`` lists instead of one
+    :class:`RequestItem` dataclass per tuple — the batch buffer appends
+    scalars, the transport forwards the block untouched, and the data
+    node iterates the columns directly, so no per-tuple envelope object
+    is ever allocated on the request path.  All entries share one
+    :class:`RequestKind` (buffers are per-kind queues).  The reference
+    path (``REPRO_PERF_REFERENCE=1``) keeps shipping ``RequestItem``
+    lists; both encodings carry exactly the same fields, priced and
+    served identically.
+    """
+
+    __slots__ = ("kind", "keys", "routes", "tuple_ids", "params")
+
+    def __init__(
+        self,
+        kind: RequestKind,
+        keys: list[Hashable] | None = None,
+        routes: list[Route] | None = None,
+        tuple_ids: list[int] | None = None,
+        params: list[Any] | None = None,
+    ) -> None:
+        self.kind = kind
+        self.keys: list[Hashable] = [] if keys is None else keys
+        self.routes: list[Route] = [] if routes is None else routes
+        self.tuple_ids: list[int] = [] if tuple_ids is None else tuple_ids
+        self.params: list[Any] = [] if params is None else params
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def append(
+        self, key: Hashable, route: Route, tuple_id: int, params: Any = None
+    ) -> None:
+        """Append one request as scalars (no envelope allocation)."""
+        self.keys.append(key)
+        self.routes.append(route)
+        self.tuple_ids.append(tuple_id)
+        self.params.append(params)
+
+    def entries(self):
+        """Iterate ``(key, tuple_id, route, params)`` tuples."""
+        return zip(self.keys, self.tuple_ids, self.routes, self.params)
+
+    def to_items(self) -> list[RequestItem]:
+        """Materialize the block as :class:`RequestItem` objects."""
+        return [
+            RequestItem(key=k, kind=self.kind, route=r, tuple_id=t, params=p)
+            for k, t, r, p in self.entries()
+        ]
+
+    @classmethod
+    def from_items(cls, kind: RequestKind, items: list[RequestItem]) -> "RequestBlock":
+        """Columnarize an item list (items must all be of ``kind``)."""
+        return cls(
+            kind,
+            keys=[i.key for i in items],
+            routes=[i.route for i in items],
+            tuple_ids=[i.tuple_id for i in items],
+            params=[i.params for i in items],
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RequestBlock(kind={self.kind.name}, n={len(self.keys)})"
+
+
+@dataclass(slots=True)
 class BatchRequest:
     """A batch of requests from one compute node to one data node.
 
     Carries the compute node's queue statistics (Appendix C) so the
-    data node can balance load without an extra round trip.
+    data node can balance load without an extra round trip.  A batch
+    carries its requests either as item lists (``compute_items`` /
+    ``data_items``) or as one columnar :class:`RequestBlock` per kind
+    (``compute_block`` / ``data_block``); the serving side iterates
+    whichever is populated via :meth:`compute_entries` /
+    :meth:`data_entries`.
     """
 
     src: int
@@ -114,18 +188,51 @@ class BatchRequest:
     request_id: str | None = None
     #: Retry attempt number, 0 for the first transmission.
     attempt: int = 0
+    #: Columnar alternatives to the item lists (optimized hot path).
+    compute_block: RequestBlock | None = None
+    data_block: RequestBlock | None = None
+
+    @property
+    def n_compute(self) -> int:
+        """Number of compute requests, whichever encoding carries them."""
+        n = len(self.compute_items)
+        if self.compute_block is not None:
+            n += len(self.compute_block)
+        return n
+
+    @property
+    def n_data(self) -> int:
+        """Number of data requests, whichever encoding carries them."""
+        n = len(self.data_items)
+        if self.data_block is not None:
+            n += len(self.data_block)
+        return n
+
+    def compute_entries(self):
+        """Iterate compute requests as ``(key, tuple_id, route, params)``."""
+        if self.compute_block is not None:
+            return self.compute_block.entries()
+        return (
+            (i.key, i.tuple_id, i.route, i.params) for i in self.compute_items
+        )
+
+    def data_entries(self):
+        """Iterate data requests as ``(key, tuple_id, route, params)``."""
+        if self.data_block is not None:
+            return self.data_block.entries()
+        return ((i.key, i.tuple_id, i.route, i.params) for i in self.data_items)
 
     def __len__(self) -> int:
-        return len(self.compute_items) + len(self.data_items)
+        return self.n_compute + self.n_data
 
     def request_bytes(self, key_size: float, param_size: float) -> float:
         """Bytes on the wire for this batch."""
-        compute_bytes = len(self.compute_items) * (key_size + param_size)
-        data_bytes = len(self.data_items) * key_size
+        compute_bytes = self.n_compute * (key_size + param_size)
+        data_bytes = self.n_data * key_size
         return compute_bytes + data_bytes
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ResponseItem:
     """One response inside a batch response.
 
@@ -151,7 +258,7 @@ class ResponseItem:
     params: Any = None
 
 
-@dataclass
+@dataclass(slots=True)
 class BatchResponse:
     """A batch of responses from one data node to one compute node."""
 

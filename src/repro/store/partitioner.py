@@ -16,10 +16,27 @@ import hashlib
 from typing import Hashable, Sequence
 
 
+# stable_hash is a pure function on the key's repr, and the hot paths
+# (per-tuple key routing, LocalBackend partitioning) call it with a
+# small working set of keys over and over — memoize it.  The cap
+# bounds worst-case memory on adversarial key streams; on overflow the
+# memo is dropped wholesale (a rebuild costs less than tracking LRU
+# order on every call).
+_HASH_MEMO: dict[Hashable, int] = {}
+_HASH_MEMO_MAX = 1 << 16
+
+
 def stable_hash(key: Hashable) -> int:
     """A deterministic 64-bit hash usable across processes."""
+    cached = _HASH_MEMO.get(key)
+    if cached is not None:
+        return cached
     digest = hashlib.blake2b(repr(key).encode("utf-8"), digest_size=8).digest()
-    return int.from_bytes(digest, "big")
+    value = int.from_bytes(digest, "big")
+    if len(_HASH_MEMO) >= _HASH_MEMO_MAX:
+        _HASH_MEMO.clear()
+    _HASH_MEMO[key] = value
+    return value
 
 
 class HashPartitioner:
@@ -96,6 +113,9 @@ class RegionMap:
             )
         self.partitioner = partitioner
         self._region_nodes = list(region_nodes)
+        #: Bumped on every region move; key->node caches key on this to
+        #: stay exact across failover/rebalancing.
+        self.generation = 0
 
     @classmethod
     def round_robin(
@@ -140,3 +160,4 @@ class RegionMap:
     def move_region(self, region: int, to_node: int) -> None:
         """Reassign a region (long-term data-node balancing hook)."""
         self._region_nodes[region] = to_node
+        self.generation += 1

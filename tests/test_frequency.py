@@ -128,3 +128,98 @@ def test_property_summary_stays_compact(stream):
     if epsilon * n > 1:
         bound = (1 / epsilon) * (math.log(epsilon * n) + 1) + 1 / epsilon
         assert lc.tracked <= bound
+
+
+# ----------------------------------------------------------------------
+# Structured-stream properties (repro.perf satellite): the Manku-Motwani
+# guarantees must hold on the stream shapes the router actually sees —
+# Zipf-skewed steady state and bursty arrival fronts — not just on
+# uniform random lists.
+# ----------------------------------------------------------------------
+def _zipf_stream(n_keys: int, n_items: int, skew: float, seed: int) -> list[int]:
+    import random
+
+    rng = random.Random(seed)
+    weights = [1.0 / (i + 1) ** skew for i in range(n_keys)]
+    return rng.choices(range(n_keys), weights=weights, k=n_items)
+
+
+def _bursty_stream(n_keys: int, seed: int) -> list[int]:
+    """Each key arrives as one contiguous burst of random length."""
+    import random
+
+    rng = random.Random(seed)
+    stream: list[int] = []
+    for key in range(n_keys):
+        stream.extend([key] * rng.randint(1, 50))
+    rng.shuffle(stream)
+    return stream
+
+
+@given(
+    skew=st.sampled_from([0.5, 1.0, 1.5]),
+    seed=st.integers(min_value=0, max_value=2**16),
+    epsilon=st.sampled_from([0.01, 0.05]),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_error_bound_on_zipf_stream(skew, seed, epsilon):
+    """estimate in [f - eps*N, f] for every key of a Zipf stream."""
+    stream = _zipf_stream(n_keys=200, n_items=3000, skew=skew, seed=seed)
+    lc = LossyCounter(epsilon=epsilon)
+    truth: dict[int, int] = {}
+    for key in stream:
+        lc.add(key)
+        truth[key] = truth.get(key, 0) + 1
+    n = len(stream)
+    for key, f in truth.items():
+        estimate = lc.count(key)
+        assert estimate <= f
+        assert estimate >= f - epsilon * n
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    epsilon=st.sampled_from([0.01, 0.05]),
+    support=st.sampled_from([0.02, 0.1]),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_no_false_negatives_on_bursty_stream(seed, epsilon, support):
+    """Every key with true frequency >= support*N is reported.
+
+    Bursty arrivals are the adversarial case for Lossy Counting's
+    bucket pruning: a key's whole mass lands inside few buckets, so
+    its delta headroom is maximal.  The no-false-negative guarantee
+    (true count >= s*N implies membership in ``frequent_keys(s)``)
+    requires support > epsilon and must survive it.
+    """
+    if support <= epsilon:
+        return
+    stream = _bursty_stream(n_keys=120, seed=seed)
+    lc = LossyCounter(epsilon=epsilon)
+    truth: dict[int, int] = {}
+    for key in stream:
+        lc.add(key)
+        truth[key] = truth.get(key, 0) + 1
+    n = len(stream)
+    frequent = set(lc.frequent_keys(support))
+    for key, f in truth.items():
+        if f >= support * n:
+            assert key in frequent, (key, f, support * n)
+
+
+@given(seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=20, deadline=None)
+def test_property_no_false_negatives_on_zipf_stream(seed):
+    """Same no-false-negative rule on the skewed steady state."""
+    epsilon, support = 0.01, 0.05
+    stream = _zipf_stream(n_keys=300, n_items=4000, skew=1.3, seed=seed)
+    lc = LossyCounter(epsilon=epsilon)
+    truth: dict[int, int] = {}
+    for key in stream:
+        lc.add(key)
+        truth[key] = truth.get(key, 0) + 1
+    n = len(stream)
+    frequent = set(lc.frequent_keys(support))
+    for key, f in truth.items():
+        if f >= support * n:
+            assert key in frequent, (key, f, support * n)

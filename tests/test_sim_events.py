@@ -135,3 +135,75 @@ class TestRunControls:
         assert "processed=1" in text
         assert "cancelled=1" in text
         assert "pending=0" in text
+
+
+class TestCancellationStorm:
+    """Regression tests for tombstone compaction (repro.perf).
+
+    Timeout timers cancel far more events than ever fire; the queue
+    must absorb a 10k-event / 90%-cancel storm without unbounded
+    growth and without perturbing the surviving execution order.
+    """
+
+    def _storm(self, reference: bool, n_events: int = 10_000):
+        import os
+        import random
+
+        from repro.perf.mode import REFERENCE_ENV
+
+        saved = os.environ.get(REFERENCE_ENV)
+        os.environ[REFERENCE_ENV] = "1" if reference else "0"
+        try:
+            sim = Simulator()
+        finally:
+            if saved is None:
+                os.environ.pop(REFERENCE_ENV, None)
+            else:
+                os.environ[REFERENCE_ENV] = saved
+        rng = random.Random(99)
+        fired: list[int] = []
+        handles = []
+        for i in range(n_events):
+            t = rng.random() * 50.0
+            handles.append(sim.schedule_at(t, lambda i=i: fired.append(i)))
+        cancelled = rng.sample(range(n_events), (n_events * 9) // 10)
+        for i in cancelled:
+            handles[i].cancel()
+        pending_after_storm = sim.pending
+        sim.run()
+        return sim, fired, pending_after_storm
+
+    def test_10k_cancel_storm_bounds_the_queue(self):
+        """Compaction keeps the heap within ~2x the live event count
+        at every point of the storm, instead of holding all 9k
+        tombstones until the run loop drains them."""
+        n_live = 1_000
+        sim, fired, after_storm = self._storm(reference=False)
+        assert len(fired) == n_live
+        assert sim.events_processed == n_live
+        assert sim.events_cancelled == 9_000
+        # Once the storm is over: either tombstones never crossed the
+        # compaction floor (64) or the last rebuild left at most half
+        # the queue dead, so the queue holds well under the 9k
+        # tombstones the reference path would still be carrying.
+        assert after_storm <= 2 * n_live + 130
+        assert sim.pending == 0
+
+    def test_storm_execution_order_matches_reference(self):
+        """Compaction must not reorder or drop surviving events."""
+        ref_sim, ref_fired, _ = self._storm(reference=True)
+        opt_sim, opt_fired, _ = self._storm(reference=False)
+        assert opt_fired == ref_fired
+        assert opt_sim.now == ref_sim.now
+        assert opt_sim.events_processed == ref_sim.events_processed
+        assert opt_sim.events_cancelled == ref_sim.events_cancelled
+
+    def test_reference_mode_keeps_lazy_behaviour(self):
+        """The reference queue holds tombstones until popped — the
+        pre-optimization behaviour the equivalence suite compares
+        against (and the baseline this regression test guards)."""
+        sim, fired, after_storm = self._storm(reference=True, n_events=2_000)
+        assert len(fired) == 200
+        # No compaction: every cancelled entry stays queued until the
+        # run loop pops and skips it.
+        assert after_storm == 2_000

@@ -227,3 +227,131 @@ def test_property_memory_never_overcommitted(ops):
         assert cache.memory_used <= 100.0 + 1e-9
     expected = sum(sizes[k] for k in cache.memory_keys)
     assert cache.memory_used == pytest.approx(expected)
+
+
+# ----------------------------------------------------------------------
+# Lazy-deletion / compaction invariants (repro.perf satellite).  The
+# optimized cache compacts dead heap entries eagerly; these properties
+# pin down what "dead" means: compaction may only drop entries for
+# keys that already left the memory tier, never a live resident, and
+# the observable behaviour must match the reference cache on any trace.
+# ----------------------------------------------------------------------
+import os
+
+from repro.perf.mode import REFERENCE_ENV
+
+_OP = st.tuples(
+    st.integers(min_value=0, max_value=5),  # op code
+    st.integers(min_value=0, max_value=10),  # key
+    st.floats(min_value=1.0, max_value=35.0),  # size
+    st.floats(min_value=0.25, max_value=8.0),  # benefit weight
+)
+
+
+def _make_cache(reference: bool) -> TieredCache:
+    saved = os.environ.get(REFERENCE_ENV)
+    os.environ[REFERENCE_ENV] = "1" if reference else "0"
+    try:
+        return TieredCache(memory_bytes=100.0, disk_bytes=300.0)
+    finally:
+        if saved is None:
+            os.environ.pop(REFERENCE_ENV, None)
+        else:
+            os.environ[REFERENCE_ENV] = saved
+
+
+def _drive(cache: TieredCache, ops, sizes, observed=None):
+    """Apply one op trace; append every observable to ``observed``."""
+    for op, key, size, weight in ops:
+        size = sizes.setdefault(key, size)
+        if op == 0:
+            cache.update_benefit(key, weight=weight)
+        elif op == 1:
+            hit = cache.lookup(key)
+            if observed is not None:
+                observed.append(("lookup", key, hit))
+        elif op == 2:
+            cache.update_benefit(key, weight=weight)
+            admitted = cache.cond_cache_in_memory(key, f"v{key}", size)
+            if observed is not None:
+                observed.append(("admit", key, admitted))
+        elif op == 3:
+            cache.update_benefit(key, weight=weight)
+            already = key in cache.memory_keys
+            if cache.cond_cache_in_memory(key, None, size) and not already:
+                cache.fulfill(key, f"f{key}")
+        elif op == 4:
+            cache.add_to_disk(key, f"d{key}", size)
+        else:
+            cache.invalidate(key)
+        if observed is not None:
+            observed.append(
+                ("state", sorted(cache.memory_keys), sorted(cache.disk_keys))
+            )
+
+
+@given(ops=st.lists(_OP, min_size=1, max_size=120))
+@settings(max_examples=60, deadline=None)
+def test_property_compaction_matches_reference_on_any_trace(ops):
+    """Optimized and reference caches agree on every observable of a
+    random churn trace: hits, admissions, and both tiers' contents."""
+    ref_cache = _make_cache(reference=True)
+    opt_cache = _make_cache(reference=False)
+    ref_obs: list = []
+    opt_obs: list = []
+    _drive(ref_cache, ops, {}, ref_obs)
+    _drive(opt_cache, ops, {}, opt_obs)
+    assert ref_obs == opt_obs
+    assert ref_cache.stats() == opt_cache.stats()
+    assert ref_cache.memory_used == opt_cache.memory_used
+    assert ref_cache.disk_used == opt_cache.disk_used
+
+
+@given(ops=st.lists(_OP, min_size=1, max_size=150))
+@settings(max_examples=60, deadline=None)
+def test_property_lazy_deletion_never_drops_live_entries(ops):
+    """Internal accounting under churn: occupancy stays within
+    capacity, heap bookkeeping stays exact, and compaction never
+    removes a heap entry belonging to a memory resident."""
+    cache = _make_cache(reference=False)
+    sizes: dict[int, float] = {}
+    for i in range(0, len(ops), 10):
+        _drive(cache, ops[i : i + 10], sizes)
+        assert cache.memory_used <= 100.0 + 1e-9
+        # Every heap entry is counted, and the per-key counts cover
+        # every resident's entries (no live entry is ever dropped).
+        assert sum(cache._heap_entries.values()) == len(cache._mem_heap)
+        heap_keys = {entry[2] for entry in cache._mem_heap}
+        live_with_entries = cache.memory_keys & set(cache._heap_entries)
+        assert live_with_entries <= heap_keys
+        # Dead count never exceeds what is actually dead.
+        truly_dead = sum(
+            1 for entry in cache._mem_heap if entry[2] not in cache.memory_keys
+        )
+        assert cache._heap_dead <= truly_dead + len(cache._mem_heap)
+        expected = sum(sizes[k] for k in cache.memory_keys)
+        assert cache.memory_used == pytest.approx(expected)
+
+
+def test_benefit_ordering_survives_compaction_churn():
+    """After heavy churn forces compactions, eviction order still
+    follows benefit: the highest-benefit resident is never the victim
+    of a smaller newcomer."""
+    cache = _make_cache(reference=False)
+    # Heavy churn: admit/invalidate far more keys than fit.
+    for round_no in range(6):
+        for key in range(60):
+            cache.update_benefit(key, weight=1.0 + (key % 9))
+            cache.cond_cache_in_memory(key, f"v{key}", 10.0)
+            if key % 3 == 0:
+                cache.invalidate(key)
+    # Install a clearly-highest-benefit resident.
+    cache.invalidate("vip")
+    for _ in range(200):
+        cache.update_benefit("vip", weight=10.0)
+    assert cache.cond_cache_in_memory("vip", "VIP", 10.0)
+    # A long parade of low-benefit newcomers must not displace it.
+    for key in range(1000, 1040):
+        cache.update_benefit(key, weight=0.5)
+        cache.cond_cache_in_memory(key, f"v{key}", 10.0)
+    assert cache.lookup("vip") == ("VIP", CacheTier.MEMORY)
