@@ -1,0 +1,76 @@
+"""ClusterBackend benchmark smoke (CI-enforced).
+
+One small macro join on a real 2-compute/2-data process fleet, written
+to ``out/BENCH_cluster.json`` with the merged cluster counters:
+
+* **healthy** — the real-process run must reproduce the SimBackend
+  outputs bit-for-bit (locational transparency survives the move from
+  simulated to real transport), and its wall-clock seconds are the
+  headline number.
+* **failover** — SIGKILL one compute worker at 50% of the batches with
+  resilience on; the driver must restart the corpse and finish with
+  oracle-identical outputs, and the recovery inflation over the
+  healthy wall time is reported.
+"""
+
+from repro.cluster import ClusterBackend, ClusterOptions, WorkerKill
+from repro.obs import ambient_registry
+from repro.resilience import ResilienceOptions
+from repro.runtime import JoinWorkload, SimBackend
+from repro.workloads.synthetic import SyntheticWorkload
+
+N_TUPLES = 400
+
+
+def _workload() -> JoinWorkload:
+    synthetic = SyntheticWorkload.data_heavy(
+        n_keys=60, n_tuples=N_TUPLES, skew=1.2, seed=13
+    )
+    return JoinWorkload.from_synthetic(synthetic)
+
+
+def _cluster(**kwargs) -> ClusterBackend:
+    return ClusterBackend(
+        engine="engine",
+        n_compute=2,
+        n_data=2,
+        seed=13,
+        registry=ambient_registry(),
+        **kwargs,
+    )
+
+
+def _healthy_and_failover():
+    workload = _workload()
+    expected = SimBackend(engine="engine", seed=13).run_join(workload).outputs
+
+    healthy = _cluster().run_join(workload)
+    assert healthy.outputs == expected
+    info = healthy.native
+    assert info.n_workers == 4 and not info.perturbed
+
+    failed = _cluster(
+        resilience=ResilienceOptions(enabled=True),
+        options=ClusterOptions(kill=WorkerKill("c1", after_fraction=0.5)),
+    ).run_join(workload)
+    assert failed.outputs == expected
+    assert failed.native.kills == 1 and failed.native.restarts >= 1
+
+    registry = ambient_registry()
+    registry.gauge("cluster.bench.healthy_seconds").set(healthy.duration)
+    registry.gauge("cluster.bench.failover_seconds").set(failed.duration)
+    registry.gauge("cluster.bench.recovery_inflation").set(
+        failed.duration / healthy.duration if healthy.duration else 0.0
+    )
+    return {
+        "healthy_seconds": healthy.duration,
+        "failover_seconds": failed.duration,
+        "udf_applied": info.worker_counters.get("udf.applied", 0.0),
+    }
+
+
+def test_cluster(once):
+    result = once(_healthy_and_failover)
+    # Every tuple's UDF ran on a real worker process in the healthy run.
+    assert result["udf_applied"] >= N_TUPLES
+    assert result["healthy_seconds"] > 0.0

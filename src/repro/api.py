@@ -46,8 +46,9 @@ from repro.runtime.backend import (
 from repro.store.messages import UDF
 from repro.store.table import Table
 
-#: Backends :func:`run_join` can target.
-BACKENDS = ("sim", "local")
+#: Backends :func:`run_join` can target.  ``cluster`` executes on real
+#: driver/worker processes over IPC (:mod:`repro.cluster`).
+BACKENDS = ("sim", "local", "cluster")
 
 
 @dataclass(frozen=True)
@@ -135,7 +136,8 @@ class RunConfig:
     #: Execution layer (see :data:`repro.runtime.backend.ENGINES`);
     #: ignored by the ``local`` backend, which has exactly one engine.
     engine: str = "engine"
-    #: ``sim`` (discrete-event simulator) or ``local`` (real threads).
+    #: ``sim`` (discrete-event simulator), ``local`` (real threads), or
+    #: ``cluster`` (real driver/worker processes over IPC).
     backend: str = "sim"
     n_compute: int = 2
     n_data: int = 2
@@ -157,6 +159,12 @@ class RunConfig:
     membership: tuple[MembershipEvent, ...] = ()
     #: Per-compute-node tiered cache budget.
     memory_cache_bytes: float = 100e6
+    #: Worker placement on the cluster backend: ``split`` (dedicated
+    #: compute and data processes) or ``colocated`` (every process has
+    #: both roles).  Ignored elsewhere.
+    placement: str = "split"
+    #: Seconds to wait for worker handshakes on the cluster backend.
+    startup_timeout: float = 15.0
     #: Observability knobs.
     obs: ObsOptions = field(default_factory=ObsOptions)
 
@@ -165,7 +173,7 @@ class RunConfig:
             raise ValueError(
                 f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
             )
-        if self.backend == "sim" and self.engine not in ENGINES:
+        if self.backend in ("sim", "cluster") and self.engine not in ENGINES:
             raise ValueError(
                 f"unknown engine {self.engine!r}; expected one of {ENGINES}"
             )
@@ -224,6 +232,27 @@ def _backend_for(
             batch_size=cfg.batch_size,
             tracer=tracer,
             registry=registry,
+        )
+    if cfg.backend == "cluster":
+        # Imported here: repro.cluster pulls in multiprocessing
+        # machinery that sim-only users should never pay for.
+        from repro.cluster import ClusterBackend, ClusterOptions
+
+        return ClusterBackend(
+            engine=cfg.engine,
+            n_compute=cfg.n_compute,
+            n_data=cfg.n_data,
+            batch_size=cfg.batch_size,
+            seed=cfg.seed,
+            fault_schedule=cfg.faults,
+            fault_tolerance=cfg.fault_tolerance,
+            resilience=cfg.resilience if cfg.resilience.enabled else None,
+            tracer=tracer,
+            registry=registry,
+            options=ClusterOptions(
+                placement=cfg.placement,
+                startup_timeout=cfg.startup_timeout,
+            ),
         )
     return SimBackend(
         engine=cfg.engine,

@@ -1,0 +1,225 @@
+"""Length-prefixed message codec for the cluster wire.
+
+Every byte that crosses a process boundary in :mod:`repro.cluster`
+goes through this module.  The framing is deliberately tiny — modeled
+on BNDL's ``bndl.net`` serialization seam — because the interesting
+properties are at the edges, not in the format:
+
+* **Self-describing frames.**  ``MAGIC (2) | version (1) | flags (1) |
+  length (4, big-endian) | payload (pickle)``.  The magic bytes catch
+  stream desynchronization (a partial write followed by a reconnect)
+  immediately instead of feeding garbage lengths to ``recv``.
+* **Partial reads are normal.**  TCP hands back whatever it has; the
+  :class:`Framer` is a pure incremental decoder (feed bytes, take
+  frames) so it can be exercised byte-at-a-time in tests without a
+  socket anywhere near it.
+* **Bounded frames.**  A corrupted or hostile length prefix must not
+  allocate gigabytes; frames above ``max_frame_bytes`` raise
+  :class:`CodecError` instead.
+
+Payloads are pickled.  Workers are forked from the driver and all
+traffic stays on localhost, so pickle's trust model is the process's
+own — the codec never reads frames from anything the driver did not
+spawn.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any, Iterator
+
+MAGIC = b"RC"
+VERSION = 1
+_HEADER = struct.Struct("!2sBBI")
+HEADER_BYTES = _HEADER.size
+
+#: Default ceiling on one frame's payload (64 MiB) — far above any
+#: legitimate batch, far below a corrupted length prefix.
+DEFAULT_MAX_FRAME = 64 * 1024 * 1024
+
+
+class CodecError(RuntimeError):
+    """The byte stream is not a valid frame sequence."""
+
+
+class ConnectionClosed(ConnectionError):
+    """The peer closed the connection (EOF mid-stream or between frames)."""
+
+
+def encode_frame(obj: Any, max_frame_bytes: int = DEFAULT_MAX_FRAME) -> bytes:
+    """One message as a self-describing wire frame."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > max_frame_bytes:
+        raise CodecError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{max_frame_bytes}-byte ceiling"
+        )
+    return _HEADER.pack(MAGIC, VERSION, 0, len(payload)) + payload
+
+
+class Framer:
+    """Incremental frame decoder: feed bytes in, take messages out.
+
+    Keeps at most one partial frame of state.  Socket-free on purpose:
+    the IPC test suite drives it with adversarial chunkings (byte at a
+    time, frame boundaries split inside the header, many frames in one
+    feed) that are awkward to provoke through a real kernel buffer.
+    """
+
+    def __init__(self, max_frame_bytes: int = DEFAULT_MAX_FRAME) -> None:
+        self.max_frame_bytes = max_frame_bytes
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        """Append raw bytes received from the wire."""
+        self._buffer.extend(data)
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered but not yet consumed as complete frames."""
+        return len(self._buffer)
+
+    def frames(self) -> Iterator[Any]:
+        """Decode every complete frame currently buffered."""
+        while True:
+            frame = self._next_frame()
+            if frame is _INCOMPLETE:
+                return
+            yield frame
+
+    def _next_frame(self) -> Any:
+        if len(self._buffer) < HEADER_BYTES:
+            return _INCOMPLETE
+        magic, version, _flags, length = _HEADER.unpack_from(self._buffer)
+        if magic != MAGIC:
+            raise CodecError(
+                f"bad frame magic {bytes(magic)!r}: stream desynchronized"
+            )
+        if version != VERSION:
+            raise CodecError(f"unsupported frame version {version}")
+        if length > self.max_frame_bytes:
+            raise CodecError(
+                f"frame of {length} bytes exceeds the "
+                f"{self.max_frame_bytes}-byte ceiling"
+            )
+        end = HEADER_BYTES + length
+        if len(self._buffer) < end:
+            return _INCOMPLETE
+        payload = bytes(self._buffer[HEADER_BYTES:end])
+        del self._buffer[:end]
+        try:
+            return pickle.loads(payload)
+        except Exception as exc:  # pragma: no cover - corrupt payload
+            raise CodecError(f"undecodable frame payload: {exc}") from exc
+
+
+#: Sentinel distinguishing "no complete frame yet" from a ``None`` message.
+_INCOMPLETE = object()
+
+
+class MessageStream:
+    """A framed, blocking message channel over one connected socket.
+
+    ``send`` writes one frame atomically (``sendall``); ``recv`` loops
+    over partial reads until a whole frame is decoded, honouring an
+    optional timeout.  The stream owns the socket and closes it with
+    :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME,
+    ) -> None:
+        self.sock = sock
+        self._framer = Framer(max_frame_bytes)
+        self._max_frame_bytes = max_frame_bytes
+        self._queued: list[Any] = []
+
+    def send(self, obj: Any) -> None:
+        """Frame and transmit one message."""
+        try:
+            self.sock.sendall(encode_frame(obj, self._max_frame_bytes))
+        except (BrokenPipeError, ConnectionResetError, OSError) as exc:
+            raise ConnectionClosed(f"send failed: {exc}") from exc
+
+    def recv(self, timeout: float | None = None) -> Any:
+        """Block until one whole message arrives (or ``timeout``)."""
+        if self._queued:
+            return self._queued.pop(0)
+        self.sock.settimeout(timeout)
+        while True:
+            try:
+                chunk = self.sock.recv(65536)
+            except socket.timeout:
+                raise TimeoutError(
+                    f"no complete frame within {timeout}s"
+                ) from None
+            except (ConnectionResetError, OSError) as exc:
+                raise ConnectionClosed(f"recv failed: {exc}") from exc
+            if not chunk:
+                raise ConnectionClosed("peer closed the connection")
+            self._framer.feed(chunk)
+            frames = list(self._framer.frames())
+            if frames:
+                self._queued.extend(frames[1:])
+                return frames[0]
+
+    def close(self) -> None:
+        """Shut the socket down and release its file descriptor."""
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self.sock.close()
+
+    def __enter__(self) -> "MessageStream":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def connect(address: tuple[str, int], timeout: float = 5.0) -> MessageStream:
+    """Dial ``address`` and wrap the connection in a MessageStream."""
+    sock = socket.create_connection(address, timeout=timeout)
+    sock.settimeout(None)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return MessageStream(sock)
+
+
+def listener(host: str = "127.0.0.1", port: int = 0) -> socket.socket:
+    """A listening TCP socket (reusable address, small backlog)."""
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    sock.bind((host, port))
+    sock.listen(64)
+    return sock
+
+
+def roundtrip(obj: Any) -> Any:
+    """Encode + decode one message through an in-memory stream (tests)."""
+    framer = Framer()
+    framer.feed(encode_frame(obj))
+    frames = list(framer.frames())
+    if len(frames) != 1 or framer.pending_bytes:
+        raise CodecError("roundtrip did not yield exactly one frame")
+    return frames[0]
+
+
+__all__ = [
+    "CodecError",
+    "ConnectionClosed",
+    "DEFAULT_MAX_FRAME",
+    "Framer",
+    "HEADER_BYTES",
+    "MAGIC",
+    "MessageStream",
+    "VERSION",
+    "connect",
+    "encode_frame",
+    "listener",
+    "roundtrip",
+]

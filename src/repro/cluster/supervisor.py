@@ -1,0 +1,252 @@
+"""Worker process lifecycle: spawn, watch, restart, reap.
+
+The supervisor is the only code that touches ``multiprocessing``
+directly.  It forks workers (fork, not spawn, so the workload — UDF
+closures included — crosses into the child through process memory
+rather than pickle), watches them, restarts the dead, and guarantees
+that **no child outlives the test that created it**:
+
+* every worker is a daemon process, so even a hard driver death takes
+  its children with it;
+* :meth:`WorkerSupervisor.shutdown` escalates terminate → kill → join
+  with bounded grace, and is registered with :mod:`atexit` for every
+  live supervisor;
+* the module keeps a registry of recent supervisors so the test
+  suite's leak-check fixture (``tests/conftest.py``) can both find
+  stragglers to reap and attach the offending worker's last log lines
+  to its failure message.
+
+Restart semantics: a restarted worker re-binds the *same* advertised
+address (``SO_REUSEADDR``), so the peer map handed out at handshake
+stays valid across generations — peers just redial.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import signal
+import tempfile
+import threading
+import weakref
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.cluster.worker import WorkerSpec, worker_main
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.backend import JoinWorkload
+
+#: Supervisors that have not been shut down yet (for atexit + leak checks).
+_LIVE: "weakref.WeakSet[WorkerSupervisor]" = weakref.WeakSet()
+#: The most recently created supervisor, kept (weakly) for diagnostics.
+_LAST: "weakref.ref[WorkerSupervisor] | None" = None
+
+
+def _mp_context() -> multiprocessing.context.BaseContext:
+    """Fork if the platform has it (workloads carry closures)."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return multiprocessing.get_context()
+
+
+@atexit.register
+def _reap_all() -> None:  # pragma: no cover - interpreter teardown
+    for supervisor in list(_LIVE):
+        supervisor.shutdown(grace=0.0)
+
+
+def last_supervisor() -> "WorkerSupervisor | None":
+    """The most recent supervisor, if still alive (leak-check fixture)."""
+    return _LAST() if _LAST is not None else None
+
+
+class WorkerHandle:
+    """One worker slot: its spec, current process, and readiness gate."""
+
+    def __init__(self, spec: WorkerSpec) -> None:
+        self.spec = spec
+        self.process: multiprocessing.process.BaseProcess | None = None
+        #: Set when the current generation completed its handshake.
+        self.ready = threading.Event()
+        self.address: tuple[str, int] | None = None
+        self.restarts = 0
+        #: Deaths that were *not* scheduled crashes (SIGKILL, bugs).
+        self.unscheduled_deaths = 0
+
+    @property
+    def worker_id(self) -> str:
+        return self.spec.worker_id
+
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid if self.process is not None else None
+
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    @property
+    def exitcode(self) -> int | None:
+        return self.process.exitcode if self.process is not None else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.alive() else f"exit={self.exitcode}"
+        return (
+            f"WorkerHandle({self.worker_id}, pid={self.pid}, {state}, "
+            f"restarts={self.restarts})"
+        )
+
+
+class WorkerSupervisor:
+    """Spawns and owns every worker process of one cluster run."""
+
+    def __init__(self, log_dir: str | Path | None = None) -> None:
+        global _LAST
+        self._ctx = _mp_context()
+        self.log_dir = Path(
+            log_dir
+            if log_dir is not None
+            else tempfile.mkdtemp(prefix="repro-cluster-")
+        )
+        self.log_dir.mkdir(parents=True, exist_ok=True)
+        self.handles: dict[str, WorkerHandle] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+        _LIVE.add(self)
+        _LAST = weakref.ref(self)
+
+    # ------------------------------------------------------------------
+    # Spawning
+    # ------------------------------------------------------------------
+    def spawn(self, spec: WorkerSpec, workload: "JoinWorkload") -> WorkerHandle:
+        """Fork one worker; its handshake readiness is the driver's job."""
+        spec.log_path = str(self.log_dir / f"{spec.worker_id}.log")
+        handle = WorkerHandle(spec)
+        self.handles[spec.worker_id] = handle
+        self._start(handle, workload)
+        return handle
+
+    def _start(self, handle: WorkerHandle, workload: "JoinWorkload") -> None:
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(handle.spec, workload),
+            name=f"repro-cluster-{handle.worker_id}-g{handle.spec.generation}",
+            daemon=True,
+        )
+        process.start()
+        handle.process = process
+
+    def restart(
+        self, handle: WorkerHandle, workload: "JoinWorkload", *,
+        scheduled: bool,
+    ) -> None:
+        """Replace a dead worker with a fresh fork of the same spec.
+
+        ``scheduled`` records whether this was the fault schedule's own
+        crash (the schedule's ``restart_at`` semantics) or an
+        unscheduled death recovered by the resilience subsystem.  The
+        new generation never re-fires the scheduled crash and re-binds
+        the address its peers already hold.
+        """
+        if handle.alive():  # pragma: no cover - defensive
+            raise RuntimeError(f"{handle.worker_id} is still alive")
+        if handle.process is not None:
+            handle.process.join(timeout=1.0)
+        handle.ready.clear()
+        handle.restarts += 1
+        if not scheduled:
+            handle.unscheduled_deaths += 1
+        spec = handle.spec
+        spec.generation += 1
+        spec.crash_armed = False
+        if handle.address is not None:
+            spec.listen_address = handle.address
+        self._start(handle, workload)
+
+    # ------------------------------------------------------------------
+    # Watching
+    # ------------------------------------------------------------------
+    def dead_workers(self) -> list[WorkerHandle]:
+        """Handles whose current process has exited."""
+        return [h for h in self.handles.values() if not h.alive()]
+
+    def kill(self, worker_id: str, sig: int = signal.SIGKILL) -> int:
+        """Send ``sig`` to a worker (the chaos/SIGKILL test hook)."""
+        handle = self.handles[worker_id]
+        pid = handle.pid
+        if pid is None or not handle.alive():
+            raise RuntimeError(f"{worker_id} is not running")
+        os.kill(pid, sig)
+        return pid
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def shutdown(self, grace: float = 2.0) -> None:
+        """Terminate every worker, escalating to SIGKILL after ``grace``."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for handle in self.handles.values():
+            process = handle.process
+            if process is None:
+                continue
+            if process.is_alive():
+                process.terminate()
+        for handle in self.handles.values():
+            process = handle.process
+            if process is None:
+                continue
+            process.join(timeout=grace if grace > 0 else 0.1)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=1.0)
+            # Release the Process object's pipe/sentinel descriptors.
+            process.close()
+            handle.process = None
+        _LIVE.discard(self)
+
+    def reap_orphans(self) -> list[str]:
+        """Kill any worker still alive; returns the ids that needed it.
+
+        The leak-check fixture calls this after a failing test so one
+        leaked process cannot wedge the rest of the suite.
+        """
+        leaked = [h.worker_id for h in self.handles.values() if h.alive()]
+        self.shutdown(grace=0.0)
+        return leaked
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def last_log_lines(self, worker_id: str, n: int = 20) -> list[str]:
+        """Tail of one worker's log (all generations share the file)."""
+        path = self.log_dir / f"{worker_id}.log"
+        if not path.exists():
+            return []
+        return path.read_text(encoding="utf-8").splitlines()[-n:]
+
+    def describe(self, log_lines: int = 12) -> str:
+        """Multi-line status + log tails, for failure messages."""
+        parts: list[str] = []
+        for handle in self.handles.values():
+            parts.append(repr(handle))
+            for line in self.last_log_lines(handle.worker_id, log_lines):
+                parts.append(f"    {line}")
+        return "\n".join(parts)
+
+    def __enter__(self) -> "WorkerSupervisor":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.shutdown()
+
+
+__all__ = [
+    "WorkerHandle",
+    "WorkerSupervisor",
+    "last_supervisor",
+]

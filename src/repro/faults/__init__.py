@@ -8,7 +8,10 @@ Public surface:
   live cluster (network chaos, crash windows, stragglers, updates);
 * :class:`~repro.faults.policy.FaultTolerance` — the engine-side
   retry/timeout/fallback configuration that lets jobs survive the
-  schedule with oracle-identical output.
+  schedule with oracle-identical output;
+* :class:`~repro.faults.wire.WireFaults` — the same schedule
+  re-expressed in served-message coordinates for the real worker
+  processes of the cluster backend.
 """
 
 from repro.faults.injector import FaultInjector
@@ -21,6 +24,7 @@ from repro.faults.schedule import (
     StragglerFault,
     UpdateFault,
 )
+from repro.faults.wire import WireFaults
 
 __all__ = [
     "CrashFault",
@@ -31,4 +35,5 @@ __all__ = [
     "ReplaySlice",
     "StragglerFault",
     "UpdateFault",
+    "WireFaults",
 ]

@@ -1,0 +1,172 @@
+"""Distributing a :class:`FaultSchedule` to real worker processes.
+
+The simulated engines inject faults at one seam —
+:meth:`repro.sim.network.Network.delivery_plan` — where time is the
+simulator's clock.  A real worker process has no simulated clock, so
+this module re-expresses a schedule in the one coordinate every worker
+*does* share deterministically with the driver: the worker's own
+served-message sequence number.
+
+The mapping is fixed at :data:`MESSAGES_PER_SECOND`: a chaos window
+``[at, at + duration)`` in simulated seconds becomes the message-index
+window ``[at * R, (at + duration) * R)``, and a crash at ``at``
+becomes "exit the process just before serving message ``at * R``".
+Per-message draws come from ``make_rng(schedule.seed, "wire-<node>")``
+in strict sequence order, so one ``(schedule, node_id)`` pair always
+produces the same drop/duplicate/delay stream — what varies across
+runs is only which logical request happens to occupy a given slot
+(OS scheduling owns that on a real transport; the differential oracle
+is what pins the *outputs* regardless).
+
+``node_id`` uses the same numbering as :class:`SimBackend`: compute
+workers are ``0 .. n_compute-1``, data workers ``n_compute ..
+n_compute+n_data-1`` — a schedule written for the simulator names the
+same nodes on the cluster backend.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.faults.schedule import FaultSchedule
+from repro.sim.rng import make_rng
+
+#: Simulated-seconds -> served-message-index exchange rate.
+MESSAGES_PER_SECOND = 200.0
+
+#: Cap on an injected response delay, in real seconds, regardless of
+#: what the schedule's ``max_delay`` (simulated seconds) says — wall
+#: clocks are expensive.
+REAL_DELAY_CAP = 0.02
+
+
+@dataclass(frozen=True)
+class _Window:
+    """One chaos window in message-index coordinates."""
+
+    start_seq: int
+    end_seq: int
+    drop: float
+    duplicate: float
+    delay: float
+    max_delay: float
+
+    def active(self, seq: int) -> bool:
+        return self.start_seq <= seq < self.end_seq
+
+
+class WireFaults:
+    """Seeded per-message fault decisions for one worker process.
+
+    Thread-safe: the serving threads call :meth:`decide` concurrently,
+    and the sequence number is assigned under the same lock that draws
+    from the RNG, so the decision *stream* is deterministic even though
+    thread interleaving decides which request lands on which slot.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        node_id: int,
+        windows: tuple[_Window, ...],
+        crash_seq: int | None = None,
+    ) -> None:
+        self.node_id = node_id
+        self.windows = windows
+        self.crash_seq = crash_seq
+        self._rng = make_rng(seed, f"wire-{node_id}")
+        self._lock = threading.Lock()
+        self._seq = 0
+        self.dropped = 0
+        self.duplicated = 0
+        self.delayed = 0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_schedule(
+        cls,
+        schedule: FaultSchedule | None,
+        node_id: int,
+        rate: float = MESSAGES_PER_SECOND,
+    ) -> "WireFaults | None":
+        """The wire plan for worker ``node_id`` (``None`` = healthy).
+
+        Chaos windows apply to every worker (link-level faults in the
+        simulator have no single owner); a :class:`CrashFault` applies
+        only to the worker whose ``node_id`` it names.
+        """
+        if schedule is None:
+            return None
+        windows = tuple(
+            _Window(
+                start_seq=int(chaos.at * rate),
+                end_seq=max(int((chaos.at + chaos.duration) * rate), 1),
+                drop=chaos.drop,
+                duplicate=chaos.duplicate,
+                delay=chaos.delay,
+                max_delay=min(chaos.max_delay, REAL_DELAY_CAP),
+            )
+            for chaos in schedule.chaos
+        )
+        crash_seq: int | None = None
+        for crash in schedule.crashes:
+            if crash.node_id == node_id:
+                # Crash just before this served message; at least one
+                # message is always served first so the worker proves
+                # it was alive.
+                crash_seq = max(int(crash.at * rate), 1)
+                break
+        if not windows and crash_seq is None:
+            return None
+        return cls(schedule.seed, node_id, windows, crash_seq)
+
+    # ------------------------------------------------------------------
+    def crash_pending(self) -> bool:
+        """True exactly once: the scheduled crash point was reached."""
+        if self.crash_seq is None:
+            return False
+        with self._lock:
+            if self._seq >= self.crash_seq:
+                return True
+        return False
+
+    def decide(self) -> tuple[str, float]:
+        """The fate of the next served response.
+
+        Returns ``(action, delay_seconds)`` with action one of ``ok`` /
+        ``drop`` / ``duplicate``; a nonzero delay may accompany ``ok``.
+        """
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+            window = next(
+                (w for w in self.windows if w.active(seq)), None
+            )
+            if window is None:
+                return "ok", 0.0
+            draw = float(self._rng.uniform(0.0, 1.0))
+            delay_draw = float(self._rng.uniform(0.0, 1.0))
+            if draw < window.drop:
+                self.dropped += 1
+                return "drop", 0.0
+            if draw < window.drop + window.duplicate:
+                self.duplicated += 1
+                return "duplicate", 0.0
+            if draw < window.drop + window.duplicate + window.delay:
+                self.delayed += 1
+                return "ok", delay_draw * window.max_delay
+            return "ok", 0.0
+
+    def counters(self) -> dict[str, int]:
+        """Injected-fault counts (merged under ``cluster.wire.*``)."""
+        with self._lock:
+            return {
+                "dropped": self.dropped,
+                "duplicated": self.duplicated,
+                "delayed": self.delayed,
+                "messages": self._seq,
+            }
+
+
+__all__ = ["MESSAGES_PER_SECOND", "REAL_DELAY_CAP", "WireFaults"]

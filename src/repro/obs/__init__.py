@@ -9,6 +9,9 @@ One subsystem, three parts, threaded through the runtime-kernel seams:
   engine emits into one :class:`MetricsRegistry` pipeline.
 * :mod:`repro.obs.exporters` — JSONL trace dump, markdown run report,
   and the ``BENCH_*.json`` attachment hook.
+* :mod:`repro.obs.merge` — replaying remote worker snapshots (spans +
+  counters shipped over IPC by :mod:`repro.cluster`) into the local
+  tracer/registry.
 
 :mod:`repro.obs.usage` holds the cluster-usage and fault-stats
 summaries absorbed from the deleted ``repro.metrics.collector``.
@@ -23,6 +26,7 @@ from repro.obs.exporters import (
     write_bench_json,
     write_trace_jsonl,
 )
+from repro.obs.merge import merge_counters, merge_trace_records
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -60,6 +64,8 @@ __all__ = [
     "bench_payload",
     "collect_fault_stats",
     "collect_usage",
+    "merge_counters",
+    "merge_trace_records",
     "publish_fault_stats",
     "publish_job_result",
     "publish_usage",

@@ -1,0 +1,107 @@
+"""Merging remote trace/metric snapshots into a local run's record.
+
+The cluster backend (:mod:`repro.cluster`) runs real worker processes,
+each with its own :class:`~repro.obs.tracer.Tracer` and counter map.
+At collection time the driver pulls a serialized snapshot from every
+worker (the ``snapshot`` RPC ships :func:`repro.obs.exporters
+.trace_records` output) and merges it here so the caller sees **one**
+trace tree and **one** registry, exactly as on the simulated backends:
+
+* :func:`merge_trace_records` replays remote span/event records into
+  the local tracer.  Remote span ids are local to the worker that
+  minted them (every tracer counts ``s1, s2, ...``), so each record
+  gets a fresh local id; parent links are remapped through the same
+  table, and remote roots are re-parented under the driver's job span
+  — the worker subtree hangs off the run that caused it.
+* :func:`merge_counters` sums remote counters into the local registry
+  under a prefix (``cluster.``), keeping worker-local names
+  (``serve.run_batch``) distinct from the driver's own families.
+
+Both functions are pure accumulation: they never mutate the snapshots
+and are safe to call once per worker.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import Span, Tracer
+
+
+def merge_trace_records(
+    tracer: Tracer,
+    records: Iterable[Mapping[str, Any]],
+    *,
+    parent: Span | str | None = None,
+    attrs: Mapping[str, Any] | None = None,
+) -> dict[str, Span]:
+    """Replay remote ``trace_records`` into ``tracer``; returns id map.
+
+    ``parent`` becomes the parent of every remote *root* span and of
+    every parentless event.  ``attrs`` (e.g. ``{"worker": "c0"}``) is
+    stamped onto every merged span and event so provenance survives
+    the merge.  Records whose parent id is unknown (a worker shipped a
+    partial trace) fall back to ``parent`` rather than dangling — the
+    merged tree never has orphans.
+
+    Returns the remote-id -> local-span mapping so callers can attach
+    follow-up records to spans merged earlier.
+    """
+    extra = dict(attrs) if attrs else {}
+    id_map: dict[str, Span] = {}
+    for record in records:
+        kind = record.get("type")
+        if kind == "span":
+            remote_parent = record.get("parent_id")
+            local_parent: Span | str | None
+            if remote_parent is None:
+                local_parent = parent
+            else:
+                local_parent = id_map.get(str(remote_parent), parent)
+            span = tracer.start(
+                str(record.get("name", "span")),
+                parent=local_parent,
+                at=float(record.get("start") or 0.0),
+                **{**dict(record.get("attrs") or {}), **extra},
+            )
+            end = record.get("end")
+            if end is not None:
+                tracer.end(
+                    span, at=float(end), status=record.get("status") or "ok"
+                )
+            id_map[str(record.get("span_id"))] = span
+        elif kind == "event":
+            remote_parent = record.get("parent_id")
+            if remote_parent is None:
+                local_parent = parent
+            else:
+                local_parent = id_map.get(str(remote_parent), parent)
+            tracer.event(
+                str(record.get("name", "event")),
+                parent=local_parent,
+                at=float(record.get("time") or 0.0),
+                **{**dict(record.get("attrs") or {}), **extra},
+            )
+    return id_map
+
+
+def merge_counters(
+    registry: MetricsRegistry,
+    counters: Mapping[str, float],
+    *,
+    prefix: str = "",
+) -> None:
+    """Sum a remote counter map into ``registry`` under ``prefix``.
+
+    Counters are monotone, so summing across workers (and across calls
+    for the same worker's successive generations) is the only correct
+    combination; negative remote values are rejected by the counter
+    itself.
+    """
+    for name, value in counters.items():
+        if value:
+            registry.counter(f"{prefix}{name}").inc(float(value))
+
+
+__all__ = ["merge_counters", "merge_trace_records"]

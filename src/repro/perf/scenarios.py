@@ -9,7 +9,9 @@ Two tiers:
 * **macro** — full ``run_join`` executions of the Figure 8 synthetic
   workload (data-heavy, skew z = 1.5, the paper's high-skew panel)
   across the four simulated engines plus the thread-pool
-  ``LocalBackend``.
+  ``LocalBackend`` and the real-process ``ClusterBackend`` (the
+  ``cluster`` family; outputs-only digests, since worker processes
+  make wall time nondeterministic).
 
 Every scenario is deterministic: inputs come from pinned seeds, and
 each run returns a digest of its observable results (join outputs,
@@ -259,6 +261,86 @@ def _macro(engine: str, *, smoke: bool, headline: bool = False) -> Scenario:
     )
 
 
+# ----------------------------------------------------------------------
+# Cluster scenarios — real driver/worker processes over IPC
+# ----------------------------------------------------------------------
+def _macro_cluster(
+    engine: str,
+    *,
+    n_tuples: int,
+    placement: str = "split",
+    chaos: bool = False,
+) -> ScenarioRun:
+    from repro.cluster import ClusterBackend, ClusterOptions
+    from repro.faults.schedule import FaultSchedule, MessageChaos
+    from repro.runtime import JoinWorkload
+    from repro.workloads.synthetic import SyntheticWorkload
+
+    schedule = None
+    if chaos:
+        schedule = FaultSchedule(
+            seed=11,
+            chaos=(
+                MessageChaos(
+                    at=0.0, duration=60.0, drop=0.1, duplicate=0.05,
+                    delay=0.05,
+                ),
+            ),
+        )
+    workload = JoinWorkload.from_synthetic(
+        SyntheticWorkload.data_heavy(
+            n_keys=80, n_tuples=n_tuples, skew=1.5, seed=7
+        )
+    )
+    run = ClusterBackend(
+        engine=engine,
+        n_compute=2,
+        n_data=2,
+        seed=7,
+        fault_schedule=schedule,
+        options=ClusterOptions(placement=placement),
+    ).run_join(workload)
+    # Wall-clock backend: worker processes make timings nondeterministic,
+    # so the digest covers the join outputs only — which must still be
+    # bit-identical between reference and optimized modes.
+    parts = sorted(map(repr, run.outputs.items()))
+    return ScenarioRun(sim_time=0.0, digest=_digest(parts), n_items=n_tuples)
+
+
+def _cluster(
+    engine: str,
+    *,
+    n_tuples: int = 600,
+    placement: str = "split",
+    chaos: bool = False,
+) -> Scenario:
+    suffix = "_colocated" if placement == "colocated" else ""
+    suffix += "_chaos" if chaos else ""
+    detail = []
+    if placement == "colocated":
+        detail.append("colocated placement")
+    if chaos:
+        detail.append("seeded message chaos")
+    return Scenario(
+        name=f"macro_cluster_{engine}{suffix}",
+        kind="macro",
+        description=(
+            f"Figure 8 data-heavy synthetic (z=1.5) on ClusterBackend "
+            f"(real worker processes over IPC), engine={engine}, "
+            f"{n_tuples} tuples"
+            + (" — " + ", ".join(detail) if detail else "")
+        ),
+        runner=lambda: _macro_cluster(
+            engine, n_tuples=n_tuples, placement=placement, chaos=chaos
+        ),
+        # Never in the perf-smoke matrix: forking a 4-process fleet per
+        # measurement round is too heavy for the ref-vs-opt timing gate;
+        # the CI cluster-smoke job covers these paths instead.
+        smoke=False,
+        tags=("fig8", "cluster", engine),
+    )
+
+
 SCENARIOS: tuple[Scenario, ...] = (
     Scenario(
         name="micro_route",
@@ -307,6 +389,12 @@ SCENARIOS: tuple[Scenario, ...] = (
         ),
         tags=("fig8", "local"),
     ),
+    # ... the ClusterBackend family (real processes; outputs-only digest,
+    # exercised by the CI cluster-smoke job rather than the perf gate) ...
+    _cluster("engine"),
+    _cluster("mapreduce"),
+    _cluster("engine", placement="colocated"),
+    _cluster("engine", chaos=True),
     # ... and the headline scenario the speedup gate runs ref-vs-opt.
     _macro("engine", smoke=False, headline=True),
 )

@@ -12,8 +12,10 @@ Three seams (see DESIGN.md Section 3):
 * **Executor** (:mod:`repro.runtime.backend`) — :class:`Backend`
   implementations turning one :class:`JoinWorkload` into outputs:
   :class:`SimBackend` (discrete-event simulation through any of the
-  four engines) and :class:`LocalBackend` (real
-  ``concurrent.futures`` workers, wall-clock).
+  four engines), :class:`LocalBackend` (real ``concurrent.futures``
+  workers, wall-clock), and — re-exported lazily from
+  :mod:`repro.cluster` — ``ClusterBackend`` (real driver/worker
+  processes over IPC).
 * **Metrics** (:mod:`repro.runtime.metrics`) — one aggregation point
   (:class:`RuntimeMetrics`) for transport, shuffle and injector
   counters across engines.
@@ -40,12 +42,26 @@ from repro.runtime.transport import (
     Transport,
     TransportError,
     TransportStats,
+    ring_successor,
 )
+
+
+def __getattr__(name: str):
+    # Lazy: repro.cluster drags in multiprocessing machinery that
+    # sim-only users should not pay for (and importing it eagerly here
+    # would cycle: repro.cluster.backend imports repro.runtime.backend).
+    if name == "ClusterBackend":
+        from repro.cluster import ClusterBackend
+
+        return ClusterBackend
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "ENGINES",
     "Backend",
     "BackendRun",
+    "ClusterBackend",
     "JoinWorkload",
     "LocalBackend",
     "SimBackend",
@@ -59,4 +75,5 @@ __all__ = [
     "Transport",
     "TransportError",
     "TransportStats",
+    "ring_successor",
 ]

@@ -59,6 +59,22 @@ class TransportError(RuntimeError):
     """Raised when a transfer cannot make progress (e.g. endless drops)."""
 
 
+def ring_successor(ring: "list[Any]", node: Any) -> Any:
+    """The next member after ``node`` on a sorted ring, with wrap-around.
+
+    The ring convention shared by every failover path in this codebase:
+    a pure function of membership order, so two runs with identical
+    seeds pick identical fallback targets.  Both the simulated
+    :meth:`Transport.replica_for` and the cluster driver's reroute
+    (:mod:`repro.cluster.driver`) route through here.  A one-member
+    ring is its own successor.
+    """
+    if len(ring) == 1:
+        return ring[0]
+    index = ring.index(node)
+    return ring[(index + 1) % len(ring)]
+
+
 @dataclass(frozen=True, slots=True)
 class TransportStats:
     """Counters of one transport's fault-handling activity."""
@@ -619,11 +635,7 @@ class Transport:
         wrap-around — a pure function of cluster membership, so two runs
         with identical seeds pick identical fallback/hedge targets.
         """
-        ring = self._ring
-        if len(ring) == 1:
-            return dst
-        index = ring.index(dst)
-        return ring[(index + 1) % len(ring)]
+        return ring_successor(self._ring, dst)
 
     # ------------------------------------------------------------------
     # Hedging and failover

@@ -1,6 +1,6 @@
-"""Shared test configuration: pinned hypothesis profiles.
+"""Shared test configuration: hypothesis profiles + cluster-test guards.
 
-Profiles:
+Hypothesis profiles:
 
 * ``dev`` (default) — no deadline (DES runs have uneven step costs),
   normal randomized search.
@@ -9,10 +9,25 @@ Profiles:
 
 Select with ``HYPOTHESIS_PROFILE=ci`` (the GitHub Actions workflow
 does) or ``--hypothesis-profile``.
+
+Cluster-test guards (tests marked ``@pytest.mark.cluster`` spawn real
+worker processes):
+
+* a **hard per-test timeout** via ``SIGALRM`` (default 90 s, override
+  with ``@pytest.mark.cluster(timeout=N)``) so a wedged handshake or a
+  lost worker can never hang the suite — no ``pytest-timeout`` plugin
+  needed;
+* an autouse **leak check** that fails any cluster test leaving child
+  processes or file descriptors behind, reaping the stragglers and
+  attaching each leaked worker's last log lines to the failure.
 """
 
+import gc
 import os
+import signal
+import time
 
+import pytest
 from hypothesis import HealthCheck, settings
 
 settings.register_profile(
@@ -28,3 +43,119 @@ settings.register_profile(
     suppress_health_check=[HealthCheck.too_slow],
 )
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+
+
+# ----------------------------------------------------------------------
+# Cluster-test guards
+# ----------------------------------------------------------------------
+#: Default hard timeout for one cluster test, seconds.
+CLUSTER_TEST_TIMEOUT = 90.0
+
+#: Allowed per-test file-descriptor growth.  The first cluster test
+#: legitimately gains a few descriptors that live for the whole session
+#: (multiprocessing's resource-tracker pipe, lazily imported modules);
+#: a real leak (sockets, worker log files, process pipes) blows far
+#: past this.
+FD_TOLERANCE = 8
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "cluster(timeout=90): test spawns real worker processes; gets a "
+        "SIGALRM hard timeout and a child-process/fd leak check",
+    )
+
+
+def _open_fds() -> int:
+    return len(os.listdir("/proc/self/fd"))
+
+
+def _supervisor_postmortem() -> str:
+    """Status + log tails of the most recent worker supervisor."""
+    try:
+        from repro.cluster.supervisor import last_supervisor
+    except Exception:
+        return ""
+    supervisor = last_supervisor()
+    if supervisor is None:
+        return ""
+    return supervisor.describe()
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """Hard SIGALRM timeout for cluster-marked tests.
+
+    A worker that never completes its handshake (or a deadlocked RPC)
+    would otherwise hang the whole suite; the alarm converts that into
+    one loud failure carrying the supervisor's post-mortem.  SIGALRM
+    only fires in the main thread, which is exactly where pytest runs
+    the test body.
+    """
+    marker = item.get_closest_marker("cluster")
+    if marker is None or os.name != "posix":
+        yield
+        return
+    budget = float(marker.kwargs.get("timeout", CLUSTER_TEST_TIMEOUT))
+
+    def on_alarm(signum, frame):
+        raise TimeoutError(
+            f"cluster test exceeded its {budget:.0f}s hard timeout\n"
+            + _supervisor_postmortem()
+        )
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, budget)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@pytest.fixture(autouse=True)
+def _cluster_leak_check(request):
+    """Fail any cluster test that leaks worker processes or fds."""
+    if request.node.get_closest_marker("cluster") is None:
+        yield
+        return
+    import multiprocessing
+
+    fds_before = _open_fds()
+    yield
+    # Workers are shut down by the drivers' context managers; give the
+    # OS a moment to reap before declaring a leak.
+    deadline = time.monotonic() + 3.0
+    children = multiprocessing.active_children()
+    while children and time.monotonic() < deadline:
+        time.sleep(0.05)
+        children = multiprocessing.active_children()
+    if children:
+        leaked = [f"{child.name} (pid {child.pid})" for child in children]
+        postmortem = _supervisor_postmortem()
+        try:
+            from repro.cluster.supervisor import last_supervisor
+
+            supervisor = last_supervisor()
+            if supervisor is not None:
+                supervisor.reap_orphans()
+        except Exception:
+            pass
+        for child in children:  # anything the supervisor didn't own
+            if child.is_alive():
+                child.kill()
+        pytest.fail(
+            "cluster test leaked worker processes: "
+            + ", ".join(leaked)
+            + ("\n" + postmortem if postmortem else ""),
+            pytrace=False,
+        )
+    gc.collect()
+    fds_after = _open_fds()
+    if fds_after > fds_before + FD_TOLERANCE:
+        pytest.fail(
+            f"cluster test leaked file descriptors: {fds_before} -> "
+            f"{fds_after} open fds\n" + _supervisor_postmortem(),
+            pytrace=False,
+        )

@@ -72,7 +72,7 @@ class TestRunConfig:
             RunConfig(engine="warp")
         with pytest.raises(ValueError, match="unknown backend"):
             RunConfig(backend="cloud")
-        assert set(BACKENDS) == {"sim", "local"}
+        assert set(BACKENDS) == {"sim", "local", "cluster"}
 
     def test_with_obs_copies(self):
         config = RunConfig()
