@@ -1,0 +1,138 @@
+"""Elastic placement benchmark smoke (CI-enforced): Zipf z=1.5 skew.
+
+The same heavily skewed join runs with elastic placement off and on,
+on the discrete-event simulator and on real cluster processes:
+
+* **sim** — outputs identical both ways (and oracle-exact); with
+  elasticity on, the hottest data node's share of served items must
+  *drop* and the simulated macro makespan must *improve* — the
+  headline numbers land in ``out/BENCH_elastic.json``.
+* **cluster** — a smaller cut of the same workload on a real
+  2-compute/2-data process fleet: outputs stay oracle-exact across the
+  driver's mid-run migration cutover, the placement epoch advances,
+  and the per-worker ``cluster.served.*`` counters record how the
+  serve load spread.
+"""
+
+from repro.engine.job import JoinJob
+from repro.engine.strategies import Strategy
+from repro.obs import MetricsRegistry, ambient_registry
+from repro.placement import ElasticOptions
+from repro.sim.cluster import Cluster
+from repro.workloads.synthetic import SyntheticWorkload
+
+ZIPF_Z = 1.5
+
+#: Aggressive enough to act within a smoke-scale run; the defaults are
+#: tuned for long-lived jobs.
+SIM_ELASTIC = ElasticOptions.on(
+    check_interval=0.05,
+    min_observations=16,
+    split_factor=1.5,
+    hot_key_fraction=0.05,
+)
+CLUSTER_ELASTIC = ElasticOptions.on(
+    min_observations=8,
+    migrate_after_fraction=0.3,
+    hot_key_fraction=0.1,
+    buckets_per_node=4,
+)
+
+
+def _sim_run(elastic):
+    workload = SyntheticWorkload.data_heavy(
+        n_keys=400, n_tuples=4000, skew=ZIPF_Z, seed=21
+    )
+    job = JoinJob(
+        cluster=Cluster.homogeneous(8),
+        compute_nodes=[0, 1, 2, 3],
+        data_nodes=[4, 5, 6, 7],
+        table=workload.build_table(),
+        udf=workload.udf,
+        strategy=Strategy.fo(),
+        sizes=workload.sizes,
+        memory_cache_bytes=2e5,  # a small cache keeps the skew visible
+        elastic=elastic,
+        seed=21,
+    )
+    result = job.run(workload.keys())
+    served = {n: s.items_served for n, s in job.servers.items()}
+    return result, job.collected_outputs(), served
+
+
+def _hottest_share(served):
+    total = sum(served.values())
+    return max(served.values()) / total if total else 0.0
+
+
+def _cluster_run(elastic):
+    from repro.cluster import ClusterBackend
+    from repro.runtime.backend import JoinWorkload
+
+    workload = JoinWorkload.from_synthetic(
+        SyntheticWorkload.data_heavy(
+            n_keys=60, n_tuples=400, skew=ZIPF_Z, seed=13
+        )
+    )
+    registry = MetricsRegistry()
+    run = ClusterBackend(
+        engine="engine",
+        n_compute=2,
+        n_data=2,
+        seed=13,
+        registry=registry,
+        elastic=elastic,
+    ).run_join(workload)
+    snapshot = registry.snapshot()
+    served = {
+        name.split(".")[-1]: value
+        for name, value in snapshot["counters"].items()
+        if name.startswith("cluster.served.")
+    }
+    return run, served, snapshot["gauges"]
+
+
+def _skew_migration():
+    ambient = ambient_registry()
+
+    # --- simulator: the macro skew story -----------------------------
+    off, outputs_off, served_off = _sim_run(None)
+    on, outputs_on, served_on = _sim_run(SIM_ELASTIC)
+    assert outputs_on == outputs_off  # elasticity never changes answers
+    share_off, share_on = _hottest_share(served_off), _hottest_share(served_on)
+    assert share_on < share_off  # the hot spot actually spread
+    assert on.makespan < off.makespan  # ...and the job got faster
+
+    ambient.gauge("elastic.bench.sim_makespan_off").set(off.makespan)
+    ambient.gauge("elastic.bench.sim_makespan_on").set(on.makespan)
+    ambient.gauge("elastic.bench.sim_hottest_share_off").set(share_off)
+    ambient.gauge("elastic.bench.sim_hottest_share_on").set(share_on)
+
+    # --- cluster: the same story over real processes -----------------
+    cluster_off, cserved_off, _ = _cluster_run(None)
+    cluster_on, cserved_on, gauges = _cluster_run(CLUSTER_ELASTIC)
+    assert cluster_on.outputs == cluster_off.outputs
+    assert gauges.get("placement.epoch", 0.0) > 0.0  # the map moved
+    cshare_off = _hottest_share(cserved_off)
+    cshare_on = _hottest_share(cserved_on)
+    ambient.gauge("elastic.bench.cluster_hottest_share_off").set(cshare_off)
+    ambient.gauge("elastic.bench.cluster_hottest_share_on").set(cshare_on)
+    ambient.gauge("elastic.bench.cluster_seconds_off").set(
+        cluster_off.duration
+    )
+    ambient.gauge("elastic.bench.cluster_seconds_on").set(cluster_on.duration)
+
+    return {
+        "sim_makespan_off": off.makespan,
+        "sim_makespan_on": on.makespan,
+        "sim_hottest_share_off": share_off,
+        "sim_hottest_share_on": share_on,
+        "cluster_hottest_share_off": cshare_off,
+        "cluster_hottest_share_on": cshare_on,
+    }
+
+
+def test_elastic(once):
+    result = once(_skew_migration)
+    assert result["sim_makespan_on"] < result["sim_makespan_off"]
+    assert result["sim_hottest_share_on"] < result["sim_hottest_share_off"]

@@ -25,6 +25,7 @@ Quick start
 """
 
 from repro.api import (
+    ElasticOptions,
     JobSpec,
     MembershipEvent,
     ResilienceOptions,
@@ -48,6 +49,7 @@ __version__ = "1.1.0"
 __all__ = [
     "CostModel",
     "CostParameters",
+    "ElasticOptions",
     "JobSpec",
     "JoinLocationOptimizer",
     "MembershipEvent",
@@ -70,14 +72,17 @@ __all__ = [
 
 #: Legacy top-level re-exports, kept importable through ``__getattr__``
 #: below.  Each maps to the subpackage that owns the name today.
+#:
+#: Pruned to the names users actually reached for at the top level —
+#: the documented entry points of each subpackage.  Internal plumbing
+#: types (``BatchBuffer``, ``ResultHashMap``, ``SmoothedValue``,
+#: ``RuntimeMetrics``, ...) no longer resolve here; import them from
+#: their owning subpackage directly.
 _DEPRECATED = {
-    # repro.core
-    "BatchLoadBalancer": "repro.core",
+    # repro.core / repro.placement
+    "BatchLoadBalancer": "repro.placement",
     "ExactCounter": "repro.core",
     "LossyCounter": "repro.core",
-    "RequestCosts": "repro.core",
-    "SmoothedValue": "repro.core",
-    "UpdateTracker": "repro.core",
     "buy_threshold": "repro.core",
     "competitive_ratio": "repro.core",
     # repro.cache
@@ -87,8 +92,6 @@ _DEPRECATED = {
     # repro.sim
     "Cluster": "repro.sim",
     "Network": "repro.sim",
-    "NodeSpec": "repro.sim",
-    "Resource": "repro.sim",
     "Simulator": "repro.sim",
     # repro.store
     "DataNodeServer": "repro.store",
@@ -99,20 +102,10 @@ _DEPRECATED = {
     "Row": "repro.store",
     "Table": "repro.store",
     # repro.engine
-    "BatchBuffer": "repro.engine",
-    "ComputeNodeRuntime": "repro.engine",
-    "JobResult": "repro.engine",
     "JoinJob": "repro.engine",
-    "JoinStageSpec": "repro.engine",
-    "MultiJoinJob": "repro.engine",
-    "PreMapRunner": "repro.engine",
-    "ResultHashMap": "repro.engine",
-    "StreamResult": "repro.engine",
     # repro.runtime
-    "BackendRun": "repro.runtime",
     "JoinWorkload": "repro.runtime",
     "LocalBackend": "repro.runtime",
-    "RuntimeMetrics": "repro.runtime",
     "ShuffleChannel": "repro.runtime",
     "SimBackend": "repro.runtime",
     "Transport": "repro.runtime",

@@ -28,7 +28,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Any, Hashable
 
-from repro.core.load_balancer import SizeProfile
+from repro.placement.batch import SizeProfile
+from repro.placement.options import ElasticOptions
 from repro.engine.elastic import MembershipEvent
 from repro.faults.policy import FaultTolerance
 from repro.faults.schedule import FaultSchedule
@@ -154,6 +155,11 @@ class RunConfig:
     resilience: ResilienceOptions = field(
         default_factory=ResilienceOptions
     )
+    #: Runtime region split/merge/migration and hot-key replication
+    #: over the shared :class:`~repro.placement.PlacementService`.
+    #: ``ElasticOptions.off()`` (the default) wires nothing — the run
+    #: is bit-identical to the static region map.
+    elastic: ElasticOptions = field(default_factory=ElasticOptions)
     #: Mid-run compute-membership changes (``engine`` on ``sim`` only);
     #: non-empty routes the run through :class:`ElasticJoinJob`.
     membership: tuple[MembershipEvent, ...] = ()
@@ -247,6 +253,7 @@ def _backend_for(
             fault_schedule=cfg.faults,
             fault_tolerance=cfg.fault_tolerance,
             resilience=cfg.resilience if cfg.resilience.enabled else None,
+            elastic=cfg.elastic if cfg.elastic.enabled else None,
             tracer=tracer,
             registry=registry,
             options=ClusterOptions(
@@ -265,6 +272,7 @@ def _backend_for(
         fault_schedule=cfg.faults,
         fault_tolerance=cfg.fault_tolerance,
         resilience=cfg.resilience if cfg.resilience.enabled else None,
+        elastic=cfg.elastic if cfg.elastic.enabled else None,
         membership=tuple(cfg.membership),
         memory_cache_bytes=cfg.memory_cache_bytes,
         tracer=tracer,
@@ -275,6 +283,7 @@ def _backend_for(
 __all__ = [
     "BACKENDS",
     "BackendRun",
+    "ElasticOptions",
     "JobSpec",
     "MembershipEvent",
     "ObsOptions",

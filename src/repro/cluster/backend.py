@@ -27,6 +27,7 @@ from repro.faults.policy import FaultTolerance
 from repro.faults.schedule import FaultSchedule
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import NO_TRACER, Tracer
+from repro.placement.options import ElasticOptions
 from repro.resilience.options import ResilienceOptions
 from repro.runtime.backend import ENGINES, BackendRun, JoinWorkload
 
@@ -73,6 +74,11 @@ class ClusterBackend:
     fault_schedule: FaultSchedule | None = None
     fault_tolerance: FaultTolerance | None = None
     resilience: ResilienceOptions | None = None
+    #: Opt-in elastic placement: mid-run bucket migration + hot-key
+    #: replication over the driver's :class:`PlacementService`; ``None``
+    #: (or disabled) keeps the legacy static-partition protocol
+    #: byte-identical on the wire.
+    elastic: ElasticOptions | None = None
     tracer: Tracer = NO_TRACER
     registry: MetricsRegistry | None = None
     options: ClusterOptions = field(default_factory=ClusterOptions)
@@ -107,6 +113,7 @@ class ClusterBackend:
             fault_schedule=self.fault_schedule,
             fault_tolerance=self.fault_tolerance,
             resilience=self.resilience,
+            elastic=self.elastic,
             tracer=self.tracer,
             registry=self.registry,
             startup_timeout=self.options.startup_timeout,

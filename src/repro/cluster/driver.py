@@ -52,8 +52,12 @@ from repro.faults.schedule import FaultSchedule
 from repro.obs.merge import merge_counters, merge_trace_records
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import NO_TRACER, Span, Tracer
+from repro.placement.balancer import plan_rebalance
+from repro.placement.options import ElasticOptions
+from repro.placement.service import PlacementService
 from repro.resilience.options import ResilienceOptions
 from repro.runtime.transport import TransportError, ring_successor
+from repro.store.partitioner import HashPartitioner
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.backend import JoinWorkload
@@ -124,6 +128,7 @@ class ClusterDriver:
         fault_schedule: FaultSchedule | None = None,
         fault_tolerance: FaultTolerance | None = None,
         resilience: ResilienceOptions | None = None,
+        elastic: ElasticOptions | None = None,
         tracer: Tracer = NO_TRACER,
         registry: MetricsRegistry | None = None,
         startup_timeout: float = 15.0,
@@ -151,6 +156,14 @@ class ClusterDriver:
             else DRIVER_TOLERANCE
         )
         self.resilience = resilience
+        self.elastic = (
+            elastic if elastic is not None and elastic.enabled else None
+        )
+        #: The epoch-stamped bucket->worker map (elastic runs only) —
+        #: the same :class:`PlacementService` the simulated engines use,
+        #: with region ids as buckets and node ids as ``data_ids``
+        #: indices.  Built in :meth:`start` once the ring is known.
+        self.placement_service: PlacementService | None = None
         self.tracer = tracer
         self.registry = registry
         self.startup_timeout = startup_timeout
@@ -167,6 +180,9 @@ class ClusterDriver:
         self._lock = threading.Lock()
         self._hello_barrier = threading.Event()
         self._failed: set[str] = set()
+        #: Set under the lock when a write-off changed the placement;
+        #: the new epoch is broadcast after the lock is released.
+        self._placement_dirty = False
         self._job_span: Span | None = None
         self._started = 0.0
         #: Worker ids by role, in ring order.
@@ -233,6 +249,17 @@ class ClusterDriver:
         )
         self._accept_thread.start()
         specs = self._specs(address)
+        if self.elastic is not None:
+            # Bucket b starts on data worker b % n: exactly the static
+            # ``owner_index`` routing, since (h % (k*n)) % n == h % n —
+            # the frame changes nothing until the first rebalance.
+            n_data = len(self.data_ids)
+            n_buckets = n_data * self.elastic.buckets_per_node
+            self.placement_service = PlacementService(
+                HashPartitioner(n_regions=n_buckets),
+                [b % n_data for b in range(n_buckets)],
+            )
+            self.placement_service.elastic_active = True
         self.info.n_workers = len(specs)
         self._expected_workers = len(specs)
         if self.tracer.enabled:
@@ -316,12 +343,15 @@ class ClusterDriver:
             for h in self.supervisor.handles.values()
             if h.address is not None
         }
+        frame: dict[str, Any] = {
+            "type": "welcome",
+            "peers": peers,
+            "data_ring": list(self.data_ids),
+        }
+        if self.placement_service is not None:
+            frame["placement"] = self._placement_frame()
         try:
-            stream.send({
-                "type": "welcome",
-                "peers": peers,
-                "data_ring": list(self.data_ids),
-            })
+            stream.send(frame)
         except ConnectionClosed:
             return
         finally:
@@ -372,6 +402,15 @@ class ClusterDriver:
         Serialized under the driver lock so concurrent dispatchers
         observing the same corpse trigger exactly one restart.
         """
+        try:
+            return self._handle_worker_down(worker_id)
+        finally:
+            # Broadcast outside the driver lock — _client re-acquires it.
+            if self._placement_dirty:
+                self._placement_dirty = False
+                self._broadcast_placement()
+
+    def _handle_worker_down(self, worker_id: str) -> bool:
         with self._lock:
             handle = self.supervisor.handles[worker_id]
             if handle.alive():
@@ -384,6 +423,10 @@ class ClusterDriver:
             if not scheduled and not self._recovery_enabled():
                 self._failed.add(worker_id)
                 handle.ready.clear()
+                # Written off: route its buckets to the ring successor
+                # through the placement service.
+                if self._reassign_dead_buckets(worker_id):
+                    self._placement_dirty = True
                 if self.tracer.enabled:
                     self.tracer.event(
                         "cluster.worker-lost", parent=self._job_span,
@@ -418,6 +461,174 @@ class ClusterDriver:
         return time.perf_counter() - self._started
 
     # ------------------------------------------------------------------
+    # Elastic placement (bucket migration + hot-key replication)
+    # ------------------------------------------------------------------
+    def _placement_frame(self) -> dict[str, Any]:
+        """The wire form of the current placement epoch."""
+        service = self.placement_service
+        assert service is not None
+        buckets = [
+            self.data_ids[service.node_for_region(b)]
+            for b in range(service.partitioner.n_regions)
+        ]
+        replicas = [
+            (key, [self.data_ids[n] for n in nodes])
+            for key, nodes in sorted(
+                service.replica_map().items(), key=lambda kv: repr(kv[0])
+            )
+        ]
+        return {
+            "epoch": service.generation,
+            "n_buckets": len(buckets),
+            "buckets": buckets,
+            "replicas": replicas,
+        }
+
+    def _broadcast_placement(self) -> None:
+        """Push the current frame to every live worker (newer-epoch wins)."""
+        frame = self._placement_frame()
+        for worker_id, handle in self.supervisor.handles.items():
+            if worker_id in self._failed or not handle.alive():
+                continue
+            try:
+                self._client(worker_id).call("placement_update", placement=frame)
+            except (PeerUnavailable, RpcError, ConnectionClosed):
+                continue  # a restarted worker learns the frame in welcome
+
+    def _rebalance(self) -> None:
+        """One mid-run placement round: observe, replicate, migrate.
+
+        Pulls per-bucket serve counts from every live data worker, then
+        (1) grants hot-key replicas for keys dominating the stream and
+        (2) moves the planner's chosen buckets from heavy to light
+        workers — each move a real worker->worker ``region_push`` RPC
+        through the peer mesh — and finally broadcasts the new epoch.
+        """
+        service = self.placement_service
+        assert service is not None
+        opts = self.elastic
+        assert opts is not None
+        bucket_loads: dict[int, float] = {}
+        key_counts: dict[Any, float] = {}
+        for worker_id in self.data_ids:
+            if worker_id in self._failed:
+                continue
+            try:
+                observed = self._client(worker_id).call("bucket_loads")
+            except (PeerUnavailable, RpcError, ConnectionClosed):
+                continue
+            for bucket, count in observed["buckets"].items():
+                bucket = int(bucket)
+                bucket_loads[bucket] = bucket_loads.get(bucket, 0.0) + count
+            for key, count in observed["keys"]:
+                key_counts[key] = key_counts.get(key, 0.0) + count
+        total = sum(bucket_loads.values())
+        if total < opts.min_observations:
+            return
+        self._replicate_hot_keys(key_counts, total, bucket_loads)
+        moves = plan_rebalance(
+            service,
+            bucket_loads,
+            max_moves=opts.migration_max_moves,
+            tolerance=opts.migration_tolerance,
+        )
+        for move in moves:
+            src = self.data_ids[move.from_node]
+            dst = self.data_ids[move.to_node]
+            try:
+                pushed = self._client(src).call(
+                    "region_push", bucket=move.region, target=dst,
+                    timeout_scale=4.0,
+                )
+            except (PeerUnavailable, RpcError, ConnectionClosed):
+                continue  # copy failed: ownership must not move
+            service.move_region(move.region, move.to_node)
+            service.counters["migrations"] += 1
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "placement.migrate", parent=self._job_span,
+                    at=self._now(), bucket=move.region, src=src, dst=dst,
+                    rows=pushed.get("moved", 0), epoch=service.generation,
+                )
+        if service.generation > 0:
+            self._broadcast_placement()
+
+    def _replicate_hot_keys(
+        self,
+        key_counts: dict[Any, float],
+        total: float,
+        bucket_loads: dict[int, float],
+    ) -> None:
+        service = self.placement_service
+        assert service is not None
+        opts = self.elastic
+        assert opts is not None
+        if opts.max_replicas == 0:
+            return
+        threshold = opts.hot_key_fraction * total
+        node_load: dict[int, float] = {
+            n: 0.0 for n in range(len(self.data_ids))
+        }
+        for bucket, load in bucket_loads.items():
+            node_load[service.node_for_region(bucket)] += load
+        for key, count in sorted(
+            key_counts.items(), key=lambda kv: (-kv[1], repr(kv[0]))
+        ):
+            if count < threshold:
+                continue
+            existing = service.replicas_of(key)
+            if len(existing) >= opts.max_replicas:
+                continue
+            owner = service.node_for_key(key)
+            taken = {owner, *existing}
+            candidates = [
+                n for n in sorted(node_load)
+                if n not in taken and self.data_ids[n] not in self._failed
+            ]
+            if not candidates:
+                continue
+            target = min(candidates, key=lambda n: (node_load[n], n))
+            try:
+                self._client(self.data_ids[owner]).call(
+                    "region_push", keys=[key], target=self.data_ids[target],
+                )
+            except (PeerUnavailable, RpcError, ConnectionClosed):
+                continue
+            service.replicate_key(key, target)
+            node_load[target] += count / (len(existing) + 2)
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "placement.replicate", parent=self._job_span,
+                    at=self._now(), key=repr(key),
+                    node=self.data_ids[target], epoch=service.generation,
+                )
+
+    def _reassign_dead_buckets(self, worker_id: str) -> bool:
+        """Move a written-off data worker's buckets to its ring successor.
+
+        Returns True when the placement changed (caller broadcasts the
+        new epoch *outside* the driver lock).  Keys whose only copy was
+        the corpse's static partition stay lost — identical to the
+        non-elastic write-off — but buckets previously migrated or
+        replicated elsewhere keep serving.
+        """
+        service = self.placement_service
+        if service is None or worker_id not in self.data_ids:
+            return False
+        dead = self.data_ids.index(worker_id)
+        live = [
+            n for n, wid in enumerate(self.data_ids)
+            if wid != worker_id and wid not in self._failed
+        ]
+        if not live:
+            return False
+        service.on_node_dead(dead)
+        successor = next((n for n in live if n > dead), live[0])
+        for region in list(service.regions_on_node(dead)):
+            service.move_region(region, successor)
+        return True
+
+    # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
     def run(self) -> dict[int, Any]:
@@ -437,12 +648,24 @@ class ClusterDriver:
         batches = self._batches()
         self.info.n_batches = len(batches)
         outputs: dict[int, Any] = {}
+        runner = (
+            self._run_waves if self.engine == "streaming" else self._run_pooled
+        )
         if self.kill_plan is not None:
             self._run_sequential_with_kill(op, batches, outputs)
-        elif self.engine == "streaming":
-            self._run_waves(op, batches, outputs)
+        elif self.elastic is not None and len(batches) > 1:
+            # Elastic: dispatch a leading fraction to gather real load
+            # observations, run one rebalance round (replication +
+            # bucket migration + epoch broadcast), then finish.
+            cut = min(
+                len(batches) - 1,
+                max(1, int(len(batches) * self.elastic.migrate_after_fraction)),
+            )
+            runner(op, batches[:cut], outputs)
+            self._rebalance()
+            runner(op, batches[cut:], outputs)
         else:
-            self._run_pooled(op, batches, outputs)
+            runner(op, batches, outputs)
         return outputs
 
     def _batches(self) -> list[dict[str, Any]]:
@@ -606,6 +829,8 @@ class ClusterDriver:
             merge_counters(
                 self.registry, self.info.worker_counters, prefix="cluster."
             )
+            if self.placement_service is not None:
+                self.placement_service.publish(self.registry)
             for client in self._clients.values():
                 for name, value in client.stats().items():
                     if value:

@@ -67,7 +67,11 @@ CRASH_EXIT_CODE = 23
 #: snapshot/shutdown/ping) stay reliable so chaos cannot wedge cleanup.
 FAULTABLE_OPS = frozenset(
     {"get_values", "run_batch", "map_batch", "probe_batch",
-     "reduce_batch", "join_probe", "echo_count"}
+     "reduce_batch", "join_probe", "echo_count",
+     # Elastic placement data plane: bucket copies cross the same wire
+     # as values, so chaos perturbs them too (the replay caches and the
+     # static-owner fallback keep them exactly-once / lossless).
+     "region_push", "region_install"}
 )
 
 
@@ -144,6 +148,18 @@ class _Worker:
             self.values = partition_values(
                 workload, spec.data_index, spec.n_data_partitions
             )
+        #: Elastic placement frame from the driver (welcome or a
+        #: ``placement_update`` broadcast): ``{"epoch", "n_buckets",
+        #: "buckets" (bucket -> worker_id), "replicas"}``.  ``None``
+        #: keeps the worker on the legacy static-partition routing,
+        #: byte-identical to pre-elastic behaviour.
+        self.placement: dict[str, Any] | None = None
+        self._replica_map: dict[Hashable, list[str]] = {}
+        self._placement_lock = threading.Lock()
+        #: Per-bucket / per-key serve counts (data role, elastic only):
+        #: the load observations the driver's rebalance round pulls.
+        self.bucket_counts: dict[int, float] = {}
+        self.key_counts: dict[Hashable, float] = {}
         schedule = spec.schedule
         if schedule is not None and not spec.crash_armed:
             schedule = replace(schedule, crashes=())
@@ -180,9 +196,31 @@ class _Worker:
             return client
 
     def data_worker_for(self, key: Hashable) -> str:
+        placement = self.placement
+        if placement is not None:
+            bucket = stable_hash(key) % placement["n_buckets"]
+            owner = placement["buckets"][bucket]
+            extra = self._replica_map.get(key)
+            if extra:
+                # Hot-key read fan-in: deterministic per reader, so the
+                # value cache stays exact and two runs route alike.
+                serving = [owner] + [w for w in extra if w != owner]
+                return serving[self.spec.node_id % len(serving)]
+            return owner
         index = owner_index(key, self.spec.n_data_partitions)
         worker_id = self.data_worker_ids[index]
         return worker_id
+
+    def apply_placement(self, frame: dict[str, Any]) -> int:
+        """Adopt a placement frame if its epoch is newer; returns ours."""
+        with self._placement_lock:
+            current = self.placement
+            if current is None or frame["epoch"] > current["epoch"]:
+                self.placement = frame
+                self._replica_map = {
+                    key: list(workers) for key, workers in frame["replicas"]
+                }
+            return self.placement["epoch"]  # type: ignore[index]
 
     @property
     def data_worker_ids(self) -> list[str]:
@@ -226,6 +264,51 @@ class _Worker:
                 self.value_cache.update(fetched)
             resolved.update(fetched)
         return resolved
+
+    def _count_serves(self, keys: list[Hashable]) -> None:
+        """Record per-bucket / per-key load (the rebalance observations)."""
+        # Per-worker serve volume, placement or not: the skew benchmark
+        # reads these back as ``cluster.served.<worker>`` to compare the
+        # hottest node's share with elasticity off vs on.
+        self.bump(f"served.{self.spec.worker_id}", float(len(keys)))
+        placement = self.placement
+        if placement is None:
+            return
+        n_buckets = placement["n_buckets"]
+        with self._placement_lock:
+            for key in keys:
+                bucket = stable_hash(key) % n_buckets
+                self.bucket_counts[bucket] = self.bucket_counts.get(bucket, 0.0) + 1.0
+                self.key_counts[key] = self.key_counts.get(key, 0.0) + 1.0
+
+    def _ensure_values(self, keys: list[Hashable]) -> None:
+        """Fetch rows this worker serves but does not hold yet.
+
+        Elastic placement can route a key here (migrated bucket, hot-key
+        replica) before — or without — a ``region_install`` having
+        landed.  The static owner always retains its partition (copies
+        never delete), so a lazy fetch from it is both safe and
+        terminating: a worker *is* its own static owner for its base
+        partition, and that case never misses.
+        """
+        if self.placement is None:
+            return
+        missing: dict[str, list[Hashable]] = {}
+        n = self.spec.n_data_partitions
+        for key in keys:
+            if key in self.values:
+                continue
+            static_owner = self.data_worker_ids[owner_index(key, n)]
+            if static_owner == self.spec.worker_id:
+                continue  # genuinely unknown key; let the KeyError surface
+            missing.setdefault(static_owner, []).append(key)
+        for worker_id, wanted in missing.items():
+            fetched = self.call_peer(
+                worker_id, "get_values", keys=sorted(set(wanted), key=repr)
+            )
+            with self._value_lock:
+                self.values.update(fetched)
+            self.bump("placement.lazy_fetches", len(fetched))
 
     def apply_udf(
         self,
@@ -280,6 +363,8 @@ class _Worker:
         if op == "get_values":
             self._require_role("data", op)
             keys = request["keys"]
+            self._count_serves(keys)
+            self._ensure_values(keys)
             self.bump("values.served", len(keys))
             return {key: self.values[key] for key in keys}
         if op == "run_batch":
@@ -301,7 +386,25 @@ class _Worker:
             self._require_role("data", op)
             tids, keys = request["tids"], request["keys"]
             params = request.get("params")
+            self._count_serves(keys)
+            self._ensure_values(keys)
             return self.apply_udf(tids, keys, params, self.values)
+        if op == "bucket_loads":
+            self._require_role("data", op)
+            return self._bucket_loads()
+        if op == "region_push":
+            self._require_role("data", op)
+            return self._region_push(request)
+        if op == "region_install":
+            self._require_role("data", op)
+            rows = request["rows"]
+            with self._value_lock:
+                self.values.update(dict(rows))
+            self.bump("placement.installed", len(rows))
+            return {"installed": len(rows)}
+        if op == "placement_update":
+            epoch = self.apply_placement(request["placement"])
+            return {"worker_id": self.spec.worker_id, "epoch": epoch}
         if op == "snapshot":
             return self.snapshot()
         if op == "shutdown":
@@ -341,6 +444,9 @@ class _Worker:
         outputs: dict[int, Any] = {}
         udf = self.udf
         n = 0
+        group_keys = [key for key, _pairs in request["groups"]]
+        self._count_serves(group_keys)
+        self._ensure_values(group_keys)
         for key, pairs in request["groups"]:
             stored = self.values[key]
             for tid, p in pairs:
@@ -368,6 +474,50 @@ class _Worker:
             outputs.update(reduced)
         self.bump("shuffle.partitions", len(by_owner))
         return outputs
+
+    # -- elastic placement: load observation + live bucket copies -------
+    def _bucket_loads(self) -> dict[str, Any]:
+        """The serve counts the driver's rebalance round aggregates."""
+        with self._placement_lock:
+            buckets = dict(self.bucket_counts)
+            hot = sorted(
+                self.key_counts.items(), key=lambda kv: (-kv[1], repr(kv[0]))
+            )[:16]
+        return {"buckets": buckets, "keys": hot}
+
+    def _region_push(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Copy a bucket (or named keys) to another data worker.
+
+        The real-RPC leg of a live migration: the driver asks the
+        current holder, and the rows travel worker->worker through the
+        peer mesh (never through the driver).  Pushing copies — it never
+        deletes — so the source keeps serving through the cutover and
+        the static owner remains the fallback of last resort.
+        """
+        target = str(request["target"])
+        keys = request.get("keys")
+        with self._value_lock:
+            if keys is None:
+                bucket = int(request["bucket"])
+                placement = self.placement
+                if placement is None:
+                    raise RpcError("region_push", {
+                        "kind": "no_placement",
+                        "detail": "worker has no placement frame",
+                    })
+                n_buckets = placement["n_buckets"]
+                rows = [
+                    (key, value)
+                    for key, value in self.values.items()
+                    if stable_hash(key) % n_buckets == bucket
+                ]
+            else:
+                rows = [
+                    (key, self.values[key]) for key in keys if key in self.values
+                ]
+        self.call_peer(target, "region_install", rows=rows)
+        self.bump("placement.pushed", len(rows))
+        return {"moved": len(rows)}
 
     # ------------------------------------------------------------------
     def snapshot(self) -> dict[str, Any]:
@@ -442,6 +592,8 @@ def _run_worker(worker: _Worker) -> None:
             raise RuntimeError(f"expected welcome frame, got {welcome!r}")
         worker.peers = dict(welcome["peers"])
         worker.peers["__data_ring__"] = list(welcome["data_ring"])
+        if "placement" in welcome:
+            worker.apply_placement(welcome["placement"])
     worker.log(f"welcomed; {len(worker.peers) - 1} peers")
 
     server.settimeout(0.2)

@@ -7,8 +7,11 @@ cost_model      Table 1 parameters and the tCompute/tFetch/tRec* costs
 smoothing       exponential smoothing of runtime cost measurements
 frequency       Lossy Counting approximate per-key access counts
 optimizer       Algorithm 1 ``skiRentalCaching`` request router
-load_balancer   Section 5 / Appendix C compute-vs-data-node balancing
 update_tracker  Section 4.2.3 update handling (invalidation + resets)
+
+Batch load balancing (Section 5 / Appendix C) moved to
+:mod:`repro.placement.batch`; the names below stay re-exported here and
+``repro.core.load_balancer`` remains as a deprecated shim.
 """
 
 from repro.core.ski_rental import (
@@ -28,7 +31,7 @@ from repro.core.optimizer import (
     Route,
     RoutingDecision,
 )
-from repro.core.load_balancer import (
+from repro.placement.batch import (
     BatchLoadBalancer,
     ComputeNodeStats,
     DataNodeStats,

@@ -169,6 +169,21 @@ class CostModel:
             tuple[Hashable, int], tuple[int, int, int, float, float]
         ] = {}
         self._memo_enabled = not reference_mode()
+        # Last placement epoch observed from the region map; a change
+        # (migration, split, replica grant) invalidates every memoized
+        # remote cost, since a key's serving node may have moved.
+        self._placement_epoch = 0
+
+    def observe_placement_epoch(self, epoch: int) -> None:
+        """Note the placement epoch; invalidate memos when it advances.
+
+        With a static map the epoch never moves and this is a single
+        integer compare; under elastic placement each mutation bumps it
+        exactly once per compute node.
+        """
+        if epoch != self._placement_epoch:
+            self._placement_epoch = epoch
+            self._epoch += 1
 
     # ------------------------------------------------------------------
     # Observation side: fold measured parameters into the estimates.

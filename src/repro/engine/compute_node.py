@@ -27,7 +27,7 @@ import numpy as np
 from repro.cache.tiered import CacheTier, TieredCache
 from repro.core.cost_model import CostModel
 from repro.core.frequency import ExactCounter, LossyCounter
-from repro.core.load_balancer import ComputeNodeStats, SizeProfile
+from repro.placement.batch import ComputeNodeStats, SizeProfile
 from repro.core.optimizer import JoinLocationOptimizer, Route
 from repro.core.smoothing import SmoothedValue
 from repro.engine.batching import AdaptiveBatchBuffer, BatchBuffer
@@ -315,11 +315,20 @@ class ComputeNodeRuntime:
         if region_map.generation != self._dst_gen:
             self._dst_cache.clear()
             self._dst_gen = region_map.generation
+            # Placement epoch advanced (migration/split/replica): the
+            # cost model's memoized route costs key on it, so stale
+            # entries invalidate on the next lookup.
+            self.cost_model.observe_placement_epoch(region_map.generation)
             dst = None
         else:
             dst = self._dst_cache.get(key)
         if dst is None:
-            dst = region_map.node_for_key(key)
+            if getattr(region_map, "elastic_active", False):
+                # Hot-key read fan-in: readers spread across the
+                # owner + replicas deterministically by node id.
+                dst = region_map.route_for_key(key, self.node_id)
+            else:
+                dst = region_map.node_for_key(key)
             self._dst_cache[key] = dst
         assert self.optimizer is not None
         route, value = self.optimizer.route_fast(key, dst)
@@ -410,19 +419,37 @@ class ComputeNodeRuntime:
                 frozen=self._frozen(),
             )
 
+    def _dst_for(self, key: Hashable) -> int:
+        """Serving node for a read of ``key`` under the current epoch."""
+        region_map = self.kvstore.region_map
+        if region_map.generation != self._dst_gen:
+            self._dst_cache.clear()
+            self._dst_gen = region_map.generation
+            self.cost_model.observe_placement_epoch(region_map.generation)
+        dst = self._dst_cache.get(key)
+        if dst is None:
+            if getattr(region_map, "elastic_active", False):
+                dst = region_map.route_for_key(key, self.node_id)
+            else:
+                dst = region_map.node_for_key(key)
+            self._dst_cache[key] = dst
+        return dst
+
     def _route_and_dispatch(
         self, tuple_id: int, key: Hashable, params: Any = None
     ) -> None:
-        dst = self.kvstore.node_for_key(key)
         if not self.udf.side_effect_free:
             # Side-effecting UDFs must run exactly once at the row's
             # owner: always a compute request, never cached, never
             # bounced (the batch omits the statistics the balancer
-            # would need, so the data node executes everything).
+            # would need, so the data node executes everything) and
+            # never served by a hot-key replica.
+            dst = self.kvstore.node_for_key(key)
             self._record(tuple_id, key, Route.COMPUTE_REQUEST.value)
             self._enqueue(dst, tuple_id, key, RequestKind.COMPUTE,
                           Route.COMPUTE_REQUEST, params)
             return
+        dst = self._dst_for(key)
         policy = self.config.routing
         if policy is RoutingPolicy.SKI_RENTAL:
             assert self.optimizer is not None

@@ -20,7 +20,7 @@ from typing import Any, Hashable, Iterable, Sequence
 import numpy as np
 
 from repro.core.frequency import LossyCounter
-from repro.core.load_balancer import BatchLoadBalancer, SizeProfile
+from repro.placement.batch import BatchLoadBalancer, SizeProfile
 from repro.engine.compute_node import ComputeNodeRuntime
 from repro.engine.strategies import StrategyConfig
 from repro.sim.cluster import Cluster

@@ -21,7 +21,7 @@ from typing import Any, Hashable, Iterable, Sequence
 import numpy as np
 
 from repro.core.frequency import ExactCounter, LossyCounter
-from repro.core.load_balancer import BatchLoadBalancer, SizeProfile
+from repro.placement.batch import BatchLoadBalancer, SizeProfile
 from repro.engine.compute_node import ComputeNodeRuntime
 from repro.engine.requests import UDF
 from repro.engine.strategies import StrategyConfig
@@ -32,13 +32,14 @@ from repro.obs.registry import MetricsRegistry, ambient_registry
 from repro.obs.tracer import NO_TRACER, Tracer
 from repro.obs.usage import publish_job_result
 from repro.perf.mode import reference_mode
+from repro.placement import ElasticCoordinator, ElasticOptions, PlacementService
 from repro.resilience.manager import ResilienceManager
 from repro.resilience.options import ResilienceOptions
 from repro.sim.cluster import Cluster
 from repro.sim.rng import derive_seed
 from repro.store.datanode import DataNodeServer
 from repro.store.kvstore import KVStore
-from repro.store.partitioner import HashPartitioner, RegionMap
+from repro.store.partitioner import HashPartitioner
 from repro.store.table import Table
 
 
@@ -201,12 +202,18 @@ class JoinJob:
     #: control (repro.resilience).  ``None`` or ``enabled=False`` wires
     #: nothing and is bit-identical to a pre-resilience run.
     resilience: ResilienceOptions | None = None
+    #: Opt-in elastic placement (repro.placement): region split/merge,
+    #: live migration and hot-key replication driven by the frequency
+    #: sketch.  ``None`` or ``enabled=False`` leaves the placement
+    #: service inert — bit-identical to the static region map.
+    elastic: ElasticOptions | None = None
     seed: int = 0
     kvstore: KVStore = field(init=False)
     servers: dict[int, DataNodeServer] = field(init=False)
     runtimes: dict[int, ComputeNodeRuntime] = field(init=False)
     injector: FaultInjector | None = field(init=False, default=None)
     resilience_manager: ResilienceManager | None = field(init=False, default=None)
+    elastic_coordinator: ElasticCoordinator | None = field(init=False, default=None)
 
     def __post_init__(self) -> None:
         if not self.compute_nodes or not self.data_nodes:
@@ -214,7 +221,9 @@ class JoinJob:
         partitioner = HashPartitioner(
             n_regions=self.regions_per_node * len(self.data_nodes)
         )
-        region_map = RegionMap.round_robin(partitioner, list(self.data_nodes))
+        # Every layer consults this one epoch-stamped map; inert (no
+        # coordinator) it behaves exactly like the static RegionMap.
+        region_map = PlacementService.round_robin(partitioner, list(self.data_nodes))
         self.kvstore = KVStore(self.table, region_map)
         self.servers = {
             dn: DataNodeServer(
@@ -381,6 +390,25 @@ class JoinJob:
             # Ticks gate on job progress so the event loop still drains.
             manager.start(active=lambda: self._completions < n_tuples)
             self.resilience_manager = manager
+
+        if self.elastic is not None and self.elastic.enabled:
+            region_map = self.kvstore.region_map
+            if not isinstance(region_map, PlacementService):
+                raise TypeError(
+                    "elastic placement requires a PlacementService region map"
+                )
+            coordinator = ElasticCoordinator(
+                cluster=self.cluster,
+                placement=region_map,
+                options=self.elastic,
+                table=self.table,
+                tracer=self.tracer,
+                obs_parent=job_span,
+            )
+            for runtime in self.runtimes.values():
+                coordinator.attach(runtime)
+            coordinator.start(active=lambda: self._completions < n_tuples)
+            self.elastic_coordinator = coordinator
 
         for feeder in feeders.values():
             feeder.prime()
@@ -589,6 +617,10 @@ class JoinJob:
             self.resilience_manager.publish(ambient_registry())
             if self.registry is not None:
                 self.resilience_manager.publish(self.registry)
+        if self.elastic_coordinator is not None:
+            self.elastic_coordinator.publish(ambient_registry())
+            if self.registry is not None:
+                self.elastic_coordinator.publish(self.registry)
         return result
 
 

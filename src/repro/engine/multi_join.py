@@ -20,7 +20,7 @@ from typing import Hashable, Sequence
 import numpy as np
 
 from repro.core.frequency import LossyCounter
-from repro.core.load_balancer import BatchLoadBalancer, SizeProfile
+from repro.placement.batch import BatchLoadBalancer, SizeProfile
 from repro.engine.compute_node import ComputeNodeRuntime
 from repro.engine.job import JobResult
 from repro.engine.requests import UDF

@@ -261,6 +261,45 @@ def _macro(engine: str, *, smoke: bool, headline: bool = False) -> Scenario:
     )
 
 
+def _macro_skew_migration() -> ScenarioRun:
+    """The elastic-placement macro: a z=1.5 hot spot the coordinator
+    actively splits, migrates and replicates away mid-run.
+
+    The reference/optimized modes observe the frequency sketches at
+    different instants (``route`` vs ``route_fast``), which can shift
+    *when* the coordinator acts and therefore the makespan — so the
+    digest covers the join outputs only, which must be identical no
+    matter what the placement policy did.
+    """
+    from repro.api import JobSpec, RunConfig, run_join
+    from repro.placement import ElasticOptions
+
+    n_tuples = 4000
+    spec = JobSpec.synthetic(
+        kind="data_heavy", n_keys=400, n_tuples=n_tuples, skew=1.5, seed=21
+    )
+    report = run_join(
+        spec,
+        RunConfig(
+            engine="engine",
+            n_compute=4,
+            n_data=4,
+            seed=21,
+            memory_cache_bytes=2e5,
+            elastic=ElasticOptions.on(
+                check_interval=0.05,
+                min_observations=16,
+                split_factor=1.5,
+                hot_key_fraction=0.05,
+            ),
+        ),
+    )
+    parts = sorted(map(repr, report.outputs.items()))
+    return ScenarioRun(
+        sim_time=report.makespan, digest=_digest(parts), n_items=n_tuples
+    )
+
+
 # ----------------------------------------------------------------------
 # Cluster scenarios — real driver/worker processes over IPC
 # ----------------------------------------------------------------------
@@ -395,6 +434,19 @@ SCENARIOS: tuple[Scenario, ...] = (
     _cluster("mapreduce"),
     _cluster("engine", placement="colocated"),
     _cluster("engine", chaos=True),
+    # ... the elastic-placement macro (outputs-only digest; the CI
+    # elastic-smoke job runs it, not the perf-smoke timing gate) ...
+    Scenario(
+        name="macro_skew_migration",
+        kind="macro",
+        description=(
+            "Zipf z=1.5 hot spot with elastic placement on (region "
+            "splits, live migration, hot-key replicas), engine on "
+            "SimBackend, 4000 tuples — outputs-only digest"
+        ),
+        runner=_macro_skew_migration,
+        tags=("skew", "placement", "engine"),
+    ),
     # ... and the headline scenario the speedup gate runs ref-vs-opt.
     _macro("engine", smoke=False, headline=True),
 )

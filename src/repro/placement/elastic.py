@@ -1,0 +1,308 @@
+"""The elastic placement policy loop.
+
+:class:`ElasticCoordinator` is the background process that turns the
+per-key frequency observations every compute node already collects
+(the Lossy-Counting sketches feeding the ski-rental router, Section
+4.3) into placement actions on the shared
+:class:`~repro.placement.service.PlacementService`:
+
+* **replicate** a pathological hot key that dominates the stream —
+  no split can spread a single key, so extra serving replicas absorb
+  its reads (fan-in happens at the router);
+* **split** a region whose load far exceeds the per-region mean and
+  that holds several distinct tracked keys;
+* **merge** a split pair back once its combined load goes cold;
+* **migrate** regions between data nodes when per-node loads diverge,
+  using the long-term planner (:mod:`repro.placement.balancer`) and
+  executing each move as copy (a real network transfer charged to the
+  simulated NICs) then cutover with a double-serve window.
+
+The coordinator follows the :class:`~repro.resilience.manager.ResilienceManager`
+lifecycle: ``start(active=...)`` arms a self-rescheduling simulator
+timer that stops firing once the job drains, so an idle simulation
+still terminates.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Hashable
+
+from repro.obs.tracer import NO_TRACER, Tracer
+from repro.placement.balancer import node_loads, plan_rebalance
+from repro.placement.options import ElasticOptions
+from repro.placement.service import PlacementService
+
+#: Safety valve: one timer chain can fire at most this many times.
+MAX_TICKS_PER_TIMER = 100_000
+
+
+class ElasticCoordinator:
+    """Drive split/merge/migration/replication from observed frequencies.
+
+    Parameters
+    ----------
+    cluster:
+        The simulated cluster (clock, network, event queue).
+    placement:
+        The shared placement service every layer consults.
+    options:
+        Policy knobs (:class:`ElasticOptions`); must be enabled.
+    table:
+        The stored table, used to size region copies for migration.
+    tracer:
+        Span/event sink for ``placement.*`` observability.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        placement: PlacementService,
+        options: ElasticOptions,
+        table,
+        tracer: Tracer = NO_TRACER,
+        obs_parent=None,
+    ) -> None:
+        if not options.enabled:
+            raise ValueError("ElasticCoordinator requires enabled ElasticOptions")
+        self.cluster = cluster
+        self.placement = placement
+        self.options = options
+        self.table = table
+        self.tracer = tracer
+        self._obs_parent = obs_parent
+        self._runtimes: list = []
+        self._active: Callable[[], bool] = lambda: False
+        self._started = False
+        placement.elastic_active = True
+
+    def attach(self, runtime) -> None:
+        """Register a compute-node runtime whose sketch feeds the policy."""
+        self._runtimes.append(runtime)
+
+    def start(self, active: Callable[[], bool]) -> None:
+        """Arm the policy timer; ``active`` gates every tick."""
+        if self._started:
+            raise RuntimeError("coordinator already started")
+        self._started = True
+        self._active = active
+        self._arm(self.options.check_interval, self._tick)
+
+    # ------------------------------------------------------------------
+    # Timer plumbing (mirrors ResilienceManager._arm)
+    # ------------------------------------------------------------------
+    def _arm(self, interval: float, body: Callable[[], None]) -> None:
+        ticks = [0]
+
+        def tick() -> None:
+            if not self._active() or ticks[0] >= MAX_TICKS_PER_TIMER:
+                return
+            ticks[0] += 1
+            body()
+            self.cluster.sim.schedule_after(interval, tick)
+
+        self.cluster.sim.schedule_after(interval, tick)
+
+    # ------------------------------------------------------------------
+    # Policy
+    # ------------------------------------------------------------------
+    def _observed_counts(self) -> dict[Hashable, int]:
+        """Merge every attached node's frequency sketch (node order)."""
+        counts: dict[Hashable, int] = {}
+        for runtime in self._runtimes:
+            counter = getattr(runtime.optimizer, "counter", None)
+            if counter is None:
+                continue
+            for key, count in counter.items():
+                counts[key] = counts.get(key, 0) + count
+        return counts
+
+    def _tick(self) -> None:
+        now = self.cluster.sim.now
+        placement = self.placement
+        placement.prune_double_serve(now)
+        counts = self._observed_counts()
+        total = sum(counts.values())
+        if total < self.options.min_observations:
+            return
+        region_loads: dict[int, float] = defaultdict(float)
+        region_keys: dict[int, int] = defaultdict(int)
+        for key, count in counts.items():
+            region = placement.region_of(key)
+            region_loads[region] += count
+            region_keys[region] += 1
+        self._replicate_hot_keys(now, counts, total, region_loads)
+        visible = placement.visible_regions()
+        mean = total / max(len(visible), 1)
+        self._split_hot_regions(now, visible, region_loads, region_keys, mean)
+        self._merge_cold_pairs(now, region_loads, mean)
+        self._migrate(now, dict(region_loads))
+
+    def _replicate_hot_keys(
+        self,
+        now: float,
+        counts: dict[Hashable, int],
+        total: int,
+        region_loads: dict[int, float],
+    ) -> None:
+        opts = self.options
+        if opts.max_replicas == 0:
+            return
+        placement = self.placement
+        threshold = opts.hot_key_fraction * total
+        loads = node_loads(placement, region_loads)
+        for key, count in counts.items():
+            if count < threshold:
+                continue
+            existing = placement.replicas_of(key)
+            if len(existing) >= opts.max_replicas:
+                continue
+            owner = placement.node_for_key(key)
+            taken = {owner, *existing}
+            candidates = [n for n in sorted(loads) if n not in taken]
+            if not candidates:
+                continue
+            target = min(candidates, key=lambda n: (loads[n], n))
+            placement.replicate_key(key, target)
+            # Spread the key's observed load across its serving set so
+            # later decisions in this tick see the post-replica picture.
+            loads[target] += count / (len(existing) + 2)
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "placement.replicate",
+                    parent=self._obs_parent,
+                    at=now,
+                    key=repr(key),
+                    node=target,
+                    epoch=placement.generation,
+                )
+
+    def _split_hot_regions(
+        self,
+        now: float,
+        visible: list[int],
+        region_loads: dict[int, float],
+        region_keys: dict[int, int],
+        mean: float,
+    ) -> None:
+        placement = self.placement
+        hot = [
+            r
+            for r in visible
+            if region_loads.get(r, 0.0) > self.options.split_factor * mean
+            and region_keys.get(r, 0) >= 2
+            and r not in placement.migrating_regions
+        ]
+        if not hot:
+            return
+        region = max(hot, key=lambda r: (region_loads[r], r))
+        left, right = placement.split_region(region)
+        if self.tracer.enabled:
+            self.tracer.event(
+                "placement.split",
+                parent=self._obs_parent,
+                at=now,
+                region=region,
+                left=left,
+                right=right,
+                epoch=placement.generation,
+            )
+
+    def _merge_cold_pairs(
+        self, now: float, region_loads: dict[int, float], mean: float
+    ) -> None:
+        placement = self.placement
+        threshold = self.options.merge_factor * mean
+        for parent, (left, right, _bit) in list(placement._splits.items()):
+            if left in placement._splits or right in placement._splits:
+                continue
+            busy = placement.migrating_regions | set(placement._double_serve)
+            if left in busy or right in busy:
+                continue
+            if placement.node_for_region(left) != placement.node_for_region(right):
+                continue
+            combined = region_loads.get(left, 0.0) + region_loads.get(right, 0.0)
+            if combined >= threshold:
+                continue
+            placement.merge_regions(parent)
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "placement.merge",
+                    parent=self._obs_parent,
+                    at=now,
+                    region=parent,
+                    epoch=placement.generation,
+                )
+
+    def _migrate(self, now: float, region_loads: dict[int, float]) -> None:
+        opts = self.options
+        if opts.migration_max_moves == 0:
+            return
+        placement = self.placement
+        budget = opts.migration_max_moves - len(placement.migrating_regions)
+        if budget <= 0:
+            return
+        moves = plan_rebalance(
+            placement,
+            region_loads,
+            max_moves=budget,
+            tolerance=opts.migration_tolerance,
+        )
+        for move in moves:
+            if move.region in placement.migrating_regions:
+                continue
+            if move.region in placement._double_serve:
+                continue
+            self._start_migration(now, move.region, move.to_node)
+
+    def _start_migration(self, now: float, region: int, to_node: int) -> None:
+        placement = self.placement
+        old = placement.begin_migration(region, to_node)
+        nbytes = self._region_bytes(region)
+        transfer = self.cluster.network.transfer(now, old, to_node, nbytes)
+        span = None
+        if self.tracer.enabled:
+            span = self.tracer.start(
+                "placement.migrate",
+                parent=self._obs_parent,
+                at=now,
+                region=region,
+                src=old,
+                dst=to_node,
+                bytes=nbytes,
+            )
+
+        def cutover() -> None:
+            if placement._migrating.get(region) != to_node:
+                # Aborted mid-copy (e.g. the target died); nothing lands.
+                if span is not None:
+                    self.tracer.end(
+                        span, at=self.cluster.sim.now, status="aborted"
+                    )
+                return
+            at = self.cluster.sim.now
+            placement.complete_migration(
+                region, to_node, at=at, serve_window=self.options.double_serve_window
+            )
+            if span is not None:
+                self.tracer.end(span, at=at, epoch=placement.generation)
+
+        self.cluster.sim.schedule_at(transfer.arrive, cutover)
+
+    def _region_bytes(self, region: int) -> float:
+        placement = self.placement
+        total = 0.0
+        for row in self.table.rows():
+            if placement.region_of(row.key) == region:
+                total += row.size
+        return max(total, 1.0)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def publish(self, registry) -> None:
+        """Export the service's ``placement.*`` counters."""
+        self.placement.publish(registry)
+
+
+__all__ = ["MAX_TICKS_PER_TIMER", "ElasticCoordinator"]

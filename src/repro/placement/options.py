@@ -1,0 +1,90 @@
+"""Opt-in knobs for elastic placement.
+
+Mirrors the :class:`~repro.resilience.options.ResilienceOptions`
+pattern: a frozen dataclass that is **off by default**, so a
+:class:`~repro.api.RunConfig` that never mentions elasticity wires
+nothing and stays bit-identical to the static region map (enforced
+differentially by ``tests/test_placement.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class ElasticOptions:
+    """Configuration for runtime placement elasticity.
+
+    With ``enabled=False`` (the default) the placement service is inert:
+    no coordinator runs, no epoch ever advances, and every layer behaves
+    exactly as it did with the static map.
+    """
+
+    #: Master switch; everything below is ignored when False.
+    enabled: bool = False
+    #: Simulated seconds between coordinator policy ticks.
+    check_interval: float = 0.25
+    #: Minimum observed requests (summed over the per-node frequency
+    #: sketches) before the coordinator takes any action.
+    min_observations: int = 64
+    #: Split a region when its observed load exceeds ``split_factor``
+    #: times the mean per-region load (and it holds >= 2 tracked keys).
+    split_factor: float = 2.0
+    #: Merge a split pair back when its combined load falls below
+    #: ``merge_factor`` times the mean per-region load.
+    merge_factor: float = 0.25
+    #: Replicate a key once it accounts for at least this fraction of
+    #: all observed requests (a pathological hot key no split can fix).
+    hot_key_fraction: float = 0.2
+    #: Maximum extra serving replicas per hot key.
+    max_replicas: int = 2
+    #: Region migrations allowed per rebalance round.
+    migration_max_moves: int = 1
+    #: Load-spread tolerance passed to the rebalance planner.
+    migration_tolerance: float = 0.1
+    #: Seconds after a migration cutover during which the old owner
+    #: still serves the region (in-flight requests never miss).
+    double_serve_window: float = 0.5
+    #: ClusterBackend: fraction of batches to dispatch before the
+    #: driver runs its mid-run rebalance round.
+    migrate_after_fraction: float = 0.25
+    #: ClusterBackend: logical placement buckets per data worker.
+    buckets_per_node: int = 8
+
+    def __post_init__(self) -> None:
+        if self.check_interval <= 0:
+            raise ValueError("check_interval must be positive")
+        if self.min_observations < 1:
+            raise ValueError("min_observations must be >= 1")
+        if self.split_factor <= 1.0:
+            raise ValueError("split_factor must be > 1")
+        if not 0.0 < self.merge_factor < 1.0:
+            raise ValueError("merge_factor must be in (0, 1)")
+        if not 0.0 < self.hot_key_fraction <= 1.0:
+            raise ValueError("hot_key_fraction must be in (0, 1]")
+        if self.max_replicas < 0:
+            raise ValueError("max_replicas must be >= 0")
+        if self.migration_max_moves < 0:
+            raise ValueError("migration_max_moves must be >= 0")
+        if self.migration_tolerance < 0:
+            raise ValueError("migration_tolerance must be non-negative")
+        if self.double_serve_window < 0:
+            raise ValueError("double_serve_window must be non-negative")
+        if not 0.0 <= self.migrate_after_fraction <= 1.0:
+            raise ValueError("migrate_after_fraction must be in [0, 1]")
+        if self.buckets_per_node < 1:
+            raise ValueError("buckets_per_node must be >= 1")
+
+    @classmethod
+    def off(cls) -> "ElasticOptions":
+        """Elasticity disabled (the default; bit-identical to static)."""
+        return cls()
+
+    @classmethod
+    def on(cls, **overrides) -> "ElasticOptions":
+        """Elasticity enabled with optional knob overrides."""
+        return replace(cls(enabled=True), **overrides)
+
+
+__all__ = ["ElasticOptions"]

@@ -1,0 +1,421 @@
+"""The versioned logical->physical placement map.
+
+:class:`PlacementService` extends the static
+:class:`~repro.store.partitioner.RegionMap` with the three runtime
+mechanisms ROADMAP item 2 calls for:
+
+* **region split/merge** — a hot base region is split into two child
+  regions distinguished by one extra bit of the key's stable hash; a
+  cold split pair merges back.  Split parents become interior nodes of
+  a binary region tree and stop owning keys themselves.
+* **live migration** — a region moves between data nodes with
+  copy-then-cutover semantics: the new owner takes over at cutover,
+  while the old owner keeps serving for a *double-serve window* so
+  requests routed under the old epoch never miss.
+* **hot-key replication** — a pathologically hot key gains extra
+  serving replicas; readers fan in deterministically across
+  owner + replicas.
+
+Every mutation bumps ``generation`` (the **placement epoch**).  All
+key->node caches in the engine already key on ``generation`` (PR 5's
+epoch-counter memoization), so invalidation is a single integer
+compare.  A request that reaches a node which, under the *current*
+epoch, may not serve one of its keys is answered with
+:class:`WrongRegion` — a redirect carrying the current owners — rather
+than a wrong answer; the transport re-routes it.
+
+Constructed with elasticity off (no coordinator attached,
+``elastic_active`` False) the service is behaviorally identical to
+``RegionMap``: the key-routing fast path short-circuits before any
+elastic bookkeeping, no epoch ever advances, and the data-node serve
+path skips the ownership check entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+#: Bit offset into the 64-bit stable hash used by the first split level.
+#: ``HashPartitioner`` consumes the hash modulo ``n_regions``; taking
+#: split bits from the top half keeps them effectively independent of
+#: the base region id for any practical region count.
+_SPLIT_BIT_BASE = 32
+
+#: Counter names the service maintains (exported under ``placement.*``).
+COUNTER_NAMES = (
+    "splits",
+    "merges",
+    "migrations",
+    "redirects",
+    "cutover_stalls",
+    "hotkey_replica_hits",
+)
+
+
+class WrongRegion(Exception):
+    """A batch reached a node that no longer owns one of its keys.
+
+    Raised by the data-node server *before any effect* (no disk, no
+    CPU, no UDF, no response-cache entry), so the transport can safely
+    re-route the whole batch under the current epoch.
+
+    Attributes
+    ----------
+    epoch:
+        The placement epoch the serving node observed.
+    owners:
+        ``{key: current_owner_node}`` for every key the serving node
+        refused (the redirect payload).
+    stalled:
+        True when the refusal happened because a double-serve window
+        had already expired — i.e. an in-flight request lost the race
+        with a migration cutover.
+    """
+
+    def __init__(
+        self, epoch: int, owners: dict[Hashable, int], stalled: bool = False
+    ) -> None:
+        super().__init__(
+            f"epoch {epoch}: {len(owners)} key(s) not served here any more"
+        )
+        self.epoch = epoch
+        self.owners = owners
+        self.stalled = stalled
+
+
+# Imported *after* WrongRegion so that repro.store.datanode — which the
+# repro.store package import below pulls in, and which itself imports
+# WrongRegion from this partially-initialized module — finds the name
+# already bound.  (service -> store.partitioner -> store/__init__ ->
+# datanode -> service is the cycle; WrongRegion-first breaks it.)
+from repro.store.partitioner import (  # noqa: E402
+    HashPartitioner,
+    RangePartitioner,
+    RegionMap,
+    stable_hash,
+)
+
+
+class PlacementService(RegionMap):
+    """Epoch-stamped region map with split/merge, migration, replicas."""
+
+    def __init__(
+        self,
+        partitioner: HashPartitioner | RangePartitioner,
+        region_nodes: Sequence[int],
+    ) -> None:
+        super().__init__(partitioner, region_nodes)
+        #: parent region -> (left child, right child, hash bit index).
+        self._splits: dict[int, tuple[int, int, int]] = {}
+        #: Split depth per region id (0 for base regions).
+        self._depth: dict[int, int] = {}
+        #: Split parents: interior tree nodes that no longer own keys.
+        self._hidden: set[int] = set()
+        #: Merged-away children: ids retired forever (never reused).
+        self._retired: set[int] = set()
+        #: Hot-key serving replicas (owner excluded).
+        self._replicas: dict[Hashable, tuple[int, ...]] = {}
+        #: region -> (old owner, serve-until time) after a cutover.
+        self._double_serve: dict[int, tuple[int, float]] = {}
+        #: Regions with a copy in flight (cutover not yet reached).
+        self._migrating: dict[int, int] = {}
+        #: True once an ElasticCoordinator attaches; gates the serve-side
+        #: ownership check so inert services never pay for it.
+        self.elastic_active = False
+        self.counters: dict[str, int] = {name: 0 for name in COUNTER_NAMES}
+
+    # ------------------------------------------------------------------
+    # RegionMap surface (split-aware)
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """The placement epoch (alias of ``generation``)."""
+        return self.generation
+
+    @property
+    def n_regions(self) -> int:
+        """Total region ids ever allocated (including interior/retired)."""
+        return len(self._region_nodes)
+
+    @property
+    def data_nodes(self) -> set[int]:
+        """The distinct nodes hosting at least one serving region."""
+        return {self._region_nodes[r] for r in self.visible_regions()}
+
+    def visible_regions(self) -> list[int]:
+        """Region ids that currently own keys (leaves of the split tree)."""
+        hidden, retired = self._hidden, self._retired
+        return [
+            r
+            for r in range(len(self._region_nodes))
+            if r not in hidden and r not in retired
+        ]
+
+    def region_of(self, key: Hashable) -> int:
+        """Leaf region owning ``key``, following the split tree."""
+        region = self.partitioner.region_of(key)
+        splits = self._splits
+        if not splits:
+            return region
+        entry = splits.get(region)
+        while entry is not None:
+            left, right, bit = entry
+            region = right if (stable_hash(key) >> bit) & 1 else left
+            entry = splits.get(region)
+        return region
+
+    def node_for_key(self, key: Hashable) -> int:
+        """Data node owning ``key`` under the current epoch."""
+        if not self._splits:
+            return self._region_nodes[self.partitioner.region_of(key)]
+        return self._region_nodes[self.region_of(key)]
+
+    def regions_on_node(self, node: int) -> list[int]:
+        """Serving regions hosted by ``node``."""
+        hidden, retired = self._hidden, self._retired
+        return [
+            r
+            for r, n in enumerate(self._region_nodes)
+            if n == node and r not in hidden and r not in retired
+        ]
+
+    def move_region(self, region: int, to_node: int) -> None:
+        """Reassign a serving region (bumps the epoch)."""
+        if region in self._hidden or region in self._retired:
+            raise ValueError(f"region {region} does not own keys any more")
+        super().move_region(region, to_node)
+
+    # ------------------------------------------------------------------
+    # Split / merge
+    # ------------------------------------------------------------------
+    def split_region(self, region: int) -> tuple[int, int]:
+        """Split ``region`` into two children on one extra hash bit.
+
+        Both children start on the parent's node (a split changes the
+        routing granularity, not data placement — migration does that),
+        so key->node routing is unchanged until someone moves a child.
+        Returns ``(left, right)``.
+        """
+        if region in self._hidden or region in self._retired:
+            raise ValueError(f"region {region} cannot be split")
+        if region in self._migrating:
+            raise ValueError(f"region {region} is migrating; split later")
+        depth = self._depth.get(region, 0)
+        bit = _SPLIT_BIT_BASE + depth
+        if bit > 63:
+            raise ValueError(f"region {region} is at maximum split depth")
+        node = self._region_nodes[region]
+        left = len(self._region_nodes)
+        self._region_nodes.append(node)
+        right = len(self._region_nodes)
+        self._region_nodes.append(node)
+        self._splits[region] = (left, right, bit)
+        self._depth[left] = depth + 1
+        self._depth[right] = depth + 1
+        self._hidden.add(region)
+        self.counters["splits"] += 1
+        self.generation += 1
+        return left, right
+
+    def merge_regions(self, parent: int) -> None:
+        """Undo the split of ``parent``: retire its children.
+
+        Requires both children to be unsplit leaves with no migration
+        in flight.  The parent resumes ownership on its left child's
+        node; a never-moved split pair therefore round-trips to the
+        exact pre-split map.
+        """
+        entry = self._splits.get(parent)
+        if entry is None:
+            raise ValueError(f"region {parent} is not split")
+        left, right, _bit = entry
+        for child in (left, right):
+            if child in self._splits:
+                raise ValueError(f"child region {child} is itself split")
+            if child in self._migrating or child in self._double_serve:
+                raise ValueError(f"child region {child} is mid-migration")
+        del self._splits[parent]
+        self._region_nodes[parent] = self._region_nodes[left]
+        self._retired.add(left)
+        self._retired.add(right)
+        self._depth.pop(left, None)
+        self._depth.pop(right, None)
+        self._hidden.discard(parent)
+        self.counters["merges"] += 1
+        self.generation += 1
+
+    # ------------------------------------------------------------------
+    # Live migration (copy-then-cutover)
+    # ------------------------------------------------------------------
+    def begin_migration(self, region: int, to_node: int) -> int:
+        """Mark a region copy as in flight; returns the current owner.
+
+        Ownership does not change yet — the copy proceeds while the old
+        owner keeps serving.  Call :meth:`complete_migration` when the
+        copy lands, or :meth:`abort_migration` to cancel.
+        """
+        if region in self._hidden or region in self._retired:
+            raise ValueError(f"region {region} does not own keys")
+        if region in self._migrating:
+            raise ValueError(f"region {region} is already migrating")
+        self._migrating[region] = to_node
+        return self._region_nodes[region]
+
+    def complete_migration(
+        self, region: int, to_node: int, *, at: float, serve_window: float
+    ) -> None:
+        """Cut over: the new node owns the region from ``at`` on.
+
+        The old owner remains a valid server for the region until
+        ``at + serve_window`` so requests already in flight under the
+        previous epoch land normally instead of redirecting.
+        """
+        if self._migrating.get(region) != to_node:
+            raise ValueError(f"no migration of region {region} to node {to_node}")
+        del self._migrating[region]
+        old = self._region_nodes[region]
+        if old == to_node:
+            return
+        self._double_serve[region] = (old, at + serve_window)
+        self.move_region(region, to_node)  # bumps the epoch
+        self.counters["migrations"] += 1
+
+    def abort_migration(self, region: int) -> None:
+        """Cancel an in-flight copy (e.g. the target died)."""
+        self._migrating.pop(region, None)
+
+    @property
+    def migrating_regions(self) -> set[int]:
+        """Regions with a copy currently in flight."""
+        return set(self._migrating)
+
+    def prune_double_serve(self, now: float) -> None:
+        """Drop double-serve grants whose window has passed."""
+        expired = [r for r, (_n, until) in self._double_serve.items() if until <= now]
+        for region in expired:
+            del self._double_serve[region]
+
+    # ------------------------------------------------------------------
+    # Hot-key replication
+    # ------------------------------------------------------------------
+    def replicate_key(self, key: Hashable, node: int) -> None:
+        """Add ``node`` as an extra serving replica for ``key``."""
+        owner = self.node_for_key(key)
+        current = self._replicas.get(key, ())
+        if node == owner or node in current:
+            return
+        self._replicas[key] = current + (node,)
+        self.generation += 1
+
+    def replicas_of(self, key: Hashable) -> tuple[int, ...]:
+        """Extra serving replicas registered for ``key``."""
+        return self._replicas.get(key, ())
+
+    def replica_map(self) -> dict[Hashable, tuple[int, ...]]:
+        """Every hot-key replica grant (``key -> extra serving nodes``)."""
+        return dict(self._replicas)
+
+    def drop_replicas(self, key: Hashable) -> None:
+        """Remove every replica grant for ``key``."""
+        if self._replicas.pop(key, None) is not None:
+            self.generation += 1
+
+    def route_for_key(self, key: Hashable, reader: int) -> int:
+        """Serving node for a read of ``key`` issued by ``reader``.
+
+        With replicas present, readers fan in deterministically across
+        owner + replicas (stable per reader, so caches stay exact);
+        without, this is exactly :meth:`node_for_key`.
+        """
+        owner = self.node_for_key(key)
+        replicas = self._replicas.get(key)
+        if not replicas:
+            return owner
+        choices = (owner, *replicas)
+        return choices[reader % len(choices)]
+
+    # ------------------------------------------------------------------
+    # Serve-side ownership check
+    # ------------------------------------------------------------------
+    def may_serve(self, key: Hashable, node: int, at: float) -> bool:
+        """May ``node`` answer a request for ``key`` at time ``at``?
+
+        True for the current owner, a registered hot-key replica, and
+        the pre-cutover owner within its double-serve window.
+        """
+        region = self.region_of(key)
+        if self._region_nodes[region] == node:
+            return True
+        replicas = self._replicas.get(key)
+        if replicas and node in replicas:
+            self.counters["hotkey_replica_hits"] += 1
+            return True
+        grant = self._double_serve.get(region)
+        if grant is not None and grant[0] == node and at < grant[1]:
+            return True
+        return False
+
+    def check_batch(
+        self, keys, node: int, at: float
+    ) -> tuple[dict[Hashable, int], bool]:
+        """Ownership-check every key; returns (refused owners, stalled).
+
+        ``stalled`` is True when some refusal was a double-serve window
+        that had already expired — a cutover stall.
+        """
+        owners: dict[Hashable, int] = {}
+        stalled = False
+        for key in keys:
+            if not self.may_serve(key, node, at):
+                region = self.region_of(key)
+                owners[key] = self._region_nodes[region]
+                grant = self._double_serve.get(region)
+                if grant is not None and grant[0] == node:
+                    stalled = True
+        return owners, stalled
+
+    # ------------------------------------------------------------------
+    # Failure composition
+    # ------------------------------------------------------------------
+    def on_node_dead(self, node: int) -> None:
+        """Reconcile elastic state with a node failure.
+
+        Called by the resilience recovery path *before* it reassigns the
+        dead node's regions: in-flight migrations are abandoned,
+        double-serve grants naming the dead node are revoked, and its
+        hot-key replicas are dropped, so failover never routes a request
+        at a corpse.
+        """
+        changed = False
+        for region, target in list(self._migrating.items()):
+            if target == node or self._region_nodes[region] == node:
+                del self._migrating[region]
+                changed = True
+        for region, (old, _until) in list(self._double_serve.items()):
+            if old == node:
+                del self._double_serve[region]
+                changed = True
+        for key, replicas in list(self._replicas.items()):
+            pruned = tuple(n for n in replicas if n != node)
+            if pruned != replicas:
+                if pruned:
+                    self._replicas[key] = pruned
+                else:
+                    del self._replicas[key]
+                changed = True
+        if changed:
+            self.generation += 1
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def publish(self, registry) -> None:
+        """Export ``placement.*`` counters and the final epoch."""
+        for name in COUNTER_NAMES:
+            value = self.counters[name]
+            if value:
+                registry.counter(f"placement.{name}").inc(value)
+        registry.gauge("placement.epoch").set(float(self.generation))
+
+
+__all__ = ["COUNTER_NAMES", "PlacementService", "WrongRegion"]

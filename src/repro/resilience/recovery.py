@@ -123,6 +123,13 @@ class RecoveryManager:
         if new_owner is None:
             return  # nobody left to fail over to
         self.failovers += 1
+        # Elastic placement first: drop in-flight migrations, expired
+        # double-serve grants and hot-key replicas involving the dead
+        # node, so the region moves below start from a clean slate.
+        # The static RegionMap has no such state (duck-typed no-op).
+        on_node_dead = getattr(self.region_map, "on_node_dead", None)
+        if on_node_dead is not None:
+            on_node_dead(dead)
         moved = 0
         for region in list(self.region_map.regions_on_node(dead)):
             self.region_map.move_region(region, new_owner)

@@ -29,7 +29,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Any, Callable, Hashable, Protocol, Sequence, runtime_checkable
 
-from repro.core.load_balancer import SizeProfile
+from repro.placement.batch import SizeProfile
 from repro.faults.policy import FaultTolerance
 from repro.faults.schedule import FaultSchedule
 from repro.obs.registry import MetricsRegistry, ambient_registry
@@ -155,6 +155,12 @@ class SimBackend:
     #: detection verdicts via an after-the-fact heartbeat replay
     #: (their recovery is the ShuffleChannel's at-least-once resend).
     resilience: ResilienceOptions | None = None
+    #: Opt-in elastic placement (:class:`repro.placement.ElasticOptions`).
+    #: The request/response engines (engine, streaming) wire an
+    #: :class:`~repro.placement.elastic.ElasticCoordinator` over the
+    #: shared :class:`~repro.placement.service.PlacementService`; the
+    #: analytic shuffle engines have no per-key serving path to migrate.
+    elastic: Any = None
     #: Mid-run compute-node membership changes
     #: (:class:`repro.engine.elastic.MembershipEvent`); non-empty
     #: routes the ``engine`` runner through :class:`ElasticJoinJob`.
@@ -207,6 +213,7 @@ class SimBackend:
             tracer=self.tracer,
             registry=self.registry,
             resilience=self.resilience,
+            elastic=self.elastic,
             seed=self.seed,
         )
         result = job.run(list(workload.keys), params=workload.params)
@@ -300,6 +307,7 @@ class SimBackend:
             tracer=self.tracer,
             registry=self.registry,
             resilience=self.resilience,
+            elastic=self.elastic,
             seed=self.seed,
         )
         result = sim.run(self.strategy, list(workload.keys))

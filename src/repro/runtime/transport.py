@@ -36,7 +36,8 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable
 
-from repro.core.load_balancer import ComputeNodeStats, SizeProfile
+from repro.placement.batch import ComputeNodeStats, SizeProfile
+from repro.placement.service import WrongRegion
 from repro.faults.policy import FaultTolerance
 from repro.obs.tracer import NO_TRACER, Span, Tracer
 from repro.sim.cluster import Cluster
@@ -238,6 +239,11 @@ class Transport:
         self.retries = 0
         self.fallbacks = 0
         self.duplicate_responses = 0
+        #: Batches refused under a newer placement epoch and re-routed
+        #: (elastic placement only; see :meth:`_redirect`).  Not part of
+        #: :class:`TransportStats` — the placement service's own
+        #: counters are the published record.
+        self.redirects = 0
         #: Optional straggler-hedging policy (duck-typed: ``observe``
         #: latencies, ``delay() -> float | None``).  ``None`` keeps the
         #: transport bit-identical to its pre-resilience behaviour.
@@ -421,10 +427,19 @@ class Transport:
             if batch.request_id is not None
             else None
         )
-        served = server.serve(
-            sim.now, batch, self.sizes,
-            parent_span=entry.span if entry is not None else None,
-        )
+        try:
+            served = server.serve(
+                sim.now, batch, self.sizes,
+                parent_span=entry.span if entry is not None else None,
+            )
+        except WrongRegion as exc:
+            # Elastic placement moved a region between dispatch and
+            # delivery; the server refused before performing any effect.
+            # Re-route the live batch to the current owners.  A late
+            # duplicate of an already-settled batch just dies here.
+            if entry is not None:
+                self._redirect(batch.request_id, entry, exc)
+            return
         response = served.response
 
         def send_response() -> None:
@@ -622,6 +637,71 @@ class Transport:
         # trace shows the whole degradation chain as one subtree.
         self.send(replica, RequestKind.DATA, fallback_items,
                   attempt=entry.attempt + 1, span_parent=entry.span)
+
+    def _redirect(self, rid: str, entry: _Pending, exc: WrongRegion) -> None:
+        """Re-route a batch refused under a newer placement epoch.
+
+        Under elastic placement a region can migrate between dispatch
+        and delivery; the data node then refuses the whole batch before
+        any effect (:class:`~repro.placement.service.WrongRegion`), so
+        re-sending is safe even for side-effecting UDFs.  The batch is
+        regrouped by each key's *current* owner and re-sent — possibly
+        to several nodes when a split scattered its keys; items whose
+        owner is unchanged harmlessly re-route to the same node.  The
+        replacement requests inherit the attempt count (backoff keeps
+        growing if placement keeps moving under the batch) and nest
+        under the refused request's span.
+        """
+        self._pending.pop(rid, None)
+        if entry.timer is not None:
+            entry.timer.cancel()
+        if entry.hedge_timer is not None:
+            entry.hedge_timer.cancel()
+            entry.hedge_timer = None
+        self.redirects += 1
+        # Credit the in-flight accounting charged at dispatch; the
+        # replacement sends below re-charge their own destinations.
+        if self.on_abandon is not None:
+            self.on_abandon(entry.dst, entry.kind, entry.items)
+        self._record_fault(
+            "wrong-region", entry.dst, f"rid={rid} epoch={exc.epoch}"
+        )
+        if self.tracer.enabled:
+            now = self.cluster.sim.now
+            self.tracer.event(
+                "wrong-region", parent=entry.span, at=now,
+                rid=rid, dst=entry.dst, epoch=exc.epoch,
+            )
+            if entry.attempt_span is not None:
+                self.tracer.end(entry.attempt_span, at=now, status="wrong_region")
+                entry.attempt_span = None
+            if entry.span is not None:
+                self.tracer.end(
+                    entry.span, at=now, status="wrong_region",
+                    attempts=entry.attempt + 1,
+                )
+        region_map = self.servers[entry.dst].kvstore.region_map
+        items = (
+            entry.items.to_items()
+            if isinstance(entry.items, RequestBlock)
+            else entry.items
+        )
+        groups: "dict[int, list[RequestItem]]" = {}
+        for item in items:
+            owner = exc.owners.get(item.key)
+            if owner is None:
+                owner = region_map.node_for_key(item.key)
+            groups.setdefault(owner, []).append(item)
+        rebuild_block = isinstance(entry.items, RequestBlock)
+        for owner in sorted(groups):
+            group = groups[owner]
+            resend: "list[RequestItem] | RequestBlock" = (
+                RequestBlock.from_items(entry.kind, group)
+                if rebuild_block
+                else group
+            )
+            self.send(owner, entry.kind, resend,
+                      attempt=entry.attempt, span_parent=entry.span)
 
     def replica_for(self, dst: int) -> int:
         """The next data node holding a replica of ``dst``'s partitions.

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Hashable
 
-from repro.core.load_balancer import SizeProfile
+from repro.placement.batch import SizeProfile
 from repro.engine.job import JobResult
 from repro.engine.multi_join import JoinStageSpec, MultiJoinJob
 from repro.engine.strategies import Strategy, StrategyConfig

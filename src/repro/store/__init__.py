@@ -35,7 +35,7 @@ from repro.store.messages import (
     UDF,
 )
 from repro.store.datanode import DataNodeServer, ServedBatch
-from repro.store.balancer import (
+from repro.placement.balancer import (
     RegionMove,
     apply_rebalance,
     node_loads,

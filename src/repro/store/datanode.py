@@ -4,7 +4,7 @@ The server owns a node's disk and CPU resources for the store side of
 the workload.  For every arriving :class:`~repro.engine.requests.BatchRequest`
 it:
 
-1. decides, via the :class:`~repro.core.load_balancer.BatchLoadBalancer`,
+1. decides, via the :class:`~repro.placement.batch.BatchLoadBalancer`,
    how many of the batch's compute requests to execute locally (``d``)
    — the rest are answered with raw stored values,
 2. reserves the disk for each row fetch ("disk access cost will be
@@ -26,12 +26,13 @@ from heapq import heapreplace
 from repro.core.cost_model import CostParameters
 from repro.perf.mode import reference_mode
 from repro.core.smoothing import SmoothedValue
-from repro.core.load_balancer import (
+from repro.placement.batch import (
     BatchLoadBalancer,
     ComputeNodeStats,
     DataNodeStats,
     SizeProfile,
 )
+from repro.placement.service import WrongRegion
 from repro.obs.tracer import NO_TRACER, Span, Tracer
 from repro.store.messages import (
     BatchRequest,
@@ -229,6 +230,24 @@ class DataNodeServer:
             if span is not None:
                 self.tracer.end(span, at=finish, status="replayed")
             return ServedBatch(response=replay, ready_at=finish, kept_at_data_node=0)
+        region_map = self.kvstore.region_map
+        if getattr(region_map, "elastic_active", False):
+            # Ownership check under the *current* placement epoch,
+            # before any effect (no disk, no CPU, no response-cache
+            # entry): a batch routed under a stale epoch gets a
+            # WrongRegion redirect instead of a wrong answer.  The
+            # current owner, a hot-key replica, or the pre-cutover
+            # owner inside its double-serve window all pass.
+            keys = [k for k, _t, _r, _p in batch.compute_entries()]
+            keys.extend(k for k, _t, _r, _p in batch.data_entries())
+            owners, stalled = region_map.check_batch(keys, self.node_id, at)
+            if owners:
+                region_map.counters["redirects"] += 1
+                if stalled:
+                    region_map.counters["cutover_stalls"] += 1
+                if span is not None:
+                    self.tracer.end(span, at=at, status="wrong_region")
+                raise WrongRegion(region_map.generation, owners, stalled)
         src = batch.src
         n_compute = batch.n_compute
         self._pending_data += batch.n_data

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Hashable
 
 from repro.core.cost_model import CostParameters
-from repro.core.load_balancer import ComputeNodeStats
+from repro.placement.batch import ComputeNodeStats
 from repro.core.optimizer import Route
 
 if TYPE_CHECKING:  # imported lazily to avoid an engine <-> store cycle

@@ -23,7 +23,7 @@ from typing import Any, Callable, Hashable, Iterable, Sequence
 from repro.engine.job import JoinJob, RateRunResult, StreamResult
 from repro.engine.prefetch import PreMapRunner
 from repro.engine.strategies import Strategy, StrategyConfig
-from repro.core.load_balancer import SizeProfile
+from repro.placement.batch import SizeProfile
 from repro.faults.policy import FaultTolerance
 from repro.faults.schedule import FaultSchedule
 from repro.obs.registry import MetricsRegistry
@@ -136,6 +136,8 @@ class MuppetJoinSimulation:
     fault_trace: Any = None
     #: Resilience options passthrough (repro.resilience); opt-in.
     resilience: Any = None
+    #: Elastic placement passthrough (repro.placement); opt-in.
+    elastic: Any = None
     #: Span tracer and metrics registry passed through to the
     #: underlying JoinJob.
     tracer: Tracer = NO_TRACER
@@ -170,6 +172,7 @@ class MuppetJoinSimulation:
             tracer=self.tracer,
             registry=self.registry,
             resilience=self.resilience,
+            elastic=self.elastic,
             seed=self.seed,
         )
         self.last_job = job

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import cached_property
 
-from repro.core.load_balancer import SizeProfile
+from repro.placement.batch import SizeProfile
 from repro.sim.rng import make_rng
 from repro.store.messages import UDF
 from repro.store.table import Row, Table

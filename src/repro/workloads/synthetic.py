@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.load_balancer import SizeProfile
+from repro.placement.batch import SizeProfile
 from repro.engine.requests import UDF
 from repro.store.table import Row, Table
 from repro.workloads.zipf import ZipfKeySequence

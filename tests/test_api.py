@@ -8,7 +8,9 @@ the new import path.
 """
 
 import json
+import re
 import warnings
+from pathlib import Path
 
 import pytest
 
@@ -161,6 +163,28 @@ class TestCuratedSurface:
     def test_dir_covers_both_surfaces(self):
         listing = dir(repro)
         assert "run_join" in listing and "JoinJob" in listing
+
+    def test_internal_names_pruned_from_shim(self):
+        # Internal plumbing must not resolve at the top level anymore.
+        for name in ("BatchBuffer", "ResultHashMap", "SmoothedValue",
+                     "RuntimeMetrics", "StreamResult", "PreMapRunner"):
+            assert name not in repro._DEPRECATED
+            with pytest.raises(AttributeError):
+                getattr(repro, name)
+
+    def test_readme_curated_surface_matches_all(self):
+        """The README's curated-surface listing is `repro.__all__`."""
+        readme = (
+            Path(__file__).resolve().parent.parent / "README.md"
+        ).read_text()
+        match = re.search(
+            r"curated top-level surface.*?```text\n(.*?)```",
+            readme,
+            re.DOTALL,
+        )
+        assert match is not None, "README curated-surface block missing"
+        documented = set(match.group(1).split())
+        assert documented == set(repro.__all__)
 
 
 class TestQuickstartDemo:

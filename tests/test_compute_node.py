@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.load_balancer import BatchLoadBalancer, SizeProfile
+from repro.placement.batch import BatchLoadBalancer, SizeProfile
 from repro.engine.compute_node import ComputeNodeRuntime
 from repro.engine.strategies import Strategy
 from repro.sim.cluster import Cluster

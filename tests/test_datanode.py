@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.load_balancer import (
+from repro.placement.batch import (
     BatchLoadBalancer,
     ComputeNodeStats,
     SizeProfile,

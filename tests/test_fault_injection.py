@@ -12,7 +12,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.cost_model import CostModel
-from repro.core.load_balancer import BatchLoadBalancer, SizeProfile
+from repro.placement.batch import BatchLoadBalancer, SizeProfile
 from repro.core.optimizer import Route
 from repro.engine.job import JoinJob
 from repro.engine.requests import UDF

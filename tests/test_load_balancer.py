@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.load_balancer import (
+from repro.placement.batch import (
     BatchLoadBalancer,
     ComputeNodeStats,
     DataNodeStats,

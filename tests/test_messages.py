@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.cost_model import CostParameters
-from repro.core.load_balancer import ComputeNodeStats
+from repro.placement.batch import ComputeNodeStats
 from repro.core.optimizer import Route
 from repro.store.messages import (
     BatchRequest,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.load_balancer import SizeProfile
+from repro.placement.batch import SizeProfile
 from repro.engine.multi_join import JoinStageSpec, MultiJoinJob
 from repro.engine.strategies import Strategy
 from repro.sim.cluster import Cluster

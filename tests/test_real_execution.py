@@ -9,7 +9,7 @@ timing differs.
 
 import pytest
 
-from repro.core.load_balancer import SizeProfile
+from repro.placement.batch import SizeProfile
 from repro.engine.job import JoinJob
 from repro.engine.strategies import Strategy
 from repro.sim.cluster import Cluster

@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.obs import skew_ratio
-from repro.store.balancer import (
+from repro.placement.balancer import (
     apply_rebalance,
     node_loads,
     plan_rebalance,

@@ -6,7 +6,7 @@ semantics — pin every invocation to the row's data node — and verifies
 the exactly-once, single-site property.
 """
 
-from repro.core.load_balancer import SizeProfile
+from repro.placement.batch import SizeProfile
 from repro.engine.job import JoinJob
 from repro.engine.strategies import Strategy
 from repro.faults.policy import FaultTolerance
