@@ -10,7 +10,7 @@ until its event fires; everything else runs from time zero.
 Run:  PYTHONPATH=src python examples/elastic_scaling.py
 """
 
-from repro import JobSpec, MembershipEvent, RunConfig, run_join
+from repro import BatchOptions, JobSpec, MembershipEvent, RunConfig, run_join
 
 EVENTS = (
     MembershipEvent(time=2.0, action="add", node_id=1),
@@ -27,8 +27,7 @@ def main() -> None:
         engine="engine",
         n_compute=3,
         n_data=2,
-        batch_size=64,
-        max_wait=0.01,
+        batching=BatchOptions(batch_size=64, max_wait=0.01),
         membership=EVENTS,
         seed=11,
     ))

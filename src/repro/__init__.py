@@ -25,6 +25,8 @@ Quick start
 """
 
 from repro.api import (
+    BatchOptions,
+    ClusterRunOptions,
     ElasticOptions,
     JobSpec,
     MembershipEvent,
@@ -47,6 +49,8 @@ from repro.obs import MetricsRegistry, ObsOptions, RunReport, Tracer
 __version__ = "1.1.0"
 
 __all__ = [
+    "BatchOptions",
+    "ClusterRunOptions",
     "CostModel",
     "CostParameters",
     "ElasticOptions",

@@ -25,6 +25,7 @@ answer" and "why did it cost what it cost".
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Any, Hashable
 
@@ -131,20 +132,93 @@ class JobSpec:
 
 
 @dataclass(frozen=True)
+class BatchOptions:
+    """Request batching + vectorized execution knobs.
+
+    Groups what used to be the flat ``RunConfig.batch_size`` /
+    ``max_wait`` kwargs with the vectorization controls introduced
+    alongside :mod:`repro.vector`.
+    """
+
+    #: Requests buffered per data node before a batch is flushed.
+    batch_size: int = 16
+    #: Seconds a partial batch may wait before flushing anyway.
+    max_wait: float = 0.005
+    #: Tuples handed to the columnar submit kernel per sweep; width 1
+    #: degenerates to per-tuple submission (useful for sweeps).
+    vector_width: int = 64
+    #: Enable the columnar array-at-a-time kernels (routing, serving,
+    #: response handling).  Forced off by ``REPRO_PERF_REFERENCE=1``.
+    columnar: bool = True
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.max_wait < 0:
+            raise ValueError("max_wait must be non-negative")
+        if self.vector_width < 1:
+            raise ValueError("vector_width must be >= 1")
+
+
+@dataclass(frozen=True)
+class ClusterRunOptions:
+    """Cluster-backend process topology knobs.
+
+    Groups what used to be the flat ``RunConfig.placement`` /
+    ``startup_timeout`` kwargs.  Ignored by the sim and local
+    backends.
+    """
+
+    #: ``split`` (dedicated compute and data processes) or
+    #: ``colocated`` (every process has both roles).
+    placement: str = "split"
+    #: Seconds to wait for worker handshakes.
+    startup_timeout: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.placement not in ("split", "colocated"):
+            raise ValueError(
+                f"unknown placement {self.placement!r}; expected "
+                "'split' or 'colocated'"
+            )
+        if self.startup_timeout <= 0:
+            raise ValueError("startup_timeout must be positive")
+
+
+def _deprecated_kwarg(flat: str, group: str, option: str) -> None:
+    warnings.warn(
+        f"RunConfig({flat}=...) is deprecated; pass "
+        f"RunConfig({group}={option}) instead",
+        DeprecationWarning,
+        stacklevel=4,
+    )
+
+
+@dataclass(frozen=True)
 class RunConfig:
-    """How to run a :class:`JobSpec`."""
+    """How to run a :class:`JobSpec`.
+
+    Cross-cutting knobs are grouped into option dataclasses
+    (``batching``, ``cluster``, ``resilience``, ``elastic``, ``obs``).
+    The pre-group flat kwargs (``batch_size``, ``max_wait``,
+    ``placement``, ``startup_timeout``) are still accepted but
+    deprecated: ``__post_init__`` folds them into the matching group
+    with a :class:`DeprecationWarning`.
+    """
 
     #: Execution layer (see :data:`repro.runtime.backend.ENGINES`);
-    #: ignored by the ``local`` backend, which has exactly one engine.
+    #: the ``local`` backend has exactly one engine and rejects others.
     engine: str = "engine"
     #: ``sim`` (discrete-event simulator), ``local`` (real threads), or
     #: ``cluster`` (real driver/worker processes over IPC).
     backend: str = "sim"
     n_compute: int = 2
     n_data: int = 2
-    batch_size: int = 16
-    max_wait: float = 0.005
     seed: int = 0
+    #: Batching + vectorization knobs.
+    batching: BatchOptions = field(default_factory=BatchOptions)
+    #: Cluster-backend process topology; ignored elsewhere.
+    cluster: ClusterRunOptions = field(default_factory=ClusterRunOptions)
     #: Deterministic fault plan, armed on whichever engine runs.
     faults: FaultSchedule | None = None
     #: Timeout/retry/fallback policy (needed if ``faults`` loses
@@ -165,16 +239,20 @@ class RunConfig:
     membership: tuple[MembershipEvent, ...] = ()
     #: Per-compute-node tiered cache budget.
     memory_cache_bytes: float = 100e6
-    #: Worker placement on the cluster backend: ``split`` (dedicated
-    #: compute and data processes) or ``colocated`` (every process has
-    #: both roles).  Ignored elsewhere.
-    placement: str = "split"
-    #: Seconds to wait for worker handshakes on the cluster backend.
-    startup_timeout: float = 15.0
     #: Observability knobs.
     obs: ObsOptions = field(default_factory=ObsOptions)
+    #: Deprecated flat kwargs — use ``batching=BatchOptions(...)`` /
+    #: ``cluster=ClusterRunOptions(...)``.  ``None`` means "not
+    #: passed"; any other value is folded into the group above (with a
+    #: DeprecationWarning) and the field reset to ``None``, so copies
+    #: via ``dataclasses.replace`` do not re-warn.
+    batch_size: int | None = None
+    max_wait: float | None = None
+    placement: str | None = None
+    startup_timeout: float | None = None
 
     def __post_init__(self) -> None:
+        self._fold_deprecated()
         if self.backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {self.backend!r}; expected one of {BACKENDS}"
@@ -183,6 +261,12 @@ class RunConfig:
             raise ValueError(
                 f"unknown engine {self.engine!r}; expected one of {ENGINES}"
             )
+        if self.backend == "local" and self.engine != "engine":
+            raise ValueError(
+                f"backend='local' runs a single thread-pool engine and "
+                f"ignores engine={self.engine!r}; drop the engine argument "
+                "or use backend='sim' / backend='cluster'"
+            )
         if self.membership and (
             self.backend != "sim" or self.engine != "engine"
         ):
@@ -190,9 +274,52 @@ class RunConfig:
                 "membership events require backend='sim', engine='engine'"
             )
 
+    def _fold_deprecated(self) -> None:
+        """Normalize deprecated flat kwargs into their option groups."""
+        batch_changes: dict[str, Any] = {}
+        if self.batch_size is not None:
+            _deprecated_kwarg(
+                "batch_size", "batching", "BatchOptions(batch_size=...)"
+            )
+            batch_changes["batch_size"] = self.batch_size
+        if self.max_wait is not None:
+            _deprecated_kwarg(
+                "max_wait", "batching", "BatchOptions(max_wait=...)"
+            )
+            batch_changes["max_wait"] = self.max_wait
+        if batch_changes:
+            object.__setattr__(
+                self, "batching", replace(self.batching, **batch_changes)
+            )
+            object.__setattr__(self, "batch_size", None)
+            object.__setattr__(self, "max_wait", None)
+        cluster_changes: dict[str, Any] = {}
+        if self.placement is not None:
+            _deprecated_kwarg(
+                "placement", "cluster", "ClusterRunOptions(placement=...)"
+            )
+            cluster_changes["placement"] = self.placement
+        if self.startup_timeout is not None:
+            _deprecated_kwarg(
+                "startup_timeout",
+                "cluster",
+                "ClusterRunOptions(startup_timeout=...)",
+            )
+            cluster_changes["startup_timeout"] = self.startup_timeout
+        if cluster_changes:
+            object.__setattr__(
+                self, "cluster", replace(self.cluster, **cluster_changes)
+            )
+            object.__setattr__(self, "placement", None)
+            object.__setattr__(self, "startup_timeout", None)
+
     def with_obs(self, **changes: Any) -> "RunConfig":
         """Copy with updated :class:`ObsOptions` fields."""
         return replace(self, obs=replace(self.obs, **changes))
+
+    def with_batching(self, **changes: Any) -> "RunConfig":
+        """Copy with updated :class:`BatchOptions` fields."""
+        return replace(self, batching=replace(self.batching, **changes))
 
 
 def run_join(spec: JobSpec, config: RunConfig | None = None) -> RunReport:
@@ -232,10 +359,13 @@ def _backend_for(
     tracer: Tracer,
     registry: MetricsRegistry,
 ) -> Any:
+    batching = cfg.batching
     if cfg.backend == "local":
         return LocalBackend(
             max_workers=max(cfg.n_compute, 1),
-            batch_size=cfg.batch_size,
+            batch_size=batching.batch_size,
+            vector_width=batching.vector_width,
+            columnar=batching.columnar,
             tracer=tracer,
             registry=registry,
         )
@@ -248,7 +378,7 @@ def _backend_for(
             engine=cfg.engine,
             n_compute=cfg.n_compute,
             n_data=cfg.n_data,
-            batch_size=cfg.batch_size,
+            batch_size=batching.batch_size,
             seed=cfg.seed,
             fault_schedule=cfg.faults,
             fault_tolerance=cfg.fault_tolerance,
@@ -257,8 +387,8 @@ def _backend_for(
             tracer=tracer,
             registry=registry,
             options=ClusterOptions(
-                placement=cfg.placement,
-                startup_timeout=cfg.startup_timeout,
+                placement=cfg.cluster.placement,
+                startup_timeout=cfg.cluster.startup_timeout,
             ),
         )
     return SimBackend(
@@ -266,8 +396,10 @@ def _backend_for(
         n_compute=cfg.n_compute,
         n_data=cfg.n_data,
         strategy=spec.strategy,
-        batch_size=cfg.batch_size,
-        max_wait=cfg.max_wait,
+        batch_size=batching.batch_size,
+        max_wait=batching.max_wait,
+        vector_width=batching.vector_width,
+        columnar=batching.columnar,
         seed=cfg.seed,
         fault_schedule=cfg.faults,
         fault_tolerance=cfg.fault_tolerance,
@@ -283,6 +415,8 @@ def _backend_for(
 __all__ = [
     "BACKENDS",
     "BackendRun",
+    "BatchOptions",
+    "ClusterRunOptions",
     "ElasticOptions",
     "JobSpec",
     "MembershipEvent",

@@ -24,6 +24,7 @@ from repro.engine.requests import (
     RequestBlock,
     RequestItem,
     RequestKind,
+    ResponseBlock,
     ResponseItem,
     UDF,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "RequestBlock",
     "RequestItem",
     "RequestKind",
+    "ResponseBlock",
     "ResponseItem",
     "UDF",
     "BatchBuffer",

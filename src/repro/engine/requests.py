@@ -13,6 +13,7 @@ from repro.store.messages import (
     RequestBlock,
     RequestItem,
     RequestKind,
+    ResponseBlock,
     ResponseItem,
     UDF,
 )
@@ -23,6 +24,7 @@ __all__ = [
     "RequestBlock",
     "RequestItem",
     "RequestKind",
+    "ResponseBlock",
     "ResponseItem",
     "UDF",
 ]

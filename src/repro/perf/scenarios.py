@@ -136,6 +136,68 @@ def _micro_route(n_keys: int, n_items: int) -> ScenarioRun:
     return ScenarioRun(sim_time=0.0, digest=_digest(parts), n_items=n_items)
 
 
+def _micro_route_batch(n_keys: int, n_items: int, width: int) -> ScenarioRun:
+    """The columnar routing kernel: a pinned Zipf stream in windows.
+
+    Same setup as ``micro_route``, but the stream is processed in
+    ``width``-tuple windows: optimized mode routes each window through
+    ``route_batch`` (the sweep behind the engines' submit window);
+    reference mode loops scalar ``route`` over the same windows.
+    Fetches complete at window boundaries in *both* modes, so the
+    digest over routes, counters and cache state must be identical.
+    """
+    from repro.cache.tiered import TieredCache
+    from repro.core.cost_model import CostModel, CostParameters
+    from repro.core.frequency import LossyCounter
+    from repro.core.optimizer import JoinLocationOptimizer
+    from repro.perf.mode import reference_mode
+
+    model = CostModel(node_id=0, bandwidth={1: 100e6}, local_disk_time=0.004)
+    cache = TieredCache(memory_bytes=64_000.0, disk_bytes=256_000.0)
+    opt = JoinLocationOptimizer(model, cache, counter=LossyCounter(epsilon=1e-3))
+    rng = random.Random(11)
+    for key in range(n_keys):
+        model.observe(
+            CostParameters(
+                key=key,
+                value_size=200.0 + rng.random() * 1800.0,
+                compute_time=0.001 + rng.random() * 0.004,
+                disk_time=0.003,
+                node_id=1,
+            )
+        )
+    model.observe_local_compute(0.002)
+    stream = _zipf_keys(n_keys, n_items, skew=1.2, seed=23)
+    use_batch = not reference_mode()
+    routes: list[str] = []
+    for at in range(0, n_items, width):
+        window = stream[at : at + width]
+        if use_batch:
+            lanes = opt.route_batch(window, [1] * len(window))
+            decided = list(zip(window, lanes.routes))
+        else:
+            decided = [(key, opt.route(key, 1).route) for key in window]
+        for key, route in decided:
+            routes.append(route.value)
+            if route.is_data_request:
+                opt.complete_fetch(key, f"v{key}", route)
+    stats = opt.stats()
+    parts = routes + [
+        repr(
+            (
+                stats.local_memory,
+                stats.local_disk,
+                stats.compute_requests,
+                stats.data_requests_memory,
+                stats.data_requests_disk,
+                stats.first_contact,
+            )
+        ),
+        repr(cache.stats()),
+    ]
+    return ScenarioRun(sim_time=0.0, digest=_digest(parts), n_items=n_items)
+
+
 def _micro_lossy_counter(n_keys: int, n_items: int) -> ScenarioRun:
     """Lossy Counting over a bursty-then-Zipf pinned stream."""
     from repro.core.frequency import LossyCounter
@@ -258,6 +320,49 @@ def _macro(engine: str, *, smoke: bool, headline: bool = False) -> Scenario:
         smoke=smoke,
         headline=headline,
         tags=(tag, engine),
+    )
+
+
+def _macro_vector_sweep() -> ScenarioRun:
+    """Vector-width invariance: widths 1, 16 and 256 agree bit-for-bit.
+
+    Runs the Figure 8 data-heavy z=1.5 workload once per
+    ``BatchOptions(vector_width=...)`` setting and fails loudly if any
+    width changes the outputs or the simulated makespan.  The digest
+    covers all three runs, so the harness's ref/opt comparison also
+    pins the sweep against reference mode (where the widths are
+    ignored and all three runs use the scalar paths).
+    """
+    from repro.api import BatchOptions, JobSpec, RunConfig, run_join
+
+    n_tuples = 2000
+    spec = JobSpec.synthetic(
+        kind="data_heavy", n_keys=200, n_tuples=n_tuples, skew=1.5, seed=7
+    )
+    parts: list[str] = []
+    baseline: list[str] | None = None
+    sim_time = 0.0
+    for width in (1, 16, 256):
+        report = run_join(
+            spec,
+            RunConfig(
+                engine="engine",
+                batching=BatchOptions(vector_width=width),
+            ),
+        )
+        outs = sorted(map(repr, report.outputs.items()))
+        outs.append(repr(round(report.makespan, 12)))
+        if baseline is None:
+            baseline = outs
+            sim_time = report.makespan
+        elif outs != baseline:
+            raise AssertionError(
+                f"vector_width={width} diverged from vector_width=1"
+            )
+        parts.append(f"w{width}")
+        parts.extend(outs)
+    return ScenarioRun(
+        sim_time=sim_time, digest=_digest(parts), n_items=3 * n_tuples
     )
 
 
@@ -390,6 +495,19 @@ SCENARIOS: tuple[Scenario, ...] = (
         tags=("optimizer",),
     ),
     Scenario(
+        name="micro_route_batch",
+        kind="micro",
+        description=(
+            "Columnar routing kernel (route_batch), 20k Zipf requests "
+            "in 256-tuple windows"
+        ),
+        runner=lambda: _micro_route_batch(
+            n_keys=300, n_items=20_000, width=256
+        ),
+        smoke=True,
+        tags=("optimizer", "vector"),
+    ),
+    Scenario(
         name="micro_lossy_counter",
         kind="micro",
         description="Lossy Counting sketch, bursty + Zipf stream",
@@ -446,6 +564,19 @@ SCENARIOS: tuple[Scenario, ...] = (
         ),
         runner=_macro_skew_migration,
         tags=("skew", "placement", "engine"),
+    ),
+    # ... the vector-width invariance sweep (widths 1/16/256 must be
+    # bit-identical to each other and to reference mode) ...
+    Scenario(
+        name="macro_vector_sweep",
+        kind="macro",
+        description=(
+            "Figure 8 data-heavy synthetic (z=1.5), engine on "
+            "SimBackend, swept over BatchOptions vector_width "
+            "1/16/256 — all widths must agree bit-for-bit"
+        ),
+        runner=_macro_vector_sweep,
+        tags=("fig8", "engine", "vector"),
     ),
     # ... and the headline scenario the speedup gate runs ref-vs-opt.
     _macro("engine", smoke=False, headline=True),

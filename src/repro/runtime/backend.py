@@ -34,7 +34,9 @@ from repro.faults.policy import FaultTolerance
 from repro.faults.schedule import FaultSchedule
 from repro.obs.registry import MetricsRegistry, ambient_registry
 from repro.obs.tracer import NO_TRACER, Tracer
+from repro.perf.mode import reference_mode
 from repro.resilience.options import ResilienceOptions
+from repro.vector.kernels import apply_udf_batch
 from repro.runtime.metrics import RuntimeMetrics, collect_runtime_metrics
 from repro.runtime.transport import ShuffleChannel
 from repro.sim.cluster import Cluster
@@ -146,6 +148,12 @@ class SimBackend:
     strategy: str = "FO"
     batch_size: int = 16
     max_wait: float = 0.005
+    #: Tuples handed to the columnar submit kernel per sweep (engine /
+    #: streaming runners); width 1 degenerates to per-tuple submission.
+    vector_width: int = 64
+    #: Enable the columnar array-at-a-time kernels.  Forced off by
+    #: ``REPRO_PERF_REFERENCE=1``.
+    columnar: bool = True
     seed: int = 0
     fault_schedule: FaultSchedule | None = None
     fault_tolerance: FaultTolerance | None = None
@@ -206,6 +214,8 @@ class SimBackend:
             sizes=workload.sizes,
             batch_size=self.batch_size,
             max_wait=self.max_wait,
+            vector_width=self.vector_width,
+            columnar=self.columnar,
             memory_cache_bytes=self.memory_cache_bytes,
             fault_schedule=self.fault_schedule,
             fault_tolerance=self.fault_tolerance,
@@ -301,6 +311,8 @@ class SimBackend:
             n_data_nodes=self.n_data,
             batch_size=self.batch_size,
             max_wait=self.max_wait,
+            vector_width=self.vector_width,
+            columnar=self.columnar,
             fault_schedule=self.fault_schedule,
             fault_tolerance=self.fault_tolerance,
             fault_trace=self.fault_trace,
@@ -356,8 +368,24 @@ class SimBackend:
             p = params[tuple_id] if params is not None else None
             return [(key, (tuple_id, p))]
 
+        columnar = self.columnar and not reference_mode()
+        apply_fn = udf.apply_fn
+
         def reduce_fn(key: Hashable, pairs: list[tuple[int, Any]]):
             stored = values[key]
+            if columnar and len(pairs) > 1:
+                # One reduce group shares key and stored value; run the
+                # UDF over the param column in one sweep.
+                results = apply_udf_batch(
+                    apply_fn,
+                    [key] * len(pairs),
+                    [p for _, p in pairs],
+                    [stored] * len(pairs),
+                )
+                return [
+                    (tid, out)
+                    for (tid, _), out in zip(pairs, results)
+                ]
             return [(tid, udf.apply(key, p, stored)) for tid, p in pairs]
 
         channel = ShuffleChannel(cluster, tracer=self.tracer)
@@ -435,10 +463,22 @@ class SimBackend:
         udf = workload.udf
         params = workload.params
         outputs: dict[int, Any] = {}
-        for row in result.result.rows:
-            tid = row[tid_at]
-            p = params[tid] if params is not None else None
-            outputs[tid] = udf.apply(workload.keys[tid], p, row[value_at])
+        if self.columnar and not reference_mode():
+            # Gather aligned tid/key/param/value columns from the query
+            # result, then apply the UDF in one columnar sweep.
+            tids = [row[tid_at] for row in result.result.rows]
+            keys = [workload.keys[tid] for tid in tids]
+            row_values = [row[value_at] for row in result.result.rows]
+            p_col = (
+                [params[tid] for tid in tids] if params is not None else None
+            )
+            computed = apply_udf_batch(udf.apply_fn, keys, p_col, row_values)
+            outputs = dict(zip(tids, computed))
+        else:
+            for row in result.result.rows:
+                tid = row[tid_at]
+                p = params[tid] if params is not None else None
+                outputs[tid] = udf.apply(workload.keys[tid], p, row[value_at])
         self._replay_resilience(cluster, result.makespan)
         return BackendRun(
             engine="sparklite",
@@ -487,6 +527,11 @@ class LocalBackend:
 
     max_workers: int = 4
     batch_size: int = 64
+    #: Tuples gathered per columnar UDF sweep inside each partition.
+    vector_width: int = 64
+    #: Enable the columnar gather + UDF sweep.  Forced off by
+    #: ``REPRO_PERF_REFERENCE=1``.
+    columnar: bool = True
     tracer: Tracer = NO_TRACER
     registry: MetricsRegistry | None = None
     #: Accepted for config symmetry with SimBackend; real threads have
@@ -498,6 +543,8 @@ class LocalBackend:
             raise ValueError("max_workers must be >= 1")
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if self.vector_width < 1:
+            raise ValueError("vector_width must be >= 1")
 
     def run_join(self, workload: JoinWorkload) -> BackendRun:
         values = workload.stored_values()
@@ -546,6 +593,23 @@ class LocalBackend:
         keys = workload.keys
         params = workload.params
         outputs: dict[int, Any] = {}
+        if self.columnar and not reference_mode():
+            apply_fn = udf.apply_fn
+            width = self.vector_width
+            for at in range(0, len(tuple_ids), width):
+                chunk = tuple_ids[at : at + width]
+                chunk_keys = [keys[tid] for tid in chunk]
+                chunk_values = [values[k] for k in chunk_keys]
+                p_col = (
+                    [params[tid] for tid in chunk]
+                    if params is not None
+                    else None
+                )
+                computed = apply_udf_batch(
+                    apply_fn, chunk_keys, p_col, chunk_values
+                )
+                outputs.update(zip(chunk, computed))
+            return outputs
         for at in range(0, len(tuple_ids), self.batch_size):
             for tuple_id in tuple_ids[at : at + self.batch_size]:
                 key = keys[tuple_id]

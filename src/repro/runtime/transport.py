@@ -489,7 +489,7 @@ class Transport:
                     # primary at dispatch; credit the same bucket the
                     # speculative winner, or the replica's counters go
                     # negative (Appendix C stats reject that).
-                    response = dataclasses.replace(response, src=entry.dst)
+                    response = response.with_src(entry.dst)
                 else:
                     self.hedges_lost += 1
             latency = self.cluster.sim.now - entry.created_at

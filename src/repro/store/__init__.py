@@ -31,6 +31,7 @@ from repro.store.messages import (
     RequestBlock,
     RequestItem,
     RequestKind,
+    ResponseBlock,
     ResponseItem,
     UDF,
 )
@@ -54,6 +55,7 @@ __all__ = [
     "RequestBlock",
     "RequestItem",
     "RequestKind",
+    "ResponseBlock",
     "ResponseItem",
     "UDF",
     "DataNodeServer",

@@ -37,11 +37,13 @@ from repro.obs.tracer import NO_TRACER, Span, Tracer
 from repro.store.messages import (
     BatchRequest,
     BatchResponse,
+    ResponseBlock,
     ResponseItem,
     UDF,
 )
 from repro.sim.cluster import Cluster, Node
 from repro.store.kvstore import KVStore
+from repro.vector.kernels import disk_service_times, serial_chain
 
 
 @dataclass(frozen=True)
@@ -85,6 +87,7 @@ class DataNodeServer:
         per_item_overhead: float = 0.00005,
         batched_seek_factor: float = 0.25,
         block_cache_bytes: float = 0.0,
+        columnar: bool = True,
         tracer: Tracer = NO_TRACER,
     ) -> None:
         if not 0.0 < batched_seek_factor <= 1.0:
@@ -139,6 +142,19 @@ class DataNodeServer:
         # Optimized-mode serving loop (batch invariants hoisted out of
         # the per-item body); reference mode keeps the per-item calls.
         self._fast_serve = not reference_mode()
+        # Columnar serving kernel (repro.vector): the per-batch disk
+        # reservations collapse into one serial chain and responses are
+        # emitted as one ResponseBlock instead of per-item envelopes.
+        # Only valid when the disk is a single-server resource (the
+        # chain recurrence models back-to-back reservations on one
+        # arm) and the block cache is off (cached keys would break the
+        # chain's uniform service times).
+        self._block_serve = (
+            self._fast_serve
+            and columnar
+            and block_cache_bytes == 0
+            and len(self._node.disk._free) == 1
+        )
 
     # ------------------------------------------------------------------
     # Fault injection
@@ -223,7 +239,8 @@ class DataNodeServer:
             replay = BatchResponse(
                 src=cached.src,
                 dst=cached.dst,
-                items=cached.items,
+                items=cached._items,
+                block=cached.block,
                 request_id=cached.request_id,
                 replayed=True,
             )
@@ -264,7 +281,28 @@ class DataNodeServer:
 
         batched = len(batch) > 1
         response_items: list[ResponseItem] = []
-        if self._fast_serve:
+        block: ResponseBlock | None = None
+        if self._block_serve and not self._block_cached and len(batch) > 0:
+            block = ResponseBlock(
+                param_size=self.udf.param_size,
+                key_size=self.udf.key_size,
+                computed_size=self.udf.result_size,
+                node_id=self.node_id,
+            )
+            maybe_ready = self._serve_block_fast(
+                at, batch, d, src, n_compute, batched, block
+            )
+            if maybe_ready is None:
+                # A zero-size row would enter the (zero-byte) block
+                # cache on the reference path; bail out to the per-item
+                # loop before any resource mutation.
+                block = None
+                ready_at = self._serve_batch_fast(
+                    at, batch, d, src, n_compute, batched, response_items
+                )
+            else:
+                ready_at = maybe_ready
+        elif self._fast_serve:
             ready_at = self._serve_batch_fast(
                 at, batch, d, src, n_compute, batched, response_items
             )
@@ -297,10 +335,16 @@ class DataNodeServer:
                     ready_at = finish
                 self._schedule_data_decrement(finish)
 
-        response = BatchResponse(
-            src=self.node_id, dst=src, items=response_items,
-            request_id=batch.request_id,
-        )
+        if block is not None:
+            response = BatchResponse(
+                src=self.node_id, dst=src, block=block,
+                request_id=batch.request_id,
+            )
+        else:
+            response = BatchResponse(
+                src=self.node_id, dst=src, items=response_items,
+                request_id=batch.request_id,
+            )
         self._items_served += len(batch)
         if batch.request_id is not None:
             self._response_cache[batch.request_id] = response
@@ -605,6 +649,214 @@ class DataNodeServer:
                         self._pending_data -= 1
                 schedule(finish, decrement)
                 index += 1
+        self._udfs_executed += udfs
+        return ready_at
+
+    def _serve_block_fast(
+        self,
+        at: float,
+        batch: BatchRequest,
+        d: int,
+        src: int,
+        n_compute: int,
+        batched: bool,
+        block: ResponseBlock,
+    ) -> float | None:
+        """Columnar serving kernel filling a :class:`ResponseBlock`.
+
+        Array-at-a-time form of :meth:`_serve_batch_fast` for the
+        no-block-cache case: a gather pass materializes the batch's
+        row/size/seek columns, the capacity-1 disk's reservations
+        collapse into one :func:`repro.vector.kernels.serial_chain`
+        (``finish[i] = finish[i-1] + service[i]`` — exactly the per-item
+        peek + ``heapreplace`` recurrence), and per-item responses are
+        appended to the block's columns instead of allocating a
+        ``CostParameters`` + ``ResponseItem`` pair per tuple.  The CPU
+        is a multi-server heap, so its reservations stay per item; disk
+        and CPU are independent resources and each item's CPU start
+        depends only on its own disk finish, so running the whole disk
+        pass first is value-identical to the interleaved order.
+        Resource accounting folds stay sequential Python loops (numpy
+        reductions round differently).  Returns ``None`` — before any
+        mutation — if a zero-size row is present, which the reference
+        path would admit into the (zero-byte) block cache.
+        """
+        sim = self.cluster.sim
+        schedule = sim.schedule_call
+        table = self.kvstore.table
+        table_get = table.get_or_none
+        spec = self._node.spec
+        slow = self.speed_factor(at)
+        udf = self.udf
+        cost_fn = udf.cost_fn
+        apply_fn = udf.apply_fn
+        overhead = self.per_item_overhead
+        disk = self._node.disk
+        cpu = self._node.cpu
+        disk_free = disk._free
+        cpu_free = cpu._free
+        sr = self._sojourn_ratio
+        sr_a = sr.alpha
+        sr_b = 1.0 - sr_a
+        full_seek = spec.disk_seek
+        short_seek = full_seek * self.batched_seek_factor
+        key_size = udf.key_size
+        result_size = udf.result_size
+        pending_compute = self._pending_compute
+        to_compute = self._to_compute
+
+        # Gather pass (no mutation): aligned columns for the whole
+        # batch, compute entries first then data entries — serve order.
+        keys: list = []
+        tuple_ids: list[int] = []
+        routes: list = []
+        req_params: list = []
+        rows: list = []
+        sizes: list[float] = []
+        seeks: list[float] = []
+        n_comp = 0
+        for key, tuple_id, route, params in batch.compute_entries():
+            row = table_get(key)
+            if row is None:
+                raise KeyError(
+                    f"key {key!r} not found in table {table.name!r}"
+                )
+            if row.size <= 0:
+                return None
+            keys.append(key)
+            tuple_ids.append(tuple_id)
+            routes.append(route)
+            req_params.append(params)
+            rows.append(row)
+            sizes.append(row.size)
+            seeks.append(short_seek if (batched and n_comp > 0) else full_seek)
+            n_comp += 1
+        index = 0
+        for key, tuple_id, route, params in batch.data_entries():
+            row = table_get(key)
+            if row is None:
+                raise KeyError(
+                    f"key {key!r} not found in table {table.name!r}"
+                )
+            if row.size <= 0:
+                return None
+            keys.append(key)
+            tuple_ids.append(tuple_id)
+            routes.append(route)
+            req_params.append(params)
+            rows.append(row)
+            sizes.append(row.size)
+            short = batched and (index > 0 or n_compute > 0)
+            seeks.append(short_seek if short else full_seek)
+            index += 1
+        n = len(keys)
+        if n == 0:
+            return at
+
+        # Disk pass: elementwise service times, then one serial chain
+        # on the single disk arm.  Accounting folds mirror the per-item
+        # ``+=`` sequence (same terms, same order, scalar floats).
+        disk_times = disk_service_times(seeks, sizes, spec.disk_bandwidth, slow)
+        base = disk_free[0]
+        if not base > at:
+            base = at
+        finishes = serial_chain(base, disk_times)
+        busy = disk._busy_time
+        wait = disk._total_wait
+        prev = base
+        for i in range(n):
+            busy += disk_times[i]
+            wait += prev - at
+            prev = finishes[i]
+        disk._busy_time = busy
+        disk._total_wait = wait
+        disk._requests += n
+        last = finishes[n - 1]
+        disk_free[0] = last
+        if last > disk._last_finish:
+            disk._last_finish = last
+
+        # CPU + response pass: per item (multi-server heap, opaque UDF),
+        # appending straight into the block's columns.
+        append = block.append
+        ready_at = at
+        udfs = 0
+        for i in range(n):
+            row = rows[i]
+            disk_done = finishes[i]
+            service = cost_fn(row) if cost_fn is not None else row.compute_cost
+            executed = i < d and i < n_comp
+            if executed:
+                cpu_time = (row.hydration_cost + service + overhead) * slow
+                earliest = cpu_free[0]
+                cstart = earliest if earliest > disk_done else disk_done
+                finish = cstart + cpu_time
+                heapreplace(cpu_free, finish)
+                cpu._requests += 1
+                cpu._busy_time += cpu_time
+                cpu._total_wait += cstart - disk_done
+                if finish > cpu._last_finish:
+                    cpu._last_finish = finish
+                udfs += 1
+                if cpu_time > 0:
+                    x = (finish - disk_done) / cpu_time
+                    sr._value = sr_a * x + sr_b * sr._value
+                    sr._observations += 1
+                payload = result_size
+                if apply_fn is not None:
+                    value = apply_fn(keys[i], req_params[i], row.value)
+                else:
+                    value = row.value
+            else:
+                cpu_time = overhead * slow
+                earliest = cpu_free[0]
+                cstart = earliest if earliest > disk_done else disk_done
+                finish = cstart + cpu_time
+                heapreplace(cpu_free, finish)
+                cpu._requests += 1
+                cpu._busy_time += cpu_time
+                cpu._total_wait += cstart - disk_done
+                if finish > cpu._last_finish:
+                    cpu._last_finish = finish
+                payload = key_size + row.size
+                value = row.value
+            srv = sr._value
+            ratio = srv if srv > 1.0 else 1.0
+            waited = disk_done - at
+            dt = disk_times[i]
+            append(
+                keys[i],
+                tuple_ids[i],
+                routes[i],
+                executed,
+                value,
+                payload,
+                row.size,
+                (service + row.hydration_cost) * ratio,
+                waited if waited >= dt else dt,
+                service,
+                row.hydration_cost,
+                row.updated_at,
+                None if executed else req_params[i],
+            )
+            if finish > ready_at:
+                ready_at = finish
+            if i < n_comp:
+                if executed:
+                    def decrement(
+                        _pc=pending_compute, _tc=to_compute, _s=src
+                    ) -> None:
+                        _pc[_s] -= 1
+                        _tc[_s] -= 1
+                else:
+                    def decrement(  # type: ignore[misc]
+                        _pc=pending_compute, _s=src
+                    ) -> None:
+                        _pc[_s] -= 1
+            else:
+                def decrement() -> None:  # type: ignore[misc]
+                    self._pending_data -= 1
+            schedule(finish, decrement)
         self._udfs_executed += udfs
         return ready_at
 

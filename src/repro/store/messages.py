@@ -258,25 +258,193 @@ class ResponseItem:
     params: Any = None
 
 
-@dataclass(slots=True)
-class BatchResponse:
-    """A batch of responses from one data node to one compute node."""
+class ResponseBlock:
+    """Columnar encoding of one batch response (structure of arrays).
 
-    src: int
-    dst: int
-    items: list[ResponseItem] = field(default_factory=list)
-    #: Echo of the request's idempotency token; the compute node drops
-    #: any response whose id it has already accepted (late originals
-    #: after a retry, network-duplicated responses).
-    request_id: str | None = None
-    #: True when this response was replayed from the data node's
-    #: idempotency cache rather than served fresh.
-    replayed: bool = False
+    The optimized serving kernel fills aligned per-item columns instead
+    of allocating one :class:`ResponseItem` (plus its
+    :class:`~repro.core.cost_model.CostParameters`) per tuple, and the
+    compute node's batch handler folds the columns directly.  The four
+    cost-parameter fields that are constant across a server's responses
+    (``param_size``, ``key_size``, ``computed_size``, ``node_id``) are
+    stored once on the block.  :meth:`to_items` materializes the
+    classic item list when introspection needs it; both encodings carry
+    exactly the same fields.
+    """
+
+    __slots__ = (
+        "keys", "tuple_ids", "routes", "computed", "values",
+        "payload_sizes", "value_sizes", "compute_times", "disk_times",
+        "cpu_service_times", "hydration_times", "updated_ats", "params",
+        "param_size", "key_size", "computed_size", "node_id",
+    )
+
+    def __init__(
+        self,
+        param_size: float = 0.0,
+        key_size: float = 8.0,
+        computed_size: float = 0.0,
+        node_id: int = -1,
+    ) -> None:
+        self.param_size = param_size
+        self.key_size = key_size
+        self.computed_size = computed_size
+        self.node_id = node_id
+        self.keys: list[Hashable] = []
+        self.tuple_ids: list[int] = []
+        self.routes: list[Route] = []
+        self.computed: list[bool] = []
+        self.values: list[Any] = []
+        self.payload_sizes: list[float] = []
+        self.value_sizes: list[float] = []
+        self.compute_times: list[float] = []
+        self.disk_times: list[float] = []
+        self.cpu_service_times: list[float] = []
+        self.hydration_times: list[float] = []
+        self.updated_ats: list[float] = []
+        self.params: list[Any] = []
 
     def __len__(self) -> int:
-        return len(self.items)
+        return len(self.keys)
+
+    def append(
+        self,
+        key: Hashable,
+        tuple_id: int,
+        route: Route,
+        computed: bool,
+        value: Any,
+        payload_size: float,
+        value_size: float,
+        compute_time: float,
+        disk_time: float,
+        cpu_service_time: float,
+        hydration_time: float,
+        updated_at: float,
+        params: Any,
+    ) -> None:
+        """Append one response as scalars (no envelope allocation)."""
+        self.keys.append(key)
+        self.tuple_ids.append(tuple_id)
+        self.routes.append(route)
+        self.computed.append(computed)
+        self.values.append(value)
+        self.payload_sizes.append(payload_size)
+        self.value_sizes.append(value_size)
+        self.compute_times.append(compute_time)
+        self.disk_times.append(disk_time)
+        self.cpu_service_times.append(cpu_service_time)
+        self.hydration_times.append(hydration_time)
+        self.updated_ats.append(updated_at)
+        self.params.append(params)
+
+    def cost_params_at(self, index: int) -> CostParameters:
+        """Materialize one item's :class:`CostParameters`."""
+        return CostParameters(
+            key=self.keys[index],
+            value_size=self.value_sizes[index],
+            compute_time=self.compute_times[index],
+            disk_time=self.disk_times[index],
+            param_size=self.param_size,
+            key_size=self.key_size,
+            computed_size=self.computed_size,
+            node_id=self.node_id,
+            cpu_service_time=self.cpu_service_times[index],
+            hydration_time=self.hydration_times[index],
+        )
+
+    def to_items(self) -> list[ResponseItem]:
+        """Materialize the block as :class:`ResponseItem` objects."""
+        return [
+            ResponseItem(
+                key=self.keys[i],
+                tuple_id=self.tuple_ids[i],
+                route=self.routes[i],
+                computed=self.computed[i],
+                value=self.values[i],
+                payload_size=self.payload_sizes[i],
+                cost_params=self.cost_params_at(i),
+                updated_at=self.updated_ats[i],
+                params=self.params[i],
+            )
+            for i in range(len(self.keys))
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ResponseBlock(node={self.node_id}, n={len(self.keys)})"
+
+
+class BatchResponse:
+    """A batch of responses from one data node to one compute node.
+
+    Carries its responses either as a :class:`ResponseItem` list or as
+    one columnar :class:`ResponseBlock` (the optimized serving path).
+    ``items`` on a block-backed response materializes (and caches) the
+    item list, so introspection and the reference-mode handlers see the
+    same shape either way.
+    """
+
+    __slots__ = ("src", "dst", "request_id", "replayed", "block", "_items")
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        items: list[ResponseItem] | None = None,
+        request_id: str | None = None,
+        replayed: bool = False,
+        block: ResponseBlock | None = None,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        #: Columnar alternative to the item list (optimized hot path).
+        self.block = block
+        if items is None and block is None:
+            items = []
+        self._items = items
+        #: Echo of the request's idempotency token; the compute node
+        #: drops any response whose id it has already accepted (late
+        #: originals after a retry, network-duplicated responses).
+        self.request_id = request_id
+        #: True when this response was replayed from the data node's
+        #: idempotency cache rather than served fresh.
+        self.replayed = replayed
+
+    @property
+    def items(self) -> list[ResponseItem]:
+        """Responses as items (materialized from the block on demand)."""
+        if self._items is None:
+            assert self.block is not None
+            self._items = self.block.to_items()
+        return self._items
+
+    def __len__(self) -> int:
+        if self.block is not None:
+            return len(self.block)
+        assert self._items is not None
+        return len(self._items)
+
+    def with_src(self, src: int) -> "BatchResponse":
+        """Shallow copy with a rewritten source node id."""
+        return BatchResponse(
+            src=src,
+            dst=self.dst,
+            items=self._items,
+            request_id=self.request_id,
+            replayed=self.replayed,
+            block=self.block,
+        )
 
     @property
     def payload_bytes(self) -> float:
         """Total payload bytes on the wire."""
-        return sum(item.payload_size for item in self.items)
+        if self.block is not None:
+            return sum(self.block.payload_sizes)
+        assert self._items is not None
+        return sum(item.payload_size for item in self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"BatchResponse(src={self.src}, dst={self.dst}, "
+            f"n={len(self)}, request_id={self.request_id!r})"
+        )

@@ -1,0 +1,46 @@
+"""repro.vector — columnar array-at-a-time kernels for the hot loops.
+
+The per-tuple inner loops (routing, batch serving, response handling)
+spend most of their time in Python frame overhead, not in the decision
+logic.  This package holds the array-at-a-time building blocks those
+loops share:
+
+* :func:`serial_chain` — finish times of back-to-back reservations on
+  a single-server resource (the data node's disk arm), numpy
+  ``add.accumulate`` when available (sequential float semantics, so the
+  results are bit-identical to the scalar fold).
+* :func:`disk_service_times` — elementwise ``(seek + size/bw) * slow``
+  over aligned seek/size columns.
+* :func:`apply_udf_batch` — one UDF application sweep over aligned
+  key/param/value columns.
+* :class:`~repro.vector.lanes.CacheLanes` /
+  :class:`~repro.vector.lanes.RouteLanes` — the lane-partition result
+  types returned by :meth:`repro.cache.TieredCache.probe_batch` and
+  :meth:`repro.core.optimizer.JoinLocationOptimizer.route_batch`.
+
+Every kernel is numpy-when-available with a pure-python columnar
+fallback, and every consumer is gated behind the
+``REPRO_PERF_REFERENCE=1`` differential discipline: reference mode
+keeps the scalar per-tuple algorithms verbatim, and the equivalence
+suite asserts bit-identical outputs, makespans, metrics and span trees
+between the two.
+"""
+
+from repro.vector.kernels import (
+    HAVE_NUMPY,
+    apply_udf_batch,
+    disk_service_times,
+    serial_chain,
+    ski_rental_lanes,
+)
+from repro.vector.lanes import CacheLanes, RouteLanes
+
+__all__ = [
+    "HAVE_NUMPY",
+    "CacheLanes",
+    "RouteLanes",
+    "apply_udf_batch",
+    "disk_service_times",
+    "serial_chain",
+    "ski_rental_lanes",
+]

@@ -1,0 +1,179 @@
+"""Low-level columnar kernels shared by the vectorized hot paths.
+
+Two rules govern everything in this module:
+
+1. **Bit-identity.**  Each kernel's float results must match the scalar
+   reference fold exactly.  That restricts the numpy surface to
+   operations with sequential float semantics: elementwise ufuncs
+   (one IEEE operation per lane, identical to the scalar expression)
+   and ``add.accumulate`` (a strict left-to-right recurrence, unlike
+   ``add.reduce``/``sum`` which use pairwise summation and therefore
+   round differently).  Results are converted back to Python floats
+   with ``tolist()`` so downstream accounting and JSON export never
+   see ``np.float64``.
+2. **Graceful fallback.**  numpy is an optional accelerator; every
+   kernel has a pure-python columnar path producing the same values.
+
+``_NUMPY_MIN`` is the batch length below which the scalar fallback is
+used even when numpy is present — array construction costs more than
+it saves on tiny batches.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Sequence
+
+try:  # pragma: no cover - exercised implicitly by every import
+    import numpy as _np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - numpy ships with the package
+    _np = None  # type: ignore[assignment]
+    HAVE_NUMPY = False
+
+#: Minimum column length for the numpy paths; shorter columns use the
+#: scalar fold (identical results, less overhead).
+_NUMPY_MIN = 32
+
+_INF = float("inf")
+
+
+def serial_chain(base: float, durations: Sequence[float]) -> list[float]:
+    """Finish times of back-to-back reservations on one server.
+
+    Models a ``capacity=1`` :class:`~repro.sim.resources.Resource`
+    receiving requests in order, all with the same ready time at or
+    before ``base``: the i-th request starts when the (i-1)-th
+    finishes, so ``finish[i] = base + d[0] + ... + d[i]`` folded
+    strictly left to right.  ``add.accumulate`` performs exactly that
+    sequential recurrence, so the numpy path is bit-identical to the
+    scalar loop.
+    """
+    n = len(durations)
+    if HAVE_NUMPY and n >= _NUMPY_MIN:
+        chain = _np.empty(n + 1, dtype=_np.float64)
+        chain[0] = base
+        chain[1:] = durations
+        out: list[float] = _np.add.accumulate(chain)[1:].tolist()
+        return out
+    finishes: list[float] = []
+    acc = base
+    for duration in durations:
+        acc = acc + duration
+        finishes.append(acc)
+    return finishes
+
+
+def disk_service_times(
+    seeks: Sequence[float],
+    sizes: Sequence[float],
+    bandwidth: float,
+    slow: float,
+) -> list[float]:
+    """Elementwise ``(seek + size / bandwidth) * slow`` over columns.
+
+    One IEEE divide, add and multiply per lane in both paths — the
+    numpy ufunc applies the same three operations per element as the
+    scalar expression, so the results are identical floats.
+    """
+    if HAVE_NUMPY and len(sizes) >= _NUMPY_MIN:
+        sizes_arr = _np.asarray(sizes, dtype=_np.float64)
+        seeks_arr = _np.asarray(seeks, dtype=_np.float64)
+        out: list[float] = ((seeks_arr + sizes_arr / bandwidth) * slow).tolist()
+        return out
+    return [
+        (seek + size / bandwidth) * slow
+        for seek, size in zip(seeks, sizes)
+    ]
+
+
+def ski_rental_lanes(
+    rents: Sequence[float],
+    buys: Sequence[float],
+    rec_mems: Sequence[float],
+    rec_disks: Sequence[float],
+    min_weight: float,
+) -> tuple[list[float], list[float], list[float]]:
+    """Benefit weights and ski-rental thresholds over cost columns.
+
+    For each lane ``i`` computes exactly what the scalar router does
+    per key:
+
+    * ``weight[i] = rent - rec_mem`` clamped up to ``min_weight``
+      whenever ``not weight > min_weight`` (the LFU-DA floor),
+    * ``mem_threshold[i] = inf`` if ``rent <= rec_mem`` else
+      ``buy / (rent - rec_mem)``,
+    * ``disk_threshold[i]`` — same with ``rec_disk``.
+
+    Every step is one elementwise IEEE operation per lane, so the
+    numpy path is bit-identical to the scalar fallback (the divide is
+    masked by the *same* ``rent <= rec`` comparison the scalar branch
+    uses, so non-finite inputs follow identical paths).
+    """
+    n = len(rents)
+    if HAVE_NUMPY and n >= _NUMPY_MIN:
+        rent = _np.asarray(rents, dtype=_np.float64)
+        buy = _np.asarray(buys, dtype=_np.float64)
+        rec_mem = _np.asarray(rec_mems, dtype=_np.float64)
+        rec_disk = _np.asarray(rec_disks, dtype=_np.float64)
+        weight = rent - rec_mem
+        clamp = ~(weight > min_weight)
+        if clamp.any():
+            weight[clamp] = _np.maximum(weight[clamp], min_weight)
+        mem_free = rent <= rec_mem
+        mem_t = _np.divide(
+            buy,
+            rent - rec_mem,
+            out=_np.full(n, _INF, dtype=_np.float64),
+            where=~mem_free,
+        )
+        disk_free = rent <= rec_disk
+        disk_t = _np.divide(
+            buy,
+            rent - rec_disk,
+            out=_np.full(n, _INF, dtype=_np.float64),
+            where=~disk_free,
+        )
+        return weight.tolist(), mem_t.tolist(), disk_t.tolist()
+    weights: list[float] = []
+    mem_thresholds: list[float] = []
+    disk_thresholds: list[float] = []
+    for i in range(n):
+        rent_i = rents[i]
+        buy_i = buys[i]
+        rec_mem_i = rec_mems[i]
+        rec_disk_i = rec_disks[i]
+        w = rent_i - rec_mem_i
+        if not w > min_weight:
+            w = max(w, min_weight)
+        weights.append(w)
+        if rent_i <= rec_mem_i:
+            mem_thresholds.append(_INF)
+        else:
+            mem_thresholds.append(buy_i / (rent_i - rec_mem_i))
+        if rent_i <= rec_disk_i:
+            disk_thresholds.append(_INF)
+        else:
+            disk_thresholds.append(buy_i / (rent_i - rec_disk_i))
+    return weights, mem_thresholds, disk_thresholds
+
+
+def apply_udf_batch(
+    apply_fn: Callable[[Hashable, Any, Any], Any],
+    keys: Sequence[Hashable],
+    params: Sequence[Any] | None,
+    values: Sequence[Any],
+) -> list[Any]:
+    """Apply one UDF over aligned key/param/value columns.
+
+    The UDF is an opaque Python callable, so the "vectorization" here
+    is the columnar sweep itself: one comprehension over pre-gathered
+    aligned columns instead of a per-tuple gather + call in the engine
+    loop.  ``params=None`` broadcasts a ``None`` argument.
+    """
+    if params is None:
+        return [apply_fn(key, None, value) for key, value in zip(keys, values)]
+    return [
+        apply_fn(key, p, value)
+        for key, p, value in zip(keys, params, values)
+    ]

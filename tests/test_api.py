@@ -21,7 +21,14 @@ pytestmark = pytest.mark.filterwarnings(
 )
 
 import repro
-from repro.api import BACKENDS, JobSpec, RunConfig, run_join
+from repro.api import (
+    BACKENDS,
+    BatchOptions,
+    ClusterRunOptions,
+    JobSpec,
+    RunConfig,
+    run_join,
+)
 from repro.obs import ObsOptions
 from repro.runtime import ENGINES
 from tests.oracle import assert_oracle_equal, single_node_hash_join
@@ -81,6 +88,73 @@ class TestRunConfig:
         traced = config.with_obs(tracing=True, trace_path="t.jsonl")
         assert traced.obs.tracing is True
         assert config.obs.tracing is False  # original untouched
+
+    def test_local_backend_rejects_non_default_engine(self):
+        with pytest.raises(ValueError, match="local"):
+            RunConfig(backend="local", engine="mapreduce")
+        # The default engine stays accepted.
+        assert RunConfig(backend="local").engine == "engine"
+
+
+class TestOptionGroups:
+    """BatchOptions / ClusterRunOptions and the flat-kwarg migration."""
+
+    def test_batch_options_validation(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            BatchOptions(batch_size=0)
+        with pytest.raises(ValueError, match="max_wait"):
+            BatchOptions(max_wait=-1.0)
+        with pytest.raises(ValueError, match="vector_width"):
+            BatchOptions(vector_width=0)
+
+    def test_cluster_options_validation(self):
+        with pytest.raises(ValueError, match="placement"):
+            ClusterRunOptions(placement="everywhere")
+        with pytest.raises(ValueError, match="startup_timeout"):
+            ClusterRunOptions(startup_timeout=0.0)
+
+    def test_groups_accepted_directly(self):
+        config = RunConfig(
+            batching=BatchOptions(batch_size=8, vector_width=128),
+            cluster=ClusterRunOptions(placement="colocated"),
+        )
+        assert config.batching.batch_size == 8
+        assert config.batching.vector_width == 128
+        assert config.cluster.placement == "colocated"
+
+    def test_flat_kwargs_fold_into_groups_with_warning(self):
+        with pytest.warns(DeprecationWarning, match="batch_size"):
+            config = RunConfig(batch_size=4)
+        assert config.batching.batch_size == 4
+        assert config.batch_size is None  # flat field consumed
+        with pytest.warns(DeprecationWarning, match="max_wait"):
+            config = RunConfig(max_wait=0.25)
+        assert config.batching.max_wait == 0.25
+        with pytest.warns(DeprecationWarning, match="placement"):
+            config = RunConfig(placement="colocated")
+        assert config.cluster.placement == "colocated"
+        assert config.placement is None
+        with pytest.warns(DeprecationWarning, match="startup_timeout"):
+            config = RunConfig(startup_timeout=3.0)
+        assert config.cluster.startup_timeout == 3.0
+
+    def test_flat_kwargs_point_to_new_spelling(self):
+        with pytest.warns(DeprecationWarning, match=r"BatchOptions\(batch_size=\.\.\.\)"):
+            RunConfig(batch_size=4)
+
+    def test_flat_kwargs_validated_through_group(self):
+        with pytest.warns(DeprecationWarning), pytest.raises(
+            ValueError, match="batch_size"
+        ):
+            RunConfig(batch_size=0)
+
+    def test_with_batching_copies(self):
+        config = RunConfig()
+        tuned = config.with_batching(vector_width=256, columnar=False)
+        assert tuned.batching.vector_width == 256
+        assert tuned.batching.columnar is False
+        assert config.batching.vector_width == 64  # original untouched
+        assert tuned.batching.batch_size == config.batching.batch_size
 
 
 class TestRunJoin:

@@ -17,7 +17,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.api import JobSpec, RunConfig, run_join
+from repro.api import BatchOptions, JobSpec, RunConfig, run_join
 from repro.perf.harness import verify_scenario
 from repro.perf.mode import REFERENCE_ENV
 from repro.perf.scenarios import SCENARIOS
@@ -91,6 +91,55 @@ class TestEngineEquivalence:
         )
 
 
+class TestVectorEquivalence:
+    """The columnar batch kernels vs the reference scalar loops.
+
+    Reference mode never runs the vector kernels, so each case below
+    is a vector-vs-scalar differential: any batch-kernel divergence —
+    lane partitioning, frozen-threshold reuse, window splitting —
+    shows up as a mismatch in outputs, makespan, metrics or spans.
+    """
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("vector_width", [1, 16, 256])
+    def test_vector_width_matches_reference(self, engine, vector_width):
+        _assert_equivalent(
+            dict(kind="data_heavy", n_keys=60, n_tuples=300, skew=1.5, seed=11),
+            RunConfig(
+                engine=engine,
+                batching=BatchOptions(vector_width=vector_width),
+            ).with_obs(tracing=True),
+        )
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_columnar_off_matches_reference(self, engine):
+        # columnar=False pins the scalar per-tuple algorithms even in
+        # optimized mode; both modes must still agree.
+        _assert_equivalent(
+            dict(kind="data_heavy", n_keys=60, n_tuples=300, skew=1.5, seed=11),
+            RunConfig(
+                engine=engine, batching=BatchOptions(columnar=False)
+            ).with_obs(tracing=True),
+        )
+
+    def test_vector_widths_agree_with_each_other(self):
+        # The width is a blocking factor, not a semantic knob: every
+        # width must give the same optimized-mode observables.
+        spec = dict(kind="data_heavy", n_keys=60, n_tuples=300, skew=1.5, seed=3)
+        runs = [
+            _run(
+                "0",
+                spec,
+                RunConfig(
+                    engine="engine",
+                    batching=BatchOptions(vector_width=width),
+                ).with_obs(tracing=True),
+            )
+            for width in (1, 16, 256)
+        ]
+        assert runs[0] == runs[1] == runs[2]
+
+
 @given(
     kind=st.sampled_from(["data_heavy", "compute_heavy", "data_compute_heavy"]),
     n_keys=st.integers(min_value=5, max_value=60),
@@ -116,6 +165,7 @@ class TestScenarioVerification:
         "name",
         [
             "micro_route",
+            "micro_route_batch",
             "micro_lossy_counter",
             "micro_cache_churn",
             "micro_event_cancel",

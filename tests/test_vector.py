@@ -1,0 +1,289 @@
+"""Property tests for the columnar kernels in ``repro.vector``.
+
+Two layers:
+
+1. Direct kernel differentials — each kernel against its scalar fold,
+   with column lengths chosen on both sides of ``_NUMPY_MIN`` so the
+   numpy path and the pure-python fallback are both exercised.
+2. Twin-instance sweeps — ``TieredCache.probe_batch`` and
+   ``JoinLocationOptimizer.route_batch`` against a scalar twin driven
+   through ``access_fast`` / ``route_fast`` on identical state, over
+   hypothesis-generated key columns, skews and cache contents.  The
+   batch result must equal the scalar replay element-wise, the lane
+   partition must be a permutation of the input positions, and every
+   counter and policy table must land in the same place.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import CacheTier, TieredCache
+from repro.core.cost_model import CostModel, CostParameters
+from repro.core.frequency import ExactCounter
+from repro.core.optimizer import JoinLocationOptimizer, Route
+from repro.vector import (
+    apply_udf_batch,
+    disk_service_times,
+    serial_chain,
+    ski_rental_lanes,
+)
+from repro.vector.kernels import _NUMPY_MIN
+
+# Column lengths straddling the numpy cutover: the scalar fallback
+# (below _NUMPY_MIN) and the numpy path (at and above it).
+_SIZES = st.integers(min_value=0, max_value=2 * _NUMPY_MIN)
+
+_FINITE = st.floats(
+    min_value=1e-9, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+# ----------------------------------------------------------------------
+# Direct kernel differentials
+# ----------------------------------------------------------------------
+@given(base=_FINITE, durations=st.lists(_FINITE, max_size=2 * _NUMPY_MIN))
+@settings(max_examples=60, deadline=None)
+def test_property_serial_chain_matches_scalar_fold(base, durations):
+    got = serial_chain(base, durations)
+    acc = base
+    expected = []
+    for d in durations:
+        acc = acc + d
+        expected.append(acc)
+    assert got == expected  # bit-identical, not approx
+
+
+@given(
+    pairs=st.lists(st.tuples(_FINITE, _FINITE), max_size=2 * _NUMPY_MIN),
+    bandwidth=_FINITE,
+    slow=_FINITE,
+)
+@settings(max_examples=60, deadline=None)
+def test_property_disk_service_times_matches_scalar(pairs, bandwidth, slow):
+    seeks = [p[0] for p in pairs]
+    sizes = [p[1] for p in pairs]
+    got = disk_service_times(seeks, sizes, bandwidth, slow)
+    expected = [(seek + size / bandwidth) * slow for seek, size in pairs]
+    assert got == expected
+
+
+@given(
+    rows=st.lists(
+        st.tuples(_FINITE, _FINITE, _FINITE, _FINITE),
+        max_size=2 * _NUMPY_MIN,
+    ),
+    min_weight=st.floats(min_value=1e-9, max_value=10.0),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_ski_rental_lanes_matches_scalar(rows, min_weight):
+    rents = [r[0] for r in rows]
+    buys = [r[1] for r in rows]
+    rec_mems = [r[2] for r in rows]
+    rec_disks = [r[3] for r in rows]
+    weights, mem_ts, disk_ts = ski_rental_lanes(
+        rents, buys, rec_mems, rec_disks, min_weight
+    )
+    for i, (rent, buy, rec_mem, rec_disk) in enumerate(rows):
+        w = rent - rec_mem
+        if not w > min_weight:
+            w = max(w, min_weight)
+        assert weights[i] == w
+        if rent <= rec_mem:
+            assert mem_ts[i] == math.inf
+        else:
+            assert mem_ts[i] == buy / (rent - rec_mem)
+        if rent <= rec_disk:
+            assert disk_ts[i] == math.inf
+        else:
+            assert disk_ts[i] == buy / (rent - rec_disk)
+
+
+@given(
+    items=st.lists(
+        st.tuples(st.integers(0, 9), st.integers(-50, 50)),
+        max_size=2 * _NUMPY_MIN,
+    ),
+    with_params=st.booleans(),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_apply_udf_batch_matches_loop(items, with_params):
+    keys = [k for k, _ in items]
+    values = [v for _, v in items]
+    params = [k * 3 for k, _ in items] if with_params else None
+
+    def apply_fn(key, param, value):
+        return (key, param, value * 2)
+
+    got = apply_udf_batch(apply_fn, keys, params, values)
+    if with_params:
+        expected = [apply_fn(k, p, v) for k, p, v in zip(keys, params, values)]
+    else:
+        expected = [apply_fn(k, None, v) for k, v in zip(keys, values)]
+    assert got == expected
+
+
+# ----------------------------------------------------------------------
+# probe_batch vs a scalar access_fast twin
+# ----------------------------------------------------------------------
+@st.composite
+def cache_workloads(draw):
+    """A cache setup plus a probe column over a small key universe."""
+    n_keys = draw(st.integers(min_value=1, max_value=8))
+    # Per-key placement: absent, memory, reserved (ghost), or disk.
+    placement = [
+        draw(st.sampled_from(["absent", "memory", "ghost", "disk"]))
+        for _ in range(n_keys)
+    ]
+    probes = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n_keys - 1),
+                st.floats(min_value=1e-3, max_value=100.0),
+            ),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    return placement, probes
+
+
+def _build_cache(placement):
+    cache = TieredCache(memory_bytes=1e9, disk_bytes=1e9)
+    for key, kind in enumerate(placement):
+        if kind == "memory":
+            assert cache.cond_cache_in_memory(key, ("v", key), 100.0)
+        elif kind == "ghost":
+            # Probe-form admission: reserve the slot, value in flight.
+            assert cache.cond_cache_in_memory(key, None, 100.0)
+        elif kind == "disk":
+            assert cache.add_to_disk(key, ("v", key), 100.0)
+    return cache
+
+
+@given(workload=cache_workloads())
+@settings(max_examples=100, deadline=None)
+def test_property_probe_batch_matches_scalar_access_fast(workload):
+    placement, probes = workload
+    batch_cache = _build_cache(placement)
+    scalar_cache = _build_cache(placement)
+    keys = [k for k, _ in probes]
+    weights = [w for _, w in probes]
+
+    lanes = batch_cache.probe_batch(keys, weights)
+    scalar = [scalar_cache.access_fast(k, w) for k, w in probes]
+
+    # The lane partition is a permutation of the input positions.
+    assert sorted(lanes.all_indices()) == list(range(len(probes)))
+    assert len(lanes) == len(probes)
+
+    # Element-wise classification matches the scalar sweep.
+    for i in lanes.mem_idx:
+        assert scalar[i] is not None and scalar[i][1] is CacheTier.MEMORY
+    for i, value in zip(lanes.mem_idx, lanes.mem_values):
+        assert value == scalar[i][0]
+    for i in lanes.disk_idx:
+        assert scalar[i] is not None and scalar[i][1] is CacheTier.DISK
+    for i, value in zip(lanes.disk_idx, lanes.disk_values):
+        assert value == scalar[i][0]
+    for i in lanes.ghost_idx:
+        assert scalar[i] is None  # in-flight reservation: a scalar miss
+        assert placement[keys[i]] == "ghost"
+    for i in lanes.miss_idx:
+        assert scalar[i] is None
+    assert lanes.hit_count == sum(1 for s in scalar if s is not None)
+
+    # Counters and policy state end up identical.
+    assert batch_cache.stats() == scalar_cache.stats()
+    assert batch_cache.policy._frequency == scalar_cache.policy._frequency
+    assert batch_cache.policy._benefit == scalar_cache.policy._benefit
+    assert batch_cache.memory_keys == scalar_cache.memory_keys
+    assert batch_cache.disk_keys == scalar_cache.disk_keys
+
+
+# ----------------------------------------------------------------------
+# route_batch vs a scalar route_fast twin
+# ----------------------------------------------------------------------
+@st.composite
+def routing_workloads(draw):
+    """Warm-up accesses plus a batch column over a small key universe."""
+    n_keys = draw(st.integers(min_value=1, max_value=6))
+    skewed_key = st.integers(0, n_keys - 1)
+    warm = draw(st.lists(skewed_key, max_size=30))
+    taught = draw(st.sets(skewed_key, max_size=n_keys))
+    batch = draw(
+        st.lists(
+            st.tuples(skewed_key, st.integers(1, 2)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    return n_keys, warm, sorted(taught), batch
+
+
+def _make_twin():
+    cm = CostModel(
+        node_id=0, bandwidth={1: 1e8, 2: 5e7}, local_disk_time=0.001
+    )
+    cache = TieredCache(memory_bytes=5_000.0, disk_bytes=20_000.0)
+    return JoinLocationOptimizer(cm, cache, counter=ExactCounter())
+
+
+def _teach(opt, key):
+    # Deterministic per-key costs: low keys buy quickly, high keys rent.
+    opt.observe_response(
+        CostParameters(
+            key=key,
+            value_size=500.0 * (key + 1),
+            compute_time=0.01 / (key + 1),
+            disk_time=0.002,
+            param_size=64.0,
+            key_size=8.0,
+            computed_size=64.0,
+            node_id=1,
+            cpu_service_time=0.0001,
+        )
+    )
+
+
+def _drive(opt, key, dst):
+    """One scalar warm-up step: route, then settle its side effects."""
+    route, _value = opt.route_fast(key, dst)
+    if route is Route.COMPUTE_REQUEST:
+        _teach(opt, key)
+    elif route in (Route.DATA_REQUEST_MEMORY, Route.DATA_REQUEST_DISK):
+        opt.complete_fetch(key, ("v", key), route)
+
+
+@given(workload=routing_workloads())
+@settings(max_examples=100, deadline=None)
+def test_property_route_batch_matches_scalar_route_fast(workload):
+    _n_keys, warm, taught, batch = workload
+    batch_opt = _make_twin()
+    scalar_opt = _make_twin()
+    for opt in (batch_opt, scalar_opt):
+        for key in taught:
+            _teach(opt, key)
+        for key in warm:
+            _drive(opt, key, 1)
+
+    keys = [k for k, _ in batch]
+    dsts = [d for _, d in batch]
+    lanes = batch_opt.route_batch(keys, dsts)
+    scalar = [scalar_opt.route_fast(k, d) for k, d in batch]
+
+    assert len(lanes) == len(batch)
+    assert lanes.routes == [r for r, _ in scalar]
+    assert lanes.values == [v for _, v in scalar]
+    for route in Route:
+        assert lanes.lane(route) == [
+            i for i, (r, _) in enumerate(scalar) if r is route
+        ]
+
+    # Counters, cache state and frequency tables move identically.
+    assert batch_opt.stats() == scalar_opt.stats()
+    assert batch_opt.cache.stats() == scalar_opt.cache.stats()
+    assert batch_opt.cache.memory_keys == scalar_opt.cache.memory_keys
+    assert batch_opt.cache.disk_keys == scalar_opt.cache.disk_keys
+    assert batch_opt.counter._counts == scalar_opt.counter._counts
