@@ -1,0 +1,235 @@
+"""Memory-adaptive execution benchmark (CI-enforced).
+
+One deterministic pass, written to ``out/BENCH_memory.json`` with the
+full ambient-registry snapshot:
+
+* **sweep** — the per-node budget shrinks from 100% of the build side
+  to 10%; every point must produce oracle-identical outputs, the
+  fully-resident point must never spill, and makespan inflation over
+  the resident run must grow as the budget tightens (the graceful-
+  degradation curve this subsystem exists for).
+* **shuffle** — the mapreduce engine at a tight budget: reduce-side
+  stored values live in budget-partitioned hybrid joins and refused
+  receive buffers stage through disk; outputs must stay intact with
+  nonzero shuffle refusals.
+* **replan** — a three-stage multi-join chain submitted with wrong
+  stage-cost estimates; the stage-boundary checkpoint must switch
+  plans and must not regress the never-replan makespan.
+
+``python benchmarks/bench_memory.py --check BENCH_memory.json`` re-runs
+the sweep and compares inflation factors against a committed baseline
+(``--warn-only`` downgrades a miss to a warning — used on PRs where
+the author cannot re-baseline ``main``).
+"""
+
+from repro.memory import MemoryOptions, StageEstimate
+from repro.runtime import JoinWorkload, SimBackend
+from repro.workloads.synthetic import SyntheticWorkload
+
+#: Budget fractions of the build side the sweep visits, tightest last.
+FRACTIONS = (1.0, 0.5, 0.25, 0.1)
+#: The tightest budget must inflate the resident makespan at least
+#: this much — if spilling were free the subsystem would be untested.
+MIN_TIGHT_INFLATION = 1.5
+
+
+def _workload() -> JoinWorkload:
+    synthetic = SyntheticWorkload.data_heavy(
+        n_keys=60, n_tuples=800, skew=0.8, seed=13, value_size=20_000
+    )
+    return JoinWorkload.from_synthetic(synthetic)
+
+
+def _build_side_bytes(workload: JoinWorkload) -> float:
+    return workload.sizes.value_size * len(workload.stored_values())
+
+
+def _run(workload, budget_bytes, engine="engine"):
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    run = SimBackend(
+        engine=engine,
+        seed=13,
+        memory=MemoryOptions.on(budget_bytes=budget_bytes),
+        registry=registry,
+    ).run_join(workload)
+    return run, registry.snapshot().get("counters", {})
+
+
+def _sweep(workload, baseline):
+    build = _build_side_bytes(workload)
+    resident, _ = _run(workload, build)
+    points = []
+    for fraction in FRACTIONS:
+        run, counters = _run(workload, fraction * build)
+        points.append({
+            "fraction": fraction,
+            "makespan": run.duration,
+            "inflation": run.duration / resident.duration,
+            "spills": counters.get("memory.spills", 0.0),
+            "spill_bytes": counters.get("memory.spill_bytes", 0.0),
+            "refusals": counters.get("memory.budget_refusals", 0.0),
+            "outputs_intact": run.outputs == baseline.outputs,
+        })
+    return {"resident_makespan": resident.duration, "points": points}
+
+
+def _shuffle(workload, baseline):
+    build = _build_side_bytes(workload)
+    run, counters = _run(workload, 0.1 * build, engine="mapreduce")
+    return {
+        "makespan": run.duration,
+        "shuffle_refusals": counters.get("memory.shuffle_refusals", 0.0),
+        "spill_seconds": counters.get("memory.spill_seconds", 0.0),
+        "outputs_intact": run.outputs == baseline.outputs,
+    }
+
+
+def _replan():
+    from repro.engine.multi_join import JoinStageSpec, MultiJoinJob
+    from repro.engine.strategies import Strategy
+    from repro.placement.batch import SizeProfile
+    from repro.sim.cluster import Cluster
+    from repro.store.messages import UDF
+    from repro.store.table import Row, Table
+
+    def make_stage(name, compute_cost):
+        table = Table(name)
+        for key in range(50):
+            table.put(Row(key=key, value=f"{name}-{key}", size=500.0,
+                          compute_cost=compute_cost))
+        sizes = SizeProfile(key_size=8.0, param_size=64.0,
+                            value_size=500.0, computed_size=64.0)
+        return JoinStageSpec(name, table, UDF(result_size=64.0,
+                                              param_size=64.0,
+                                              key_size=8.0), sizes)
+
+    def make_job(**kwargs):
+        return MultiJoinJob(
+            cluster=Cluster.homogeneous(4),
+            compute_nodes=[0, 1],
+            data_nodes=[2, 3],
+            stages=[make_stage("dim0", 0.004),
+                    make_stage("dim1", 0.0001),
+                    make_stage("dim2", 0.0001)],
+            strategy=Strategy.fo(),
+            pipeline_window=32,
+            seed=3,
+            **kwargs,
+        )
+
+    keys = [[i % 50, (i * 7) % 50, (i * 13) % 50] for i in range(400)]
+    never = make_job(memory=MemoryOptions.on(replan=False)).run(keys)
+    job = make_job(
+        memory=MemoryOptions.on(replan=True, replan_min_observations=32),
+        stage_estimates=(
+            StageEstimate(cost=0.001), StageEstimate(cost=0.05),
+            StageEstimate(cost=0.001),
+        ),
+    )
+    adaptive = job.run(keys)
+    return {
+        "never_replan_makespan": never.makespan,
+        "adaptive_makespan": adaptive.makespan,
+        "switches": sum(1 for d in job.replan_decisions if d.switched),
+        "checkpoints": len(job.replan_decisions),
+        "tuples_intact": adaptive.n_tuples == never.n_tuples,
+    }
+
+
+def _run_all():
+    workload = _workload()
+    baseline = SimBackend(engine="engine", seed=13).run_join(workload)
+    shuffle_baseline = SimBackend(
+        engine="mapreduce", seed=13
+    ).run_join(workload)
+    return {
+        "sweep": _sweep(workload, baseline),
+        "shuffle": _shuffle(workload, shuffle_baseline),
+        "replan": _replan(),
+    }
+
+
+def _assert_shape(results) -> None:
+    sweep = results["sweep"]["points"]
+    assert all(p["outputs_intact"] for p in sweep), "budget changed outputs"
+    assert sweep[0]["spills"] == 0, "fully-resident run spilled"
+    inflations = [p["inflation"] for p in sweep]
+    assert inflations == sorted(inflations), (
+        f"inflation must grow as the budget tightens: {inflations}"
+    )
+    assert inflations[-1] >= MIN_TIGHT_INFLATION, (
+        f"tightest budget inflated only {inflations[-1]:.2f}x"
+    )
+    assert sweep[-1]["spill_bytes"] > 0
+
+    shuffle = results["shuffle"]
+    assert shuffle["outputs_intact"], "shuffle budget changed outputs"
+    assert shuffle["shuffle_refusals"] > 0
+
+    replan = results["replan"]
+    assert replan["tuples_intact"]
+    assert replan["switches"] >= 1, "mis-estimated chain never replanned"
+    assert replan["adaptive_makespan"] <= (
+        replan["never_replan_makespan"] * 1.001
+    ), "replan regressed the makespan"
+
+
+def test_memory(once):
+    results = once(_run_all)
+    _assert_shape(results)
+
+
+def _main(argv) -> int:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="compare the sweep against a committed "
+                             "BENCH_memory.json")
+    parser.add_argument("--out", metavar="PATH",
+                        help="write the results JSON here")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="relative tolerance on inflation factors")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report regressions without failing")
+    ns = parser.parse_args(argv)
+
+    results = _run_all()
+    _assert_shape(results)
+    if ns.out:
+        with open(ns.out, "w") as fh:
+            json.dump(results, fh, indent=2, sort_keys=True)
+        print(f"wrote {ns.out}")
+    status = 0
+    if ns.check:
+        with open(ns.check) as fh:
+            baseline = json.load(fh)
+        want = {p["fraction"]: p["inflation"]
+                for p in baseline["sweep"]["points"]}
+        for point in results["sweep"]["points"]:
+            expected = want.get(point["fraction"])
+            if expected is None:
+                continue
+            drift = abs(point["inflation"] - expected) / expected
+            marker = "ok" if drift <= ns.threshold else "REGRESSION"
+            print(f"budget {point['fraction']:>4.0%}: inflation "
+                  f"{point['inflation']:.3f}x vs baseline {expected:.3f}x "
+                  f"({drift:+.1%}) {marker}")
+            if drift > ns.threshold and not ns.warn_only:
+                status = 1
+    else:
+        for point in results["sweep"]["points"]:
+            print(f"budget {point['fraction']:>4.0%}: "
+                  f"{point['makespan']:.3f}s "
+                  f"({point['inflation']:.2f}x resident), "
+                  f"{point['spills']:.0f} spills")
+    return status
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(_main(sys.argv[1:]))

@@ -30,6 +30,7 @@ from repro.api import (
     ElasticOptions,
     JobSpec,
     MembershipEvent,
+    MemoryOptions,
     ResilienceOptions,
     RunConfig,
     run_join,
@@ -57,6 +58,7 @@ __all__ = [
     "JobSpec",
     "JoinLocationOptimizer",
     "MembershipEvent",
+    "MemoryOptions",
     "MetricsRegistry",
     "ObsOptions",
     "ResilienceOptions",

@@ -34,6 +34,7 @@ from repro.placement.options import ElasticOptions
 from repro.engine.elastic import MembershipEvent
 from repro.faults.policy import FaultTolerance
 from repro.faults.schedule import FaultSchedule
+from repro.memory.options import MemoryOptions
 from repro.obs.exporters import ObsOptions, RunReport, write_trace_jsonl
 from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import NO_TRACER, Tracer
@@ -237,6 +238,11 @@ class RunConfig:
     #: Mid-run compute-membership changes (``engine`` on ``sim`` only);
     #: non-empty routes the run through :class:`ElasticJoinJob`.
     membership: tuple[MembershipEvent, ...] = ()
+    #: Memory-adaptive execution: per-node budget arbiter, spilling
+    #: hybrid-hash build sides, budgeted shuffle buffers, optional
+    #: stage-boundary re-planning.  ``MemoryOptions.off()`` (the
+    #: default) wires nothing — the run is bit-identical to before.
+    memory: MemoryOptions = field(default_factory=MemoryOptions)
     #: Per-compute-node tiered cache budget.
     memory_cache_bytes: float = 100e6
     #: Observability knobs.
@@ -384,6 +390,7 @@ def _backend_for(
             fault_tolerance=cfg.fault_tolerance,
             resilience=cfg.resilience if cfg.resilience.enabled else None,
             elastic=cfg.elastic if cfg.elastic.enabled else None,
+            memory=cfg.memory if cfg.memory.enabled else None,
             tracer=tracer,
             registry=registry,
             options=ClusterOptions(
@@ -406,6 +413,7 @@ def _backend_for(
         resilience=cfg.resilience if cfg.resilience.enabled else None,
         elastic=cfg.elastic if cfg.elastic.enabled else None,
         membership=tuple(cfg.membership),
+        memory=cfg.memory if cfg.memory.enabled else None,
         memory_cache_bytes=cfg.memory_cache_bytes,
         tracer=tracer,
         registry=registry,
@@ -420,6 +428,7 @@ __all__ = [
     "ElasticOptions",
     "JobSpec",
     "MembershipEvent",
+    "MemoryOptions",
     "ObsOptions",
     "ResilienceOptions",
     "RunConfig",

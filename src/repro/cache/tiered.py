@@ -95,6 +95,8 @@ class TieredCache:
         uniform: bool = False,
         policy: LFUDAPolicy | None = None,
         drop_promoted_from_disk: bool = False,
+        budget=None,
+        budget_owner: str = "cache",
     ) -> None:
         if memory_bytes < 0:
             raise ValueError("memory_bytes must be non-negative")
@@ -105,6 +107,16 @@ class TieredCache:
         self.uniform = uniform
         self.policy = policy if policy is not None else LFUDAPolicy()
         self.drop_promoted_from_disk = drop_promoted_from_disk
+        # Optional per-node MemoryBudget arbiter; every memory-tier
+        # admission charges it and every departure releases it.  With
+        # budget=None (memory adaptation off) no code path below
+        # consults it, so behavior is bit-identical to the unbudgeted
+        # cache.
+        self._budget = budget
+        self._budget_owner = budget_owner
+        self._budget_spills = 0
+        if budget is not None:
+            budget.add_reclaimer(budget_owner, self.reclaim)
         self._memory: dict[Hashable, _Resident] = {}
         self._disk: dict[Hashable, _Resident] = {}
         self._mem_used = 0.0
@@ -287,6 +299,8 @@ class TieredCache:
                 self.fulfill(key, value)
             return True
         if self._mem_free() >= size:
+            if self._budget is not None and not self._budget_reserve(key, size):
+                return False
             self._admit(key, value, size)
             return True
         if self.uniform:
@@ -294,6 +308,8 @@ class TieredCache:
         else:
             admitted = self._admit_variable(key, size)
         if admitted:
+            if self._budget is not None and not self._budget_reserve(key, size):
+                return False
             self._admit(key, value, size)
         return admitted
 
@@ -311,6 +327,8 @@ class TieredCache:
         if resident is not None and resident.reserved:
             del self._memory[key]
             self._mem_used -= resident.size
+            if self._budget is not None:
+                self._budget.release(self._budget_owner, resident.size)
             self._note_key_left_memory(key)
 
     # ------------------------------------------------------------------
@@ -348,6 +366,8 @@ class TieredCache:
         resident = self._memory.pop(key, None)
         if resident is not None:
             self._mem_used -= resident.size
+            if self._budget is not None:
+                self._budget.release(self._budget_owner, resident.size)
             self._note_key_left_memory(key)
             found = True
         resident = self._disk.pop(key, None)
@@ -391,6 +411,48 @@ class TieredCache:
             disk_evictions=self._disk_evictions,
             promotions=self._promotions,
         )
+
+    # ------------------------------------------------------------------
+    # Memory-budget arbitration (repro.memory)
+    # ------------------------------------------------------------------
+    def _budget_reserve(self, key: Hashable, size: float) -> bool:
+        """Charge an admission to the node budget, spilling to fit.
+
+        Called only when a budget is wired.  A refusal evicts
+        min-benefit residents to the disk tier (each eviction releases
+        its bytes) until the newcomer fits or nothing is left to spill.
+        """
+        budget = self._budget
+        while not budget.try_reserve(self._budget_owner, size):
+            entry = self._pop_valid_min(exclude={key})
+            if entry is None:
+                return False
+            _benefit, victim = entry
+            self._budget_spills += 1
+            self._evict_to_disk(victim)
+        return True
+
+    def reclaim(self, need: float) -> float:
+        """Budget-shrink reclaimer: spill residents until ``need`` freed.
+
+        Registered with the node budget at construction; memory
+        pressure (the ``memory_pressure`` fault kind) lands here.
+        """
+        freed = 0.0
+        while freed < need:
+            entry = self._pop_valid_min()
+            if entry is None:
+                break
+            _benefit, victim = entry
+            freed += self._memory[victim].size
+            self._budget_spills += 1
+            self._evict_to_disk(victim)
+        return freed
+
+    @property
+    def budget_spills(self) -> int:
+        """Memory-tier evictions forced by the budget arbiter."""
+        return self._budget_spills
 
     # ------------------------------------------------------------------
     # Internals
@@ -547,6 +609,8 @@ class TieredCache:
     def _evict_to_disk(self, key: Hashable) -> None:
         resident = self._memory.pop(key)
         self._mem_used -= resident.size
+        if self._budget is not None:
+            self._budget.release(self._budget_owner, resident.size)
         self._note_key_left_memory(key)
         self._mem_to_disk += 1
         self.policy.on_evict(key)

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.cluster.driver import ClusterDriver, ClusterRunInfo, WorkerKill
 from repro.faults.policy import FaultTolerance
@@ -79,6 +80,9 @@ class ClusterBackend:
     #: (or disabled) keeps the legacy static-partition protocol
     #: byte-identical on the wire.
     elastic: ElasticOptions | None = None
+    #: Opt-in memory-adaptive execution: workers run budget-governed
+    #: value caches and honour scheduled memory_pressure faults.
+    memory: Any = None
     tracer: Tracer = NO_TRACER
     registry: MetricsRegistry | None = None
     options: ClusterOptions = field(default_factory=ClusterOptions)
@@ -114,6 +118,7 @@ class ClusterBackend:
             fault_tolerance=self.fault_tolerance,
             resilience=self.resilience,
             elastic=self.elastic,
+            memory=self.memory,
             tracer=self.tracer,
             registry=self.registry,
             startup_timeout=self.options.startup_timeout,

@@ -129,6 +129,7 @@ class ClusterDriver:
         fault_tolerance: FaultTolerance | None = None,
         resilience: ResilienceOptions | None = None,
         elastic: ElasticOptions | None = None,
+        memory: Any = None,
         tracer: Tracer = NO_TRACER,
         registry: MetricsRegistry | None = None,
         startup_timeout: float = 15.0,
@@ -158,6 +159,11 @@ class ClusterDriver:
         self.resilience = resilience
         self.elastic = (
             elastic if elastic is not None and elastic.enabled else None
+        )
+        self.memory = (
+            memory
+            if memory is not None and getattr(memory, "enabled", False)
+            else None
         )
         #: The epoch-stamped bucket->worker map (elastic runs only) —
         #: the same :class:`PlacementService` the simulated engines use,
@@ -209,6 +215,7 @@ class ClusterDriver:
                     data_index=i,
                     n_data_partitions=n,
                     schedule=self.fault_schedule,
+                memory=self.memory,
                 ))
             return specs
         self.compute_ids = [f"c{i}" for i in range(self.n_compute)]
@@ -223,6 +230,7 @@ class ClusterDriver:
                 log_path="",
                 n_data_partitions=self.n_data,
                 schedule=self.fault_schedule,
+                memory=self.memory,
             ))
         for j in range(self.n_data):
             specs.append(WorkerSpec(
@@ -235,6 +243,7 @@ class ClusterDriver:
                 data_index=j,
                 n_data_partitions=self.n_data,
                 schedule=self.fault_schedule,
+                memory=self.memory,
             ))
         return specs
 

@@ -103,6 +103,10 @@ class WorkerSpec:
     crash_armed: bool = True
     generation: int = 0
     peer_tolerance: FaultTolerance = field(default=DEFAULT_TOLERANCE)
+    #: Memory-adaptive execution (repro.memory): when enabled the
+    #: worker's value cache is charged against a real MemoryBudget and
+    #: scheduled memory_pressure faults shrink it mid-run.
+    memory: Any = None
 
 
 def partition_values(
@@ -145,6 +149,19 @@ class _Worker:
         #: on it because the stored relation is immutable during a run.
         self.value_cache: dict[Hashable, Any] = {}
         self._value_lock = threading.Lock()
+        #: Memory-adaptive execution: budget arbiter governing the
+        #: value cache (None = unbounded, the legacy behaviour).
+        self.budget: Any = None
+        self._value_size = workload.sizes.value_size
+        memory = spec.memory
+        if memory is not None and getattr(memory, "enabled", False):
+            from repro.memory.budget import MemoryBudget
+
+            limit = memory.budget_bytes
+            if limit is None:
+                limit = 100e6
+            self.budget = MemoryBudget(limit, node_id=spec.node_id)
+            self.budget.add_reclaimer("value-cache", self._reclaim_value_cache)
         self.values: dict[Hashable, Any] = {}
         if "data" in spec.roles and spec.data_index is not None:
             self.values = partition_values(
@@ -263,9 +280,49 @@ class _Worker:
                 worker_id, "get_values", keys=sorted(set(wanted), key=repr)
             )
             with self._value_lock:
-                self.value_cache.update(fetched)
+                self._admit_fetched(fetched)
             resolved.update(fetched)
         return resolved
+
+    def _admit_fetched(self, fetched: dict[Hashable, Any]) -> None:
+        """Cache fetched values, budget-governed when memory is armed.
+
+        With no budget this is a plain ``update`` (legacy).  With one,
+        each admission must reserve the row's bytes; refusals first
+        evict older entries (releasing their reservation), and a budget
+        too small for even one row degrades to serving uncached —
+        correctness never depends on the cache.
+        """
+        if self.budget is None:
+            self.value_cache.update(fetched)
+            return
+        size = self._value_size
+        for key, value in fetched.items():
+            if key in self.value_cache:
+                continue
+            admitted = self.budget.try_reserve("value-cache", size)
+            while not admitted and self.value_cache:
+                victim = next(iter(self.value_cache))
+                del self.value_cache[victim]
+                self.budget.release("value-cache", size)
+                self.bump("memory.cache_evictions")
+                admitted = self.budget.try_reserve("value-cache", size)
+            if admitted:
+                self.value_cache[key] = value
+            else:
+                self.bump("memory.cache_refusals")
+
+    def _reclaim_value_cache(self, need: float) -> float:
+        """Shrink-event reclaimer: drop cached values until sated."""
+        freed = 0.0
+        with self._value_lock:
+            while freed < need and self.value_cache:
+                victim = next(iter(self.value_cache))
+                del self.value_cache[victim]
+                self.budget.release("value-cache", self._value_size)
+                freed += self._value_size
+                self.bump("memory.cache_evictions")
+        return freed
 
     def _count_serves(self, keys: list[Hashable]) -> None:
         """Record per-bucket / per-key load (the rebalance observations)."""
@@ -345,6 +402,17 @@ class _Worker:
                          f"(seq {self.wire.crash_seq})")
                 self._log_file.flush()
                 os._exit(CRASH_EXIT_CODE)
+            factor = self.wire.pressure_pending()
+            if factor is not None:
+                if self.budget is not None:
+                    freed = self.budget.shrink(factor)
+                    self.bump("memory.pressure_applied")
+                    self.log(
+                        f"memory pressure x{factor}: budget now "
+                        f"{self.budget.limit:.0f}B, reclaimed {freed:.0f}B"
+                    )
+                else:
+                    self.log(f"memory pressure x{factor}: no budget armed")
         span = self.tracer.start(
             "worker.serve", at=self.now(),
             op=op, worker=self.spec.worker_id,
@@ -556,6 +624,10 @@ class _Worker:
         if self.wire is not None:
             for name, value in self.wire.counters().items():
                 counters[f"wire.{name}"] = value
+        if self.budget is not None:
+            for name, value in self.budget.counters().items():
+                if value:
+                    counters[f"memory.{name}"] = value
         return {
             "worker_id": self.spec.worker_id,
             "generation": self.spec.generation,

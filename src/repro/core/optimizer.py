@@ -408,6 +408,12 @@ class JoinLocationOptimizer:
                 # flight; fall back to the disk tier.
                 self.cache.add_to_disk(key, value, size)
         elif route is Route.DATA_REQUEST_DISK:
+            # The route may have been degraded in flight (a failover
+            # rewrote a memory request to the disk form).  Any memory
+            # reservation made when the request was routed would never
+            # be fulfilled — cancel it so the slot (and its budget
+            # charge) is released rather than leaked.
+            self.cache.cancel_reservation(key)
             self.cache.add_to_disk(key, value, size)
         else:
             raise ValueError(f"complete_fetch called with non-fetch route {route}")

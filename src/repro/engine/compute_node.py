@@ -53,6 +53,7 @@ from repro.store.messages import ResponseBlock
 from repro.vector.kernels import ski_rental_lanes
 
 if False:  # pragma: no cover - import for type checkers only
+    from repro.memory.budget import MemoryBudget
     from repro.metrics.trace import FaultTrace, RoutingTrace
 
 
@@ -126,6 +127,7 @@ class ComputeNodeRuntime:
         resilience: ResilienceOptions | None = None,
         vector_width: int = 64,
         columnar: bool = True,
+        budget: "MemoryBudget | None" = None,
         seed: int = 0,
     ) -> None:
         self.cluster = cluster
@@ -155,7 +157,10 @@ class ComputeNodeRuntime:
         }
         local_disk_time = self._node.spec.cache_disk_time(sizes.value_size)
         self.cost_model = CostModel(node_id, bandwidths, local_disk_time)
-        self.cache = TieredCache(memory_bytes=memory_cache_bytes)
+        #: Per-node memory-budget arbiter (memory-adaptive execution);
+        #: ``None`` keeps the cache unbudgeted and bit-identical.
+        self.budget = budget
+        self.cache = TieredCache(memory_bytes=memory_cache_bytes, budget=budget)
         self.optimizer: JoinLocationOptimizer | None = None
         if config.routing is RoutingPolicy.SKI_RENTAL:
             self.optimizer = JoinLocationOptimizer(

@@ -28,6 +28,8 @@ from repro.engine.strategies import StrategyConfig
 from repro.faults.injector import FaultInjector
 from repro.faults.policy import FaultTolerance
 from repro.faults.schedule import FaultSchedule
+from repro.memory.budget import MemoryBudget, publish_memory_counters
+from repro.memory.options import MemoryOptions
 from repro.obs.registry import MetricsRegistry, ambient_registry
 from repro.obs.tracer import NO_TRACER, Tracer
 from repro.obs.usage import publish_job_result
@@ -214,10 +216,17 @@ class JoinJob:
     #: sketch.  ``None`` or ``enabled=False`` leaves the placement
     #: service inert — bit-identical to the static region map.
     elastic: ElasticOptions | None = None
+    #: Opt-in memory-adaptive execution (repro.memory): per-node budget
+    #: arbiters over the cache / build side / shuffle buffers, a
+    #: spilling hybrid-hash build side at the data nodes, and the
+    #: ``memory_pressure`` fault kind.  ``None`` or ``enabled=False``
+    #: wires no budgets — bit-identical to an unbudgeted run.
+    memory: MemoryOptions | None = None
     seed: int = 0
     kvstore: KVStore = field(init=False)
     servers: dict[int, DataNodeServer] = field(init=False)
     runtimes: dict[int, ComputeNodeRuntime] = field(init=False)
+    budgets: dict[int, MemoryBudget] = field(init=False, default_factory=dict)
     injector: FaultInjector | None = field(init=False, default=None)
     resilience_manager: ResilienceManager | None = field(init=False, default=None)
     elastic_coordinator: ElasticCoordinator | None = field(init=False, default=None)
@@ -252,13 +261,23 @@ class JoinJob:
         self._completions = 0
         self._last_finish = 0.0
         self.runtimes = {}
+        self.budgets = {}
+        if self.memory is not None and self.memory.enabled:
+            limit = self.memory.budget_bytes
+            if limit is None:
+                limit = self.memory_cache_bytes
+            for node in list(self.compute_nodes) + list(self.data_nodes):
+                self.budgets[node] = MemoryBudget(limit, node_id=node)
+            for dn, server in self.servers.items():
+                server.arm_memory(self.budgets[dn], self.memory)
         if self.fault_schedule is not None:
             self.injector = FaultInjector(
                 self.fault_schedule, trace=self.fault_trace,
                 tracer=self.tracer,
             )
             self.injector.install(
-                self.cluster, servers=self.servers, kvstore=self.kvstore
+                self.cluster, servers=self.servers, kvstore=self.kvstore,
+                budgets=self.budgets or None,
             )
 
     # ------------------------------------------------------------------
@@ -344,6 +363,7 @@ class JoinJob:
                 tracer=self.tracer,
                 obs_parent=job_span,
                 resilience=self.resilience,
+                budget=self.budgets.get(cn),
                 seed=derive_seed(self.seed, f"cn:{cn}"),
             )
             self.runtimes[cn] = runtime
@@ -516,6 +536,7 @@ class JoinJob:
                 tracer=self.tracer,
                 obs_parent=job_span,
                 resilience=self.resilience,
+                budget=self.budgets.get(cn),
                 seed=derive_seed(self.seed, f"cn:{cn}"),
             )
         self.runtimes.update(runtimes)
@@ -633,7 +654,36 @@ class JoinJob:
             self.elastic_coordinator.publish(ambient_registry())
             if self.registry is not None:
                 self.elastic_coordinator.publish(self.registry)
+        if self.budgets:
+            sources = self._memory_counter_sources()
+            publish_memory_counters(ambient_registry(), *sources)
+            if self.registry is not None:
+                publish_memory_counters(self.registry, *sources)
         return result
+
+    def _memory_counter_sources(self) -> list[dict[str, float]]:
+        """Per-component memory-adaptation counters to merge."""
+        sources: list[dict[str, float]] = [
+            budget.counters() for budget in self.budgets.values()
+        ]
+        for server in self.servers.values():
+            counts = server.memory_counters()
+            if counts:
+                sources.append(counts)
+        cache_spills = sum(
+            runtime.cache.budget_spills for runtime in self.runtimes.values()
+        )
+        if cache_spills:
+            sources.append({"cache_spills": float(cache_spills)})
+        for runtime in self.runtimes.values():
+            count, nbytes, seconds = runtime.cost_model.spills_charged
+            if count:
+                sources.append({
+                    "spills": float(count),
+                    "spill_bytes": nbytes,
+                    "spill_seconds": seconds,
+                })
+        return sources
 
 
 #: Minimum refill size worth routing through the columnar submit

@@ -19,6 +19,7 @@ from repro.faults.policy import FaultTolerance
 from repro.faults.schedule import (
     CrashFault,
     FaultSchedule,
+    MemoryPressureFault,
     MessageChaos,
     ReplaySlice,
     StragglerFault,
@@ -31,6 +32,7 @@ __all__ = [
     "FaultInjector",
     "FaultSchedule",
     "FaultTolerance",
+    "MemoryPressureFault",
     "MessageChaos",
     "ReplaySlice",
     "StragglerFault",

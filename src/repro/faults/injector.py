@@ -60,8 +60,16 @@ class FaultInjector:
         cluster: Cluster,
         servers: "dict[int, DataNodeServer] | None" = None,
         kvstore: "KVStore | None" = None,
+        budgets: "dict[int, object] | None" = None,
     ) -> None:
-        """Arm every fault in the schedule (idempotent per injector)."""
+        """Arm every fault in the schedule (idempotent per injector).
+
+        ``budgets`` maps node id to that node's
+        :class:`~repro.memory.budget.MemoryBudget`; memory-pressure
+        faults shrink the targeted budget at their scheduled time.
+        With no budget wired (memory adaptation off) the event is still
+        recorded — the squeeze simply has nothing to squeeze.
+        """
         if self._installed:
             raise RuntimeError("injector already installed")
         self._installed = True
@@ -95,6 +103,18 @@ class FaultInjector:
                     self._record(u.at, "update", -1, f"key={u.key!r}")
 
                 cluster.sim.schedule_at(update.at, apply)
+        for pressure in self.schedule.memory_pressure:
+            budget = None if budgets is None else budgets.get(pressure.node_id)
+
+            def squeeze(p=pressure, b=budget) -> None:
+                freed = 0.0 if b is None else b.shrink(p.factor)
+                self._record(
+                    p.at, "memory-pressure", p.node_id,
+                    f"factor={p.factor:.2f} freed={freed:.0f}B"
+                    + ("" if b is not None else " (no budget armed)"),
+                )
+
+            cluster.sim.schedule_at(pressure.at, squeeze)
         cluster.network.fault_policy = self
 
     # ------------------------------------------------------------------

@@ -114,6 +114,29 @@ class UpdateFault:
 
 
 @dataclass(frozen=True)
+class MemoryPressureFault:
+    """Node ``node_id``'s memory budget shrinks to ``factor`` of itself.
+
+    ``at`` is simulated seconds on the simulator backends; the cluster
+    backend re-expresses it in served-message-index coordinates (see
+    :meth:`repro.faults.wire.WireFaults.from_schedule`) so real-process
+    workers feel the squeeze at the equivalent point in the run.  The
+    shrink is a no-op (but still recorded) when the run has no
+    :class:`~repro.memory.options.MemoryOptions` budget to squeeze.
+    """
+
+    node_id: int
+    at: float
+    factor: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError("memory pressure time must be non-negative")
+        if not 0.0 < self.factor < 1.0:
+            raise ValueError("factor must be in (0, 1)")
+
+
+@dataclass(frozen=True)
 class ReplaySlice:
     """A restarted task replays ``[start, start + length)`` of the input.
 
@@ -139,6 +162,7 @@ class FaultSchedule:
     chaos: tuple[MessageChaos, ...] = ()
     updates: tuple[UpdateFault, ...] = ()
     replays: tuple[ReplaySlice, ...] = ()
+    memory_pressure: tuple[MemoryPressureFault, ...] = ()
 
     def __len__(self) -> int:
         return (
@@ -147,6 +171,7 @@ class FaultSchedule:
             + len(self.chaos)
             + len(self.updates)
             + len(self.replays)
+            + len(self.memory_pressure)
         )
 
     @property
@@ -163,6 +188,8 @@ class FaultSchedule:
             kinds.add("update")
         if self.replays:
             kinds.add("replay")
+        if self.memory_pressure:
+            kinds.add("memory_pressure")
         return kinds
 
     def with_seed(self, seed: int) -> "FaultSchedule":
@@ -198,6 +225,7 @@ class FaultSchedule:
         n_chaos: int = 1,
         n_updates: int = 0,
         n_replays: int = 0,
+        n_memory_pressure: int = 0,
         max_slowdown: float = 6.0,
         max_drop: float = 0.3,
     ) -> "FaultSchedule":
@@ -262,6 +290,13 @@ class FaultSchedule:
                 start=float(rng.uniform(0.0, 0.9)),
                 length=float(rng.uniform(0.02, 0.1)),
             ))
+        pressure = []
+        for _ in range(n_memory_pressure):
+            pressure.append(MemoryPressureFault(
+                node_id=int(rng.choice(list(data_nodes))),
+                at=float(rng.uniform(0.0, horizon * 0.75)),
+                factor=float(rng.uniform(0.25, 0.75)),
+            ))
         return cls(
             seed=seed,
             crashes=tuple(crashes),
@@ -269,4 +304,5 @@ class FaultSchedule:
             chaos=tuple(chaos),
             updates=tuple(updates),
             replays=tuple(replays),
+            memory_pressure=tuple(pressure),
         )

@@ -71,16 +71,22 @@ class WireFaults:
         node_id: int,
         windows: tuple[_Window, ...],
         crash_seq: int | None = None,
+        pressure_points: tuple[tuple[int, float], ...] = (),
     ) -> None:
         self.node_id = node_id
         self.windows = windows
         self.crash_seq = crash_seq
+        #: ``(seq, factor)`` budget shrinks, ascending by seq; each
+        #: fires once when the served-message counter crosses it.
+        self.pressure_points = tuple(sorted(pressure_points))
+        self._pressure_fired = 0
         self._rng = make_rng(seed, f"wire-{node_id}")
         self._lock = threading.Lock()
         self._seq = 0
         self.dropped = 0
         self.duplicated = 0
         self.delayed = 0
+        self.pressure_events = 0
 
     # ------------------------------------------------------------------
     @classmethod
@@ -117,9 +123,14 @@ class WireFaults:
                 # it was alive.
                 crash_seq = max(int(crash.at * rate), 1)
                 break
-        if not windows and crash_seq is None:
+        pressure_points = tuple(
+            (max(int(pressure.at * rate), 1), pressure.factor)
+            for pressure in schedule.memory_pressure
+            if pressure.node_id == node_id
+        )
+        if not windows and crash_seq is None and not pressure_points:
             return None
-        return cls(schedule.seed, node_id, windows, crash_seq)
+        return cls(schedule.seed, node_id, windows, crash_seq, pressure_points)
 
     # ------------------------------------------------------------------
     def crash_pending(self) -> bool:
@@ -130,6 +141,23 @@ class WireFaults:
             if self._seq >= self.crash_seq:
                 return True
         return False
+
+    def pressure_pending(self) -> float | None:
+        """Shrink factor if a pressure point was crossed (fires once).
+
+        Workers call this alongside :meth:`crash_pending` before each
+        faultable operation and apply the returned factor to their
+        local memory budget.
+        """
+        if self._pressure_fired >= len(self.pressure_points):
+            return None
+        with self._lock:
+            seq, factor = self.pressure_points[self._pressure_fired]
+            if self._seq >= seq:
+                self._pressure_fired += 1
+                self.pressure_events += 1
+                return factor
+        return None
 
     def decide(self) -> tuple[str, float]:
         """The fate of the next served response.
@@ -165,6 +193,7 @@ class WireFaults:
                 "dropped": self.dropped,
                 "duplicated": self.duplicated,
                 "delayed": self.delayed,
+                "pressure_events": self.pressure_events,
                 "messages": self._seq,
             }
 

@@ -1,0 +1,40 @@
+"""repro.memory — memory-adaptive execution.
+
+Three pieces, all opt-in via :class:`MemoryOptions` on
+:class:`~repro.api.RunConfig`:
+
+* :class:`MemoryBudget` — a per-node byte arbiter that the tiered
+  cache, the hybrid-join build side and in-flight shuffle buffers all
+  charge against; ``memory_pressure`` faults shrink it mid-run.
+* :class:`HybridHashJoin` — a spilling hybrid-hash local join that
+  degrades gracefully under pressure (whole-partition spills,
+  recursive repartitioning, chunked block-nested-loop floor) and
+  never drops a tuple.
+* :mod:`repro.memory.replan` — stage-boundary re-optimization for
+  multi-join pipelines, including bushy parallel groups.
+"""
+
+from repro.memory.budget import MemoryBudget, publish_memory_counters
+from repro.memory.hybrid_join import HybridHashJoin
+from repro.memory.options import MemoryOptions
+from repro.memory.replan import (
+    ReplanDecision,
+    StageEstimate,
+    StageObservation,
+    checkpoint,
+    left_deep,
+    plan_repr,
+)
+
+__all__ = [
+    "HybridHashJoin",
+    "MemoryBudget",
+    "MemoryOptions",
+    "ReplanDecision",
+    "StageEstimate",
+    "StageObservation",
+    "checkpoint",
+    "left_deep",
+    "plan_repr",
+    "publish_memory_counters",
+]

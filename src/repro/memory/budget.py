@@ -1,0 +1,148 @@
+"""Per-node memory budget arbiter.
+
+One :class:`MemoryBudget` exists per node when
+:class:`~repro.memory.options.MemoryOptions` is enabled; the tiered
+cache, the hybrid-join build side and in-flight shuffle buffers all
+charge the same arbiter, so pressure in one consumer is visible to the
+others.  The arbiter is pure accounting — it never sleeps or schedules;
+consumers decide what spilling *means* (and what it costs) when a
+reservation is refused.
+
+Runtime budget-shrink events (the ``memory_pressure`` fault kind)
+lower the limit mid-run; registered reclaimers are then asked to give
+memory back until usage fits under the new ceiling.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+_INF = float("inf")
+
+
+class MemoryBudget:
+    """Byte-granular admission control shared by a node's consumers.
+
+    ``try_reserve`` refuses once the limit would be exceeded (counted
+    per owner); ``force_reserve`` overdrafts for correctness-critical
+    bytes that have nowhere else to live (e.g. the single-row floor of
+    a block-nested-loop chunk) so degradation never becomes failure.
+    """
+
+    def __init__(self, limit_bytes: float | None, node_id: int = -1) -> None:
+        if limit_bytes is not None and limit_bytes <= 0:
+            raise ValueError("limit_bytes must be positive (or None)")
+        self.node_id = node_id
+        self.limit: float = _INF if limit_bytes is None else float(limit_bytes)
+        self.used: float = 0.0
+        self.refusals = 0
+        self.forced = 0
+        self.shrinks = 0
+        self.reclaimed_bytes = 0.0
+        self._by_owner: dict[str, float] = {}
+        self._reclaimers: list[tuple[str, Callable[[float], float]]] = []
+
+    # ------------------------------------------------------------------
+    # Reservation
+    # ------------------------------------------------------------------
+    def available(self) -> float:
+        return max(0.0, self.limit - self.used)
+
+    def used_by(self, owner: str) -> float:
+        return self._by_owner.get(owner, 0.0)
+
+    def try_reserve(self, owner: str, nbytes: float) -> bool:
+        """Reserve ``nbytes`` for ``owner``; False once over the limit."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if self.used + nbytes > self.limit:
+            self.refusals += 1
+            return False
+        self.used += nbytes
+        self._by_owner[owner] = self._by_owner.get(owner, 0.0) + nbytes
+        return True
+
+    def force_reserve(self, owner: str, nbytes: float) -> None:
+        """Reserve unconditionally (overdraft); degradation floor only."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if self.used + nbytes > self.limit:
+            self.forced += 1
+        self.used += nbytes
+        self._by_owner[owner] = self._by_owner.get(owner, 0.0) + nbytes
+
+    def release(self, owner: str, nbytes: float) -> None:
+        """Return ``nbytes`` previously reserved by ``owner``."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        held = self._by_owner.get(owner, 0.0)
+        give = min(held, nbytes)
+        self._by_owner[owner] = held - give
+        self.used = max(0.0, self.used - give)
+
+    # ------------------------------------------------------------------
+    # Runtime shrink (memory_pressure faults)
+    # ------------------------------------------------------------------
+    def add_reclaimer(self, owner: str, fn: Callable[[float], float]) -> None:
+        """Register ``fn(need_bytes) -> freed_bytes`` for shrink events."""
+        self._reclaimers.append((owner, fn))
+
+    def shrink(self, factor: float) -> float:
+        """Multiply the limit by ``factor`` and reclaim the overflow.
+
+        Returns the number of bytes reclaimers actually freed.  Usage
+        may legitimately stay above the new limit when every consumer
+        is already at its degradation floor — subsequent ``try_reserve``
+        calls then refuse until releases catch up.
+        """
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("shrink factor must be in (0, 1]")
+        self.shrinks += 1
+        if self.limit is not _INF and self.limit != _INF:
+            self.limit *= factor
+        freed_total = 0.0
+        for _owner, fn in self._reclaimers:
+            need = self.used - self.limit
+            if need <= 0:
+                break
+            freed = fn(need)
+            freed_total += max(0.0, freed)
+        self.reclaimed_bytes += freed_total
+        return freed_total
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def counters(self) -> dict[str, float]:
+        return {
+            "budget_refusals": float(self.refusals),
+            "budget_forced": float(self.forced),
+            "budget_shrinks": float(self.shrinks),
+            "budget_reclaimed_bytes": self.reclaimed_bytes,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MemoryBudget(node={self.node_id}, used={self.used:.0f}/"
+            f"{self.limit:.0f}, refusals={self.refusals})"
+        )
+
+
+def publish_memory_counters(registry, *sources: dict[str, float]) -> None:
+    """Sum counter dicts into ``memory.<name>`` registry counters.
+
+    ``sources`` are dicts as returned by :meth:`MemoryBudget.counters`
+    and :meth:`~repro.memory.hybrid_join.HybridHashJoin.counters`; keys
+    are summed across sources before publishing, so per-node consumers
+    fold into one fleet-wide view.
+    """
+    totals: dict[str, float] = {}
+    for source in sources:
+        for name, value in source.items():
+            totals[name] = totals.get(name, 0.0) + value
+    for name, value in sorted(totals.items()):
+        if value:
+            registry.counter(f"memory.{name}").inc(value)
+
+
+__all__ = ["MemoryBudget", "publish_memory_counters"]

@@ -1,0 +1,75 @@
+"""Opt-in knobs for memory-adaptive execution.
+
+Mirrors the :class:`~repro.placement.options.ElasticOptions` pattern: a
+frozen dataclass that is **off by default**, so a
+:class:`~repro.api.RunConfig` that never mentions memory wires nothing
+and stays bit-identical to the unbudgeted engines (enforced
+differentially by ``tests/test_memory.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class MemoryOptions:
+    """Configuration for memory-adaptive execution.
+
+    With ``enabled=False`` (the default) no budget arbiter exists: the
+    tiered cache, the local-join build side and the shuffle buffers are
+    as unbounded as they always were, and no replanner ever runs.
+    """
+
+    #: Master switch; everything below is ignored when False.
+    enabled: bool = False
+    #: Per-node memory budget in bytes shared by the tiered cache, the
+    #: hybrid-join build side and in-flight shuffle buffers.  ``None``
+    #: keeps the arbiter accounting-only (never refuses).
+    budget_bytes: float | None = None
+    #: Hash partitions of the hybrid join's build side (spill unit).
+    join_partitions: int = 8
+    #: Maximum recursive repartition depth before the join degrades to
+    #: chunked block-nested-loop scans of the spilled partition.
+    max_recursion: int = 3
+    #: Charge in-flight shuffle transfers against the receiver's budget
+    #: (a refused transfer stages through the modeled disk tier).
+    charge_shuffle: bool = True
+    #: Enable stage-boundary re-optimization for multi-join pipelines.
+    replan: bool = False
+    #: Observed completions a stage needs before its boundary
+    #: checkpoint may re-plan the remaining chain.
+    replan_min_observations: int = 32
+    #: A stage is cheap enough to fold into a bushy parallel group when
+    #: its observed load is below this fraction of the heaviest stage's.
+    bushy_fraction: float = 0.5
+    #: Minimum relative improvement of the projected per-tuple critical
+    #: path before the planner actually switches plans.
+    replan_improvement: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.budget_bytes is not None and self.budget_bytes <= 0:
+            raise ValueError("budget_bytes must be positive (or None)")
+        if self.join_partitions < 1:
+            raise ValueError("join_partitions must be >= 1")
+        if self.max_recursion < 0:
+            raise ValueError("max_recursion must be >= 0")
+        if self.replan_min_observations < 1:
+            raise ValueError("replan_min_observations must be >= 1")
+        if not 0.0 < self.bushy_fraction <= 1.0:
+            raise ValueError("bushy_fraction must be in (0, 1]")
+        if self.replan_improvement < 0:
+            raise ValueError("replan_improvement must be non-negative")
+
+    @classmethod
+    def off(cls) -> "MemoryOptions":
+        """Memory adaptation disabled (the default; bit-identical)."""
+        return cls()
+
+    @classmethod
+    def on(cls, **overrides) -> "MemoryOptions":
+        """Memory adaptation enabled with optional knob overrides."""
+        return replace(cls(enabled=True), **overrides)
+
+
+__all__ = ["MemoryOptions"]

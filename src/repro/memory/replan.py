@@ -1,0 +1,204 @@
+"""Stage-boundary re-optimization for multi-join pipelines.
+
+A multi-join plan is an ordered sequence of *plan nodes*; each node is
+a tuple of stage indices.  Singleton nodes are the classic left-deep
+chain; multi-stage nodes are **bushy parallel groups** — a tuple is
+submitted to every member stage at once and advances when all of them
+complete, so the group costs ``max`` of its members' latencies instead
+of their sum.
+
+At each stage boundary (a stage crossing its observation threshold)
+the pipeline re-plans the remaining chain from *observed* statistics —
+mean per-tuple latency and survival fraction per stage, falling back
+to the submit-time estimates where observations are still thin:
+
+* order stages by descending observed load (latency x fraction), so
+  the bottleneck stage's queue starts draining first;
+* fold stages whose load falls below ``bushy_fraction`` of the
+  heaviest stage's into parallel pairs (grouping a contended stage
+  would add queueing, so only demonstrably cheap stages are grouped);
+* switch only when the projected per-tuple critical path —
+  ``sum over nodes of visit-probability x max(member latency)`` —
+  improves by at least ``replan_improvement``.
+
+The decision (either way) is recorded as an ``obs`` span event by the
+caller, so traces show what the runtime knew and what it chose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+Plan = tuple[tuple[int, ...], ...]
+
+
+def left_deep(n_stages: int) -> Plan:
+    """The submit-time default: one singleton node per stage, in order."""
+    return tuple((s,) for s in range(n_stages))
+
+
+@dataclass(frozen=True)
+class StageEstimate:
+    """Submit-time beliefs about one stage (possibly wrong)."""
+
+    #: Expected per-tuple service latency, seconds.
+    cost: float = 1.0
+    #: Expected fraction of tuples carrying a key for this stage.
+    fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.cost < 0:
+            raise ValueError("cost must be non-negative")
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+
+
+@dataclass
+class StageObservation:
+    """Runtime statistics the tracer accumulates for one stage."""
+
+    submitted: int = 0
+    completed: int = 0
+    latency_sum: float = 0.0
+    _submit_at: dict[int, float] = field(default_factory=dict)
+
+    def on_submit(self, tuple_id: int, at: float) -> None:
+        self.submitted += 1
+        self._submit_at[tuple_id] = at
+
+    def on_complete(self, tuple_id: int, at: float) -> None:
+        start = self._submit_at.pop(tuple_id, None)
+        if start is None:
+            return
+        self.completed += 1
+        self.latency_sum += max(0.0, at - start)
+
+    def mean_latency(self) -> float | None:
+        if self.completed == 0:
+            return None
+        return self.latency_sum / self.completed
+
+
+def observed_profile(
+    estimates: list[StageEstimate],
+    observations: list[StageObservation],
+    entered: int,
+    min_observations: int,
+) -> tuple[list[float], list[float]]:
+    """Blend estimates with observations into (costs, fractions).
+
+    A stage's observed statistic replaces its estimate once at least
+    ``min_observations`` samples back it; thin stages keep their
+    submit-time beliefs, so early checkpoints cannot thrash the plan
+    on noise.
+    """
+    costs: list[float] = []
+    fractions: list[float] = []
+    for est, obs in zip(estimates, observations):
+        mean = obs.mean_latency()
+        if mean is not None and obs.completed >= min_observations:
+            costs.append(mean)
+        else:
+            costs.append(est.cost)
+        if entered >= min_observations:
+            fractions.append(obs.submitted / entered)
+        else:
+            fractions.append(est.fraction)
+    return costs, fractions
+
+
+def critical_path(plan: Plan, costs: list[float], fractions: list[float]) -> float:
+    """Projected per-tuple sojourn: sum of node visit-cost terms.
+
+    A node is visited when any member stage applies (probability
+    approximated by the max member fraction) and costs the max member
+    latency — members run in parallel.
+    """
+    total = 0.0
+    for node in plan:
+        visit = max(fractions[s] for s in node)
+        latency = max(costs[s] for s in node)
+        total += visit * latency
+    return total
+
+
+def propose_plan(
+    costs: list[float],
+    fractions: list[float],
+    bushy_fraction: float,
+) -> Plan:
+    """Order by descending load, pair up the demonstrably cheap tail."""
+    n = len(costs)
+    loads = [costs[s] * fractions[s] for s in range(n)]
+    order = sorted(range(n), key=lambda s: (-loads[s], s))
+    max_load = max(loads) if loads else 0.0
+    heavy = [s for s in order if max_load <= 0 or loads[s] >= bushy_fraction * max_load]
+    cheap = [s for s in order if s not in heavy]
+    nodes: list[tuple[int, ...]] = [(s,) for s in heavy]
+    for i in range(0, len(cheap), 2):
+        nodes.append(tuple(cheap[i:i + 2]))
+    return tuple(nodes)
+
+
+@dataclass(frozen=True)
+class ReplanDecision:
+    """Outcome of one stage-boundary checkpoint."""
+
+    stage: int
+    switched: bool
+    old_plan: Plan
+    new_plan: Plan
+    old_cost: float
+    new_cost: float
+
+
+def checkpoint(
+    stage: int,
+    current: Plan,
+    estimates: list[StageEstimate],
+    observations: list[StageObservation],
+    entered: int,
+    min_observations: int,
+    bushy_fraction: float,
+    improvement: float,
+) -> ReplanDecision:
+    """Re-plan at one stage boundary; switch only on a real win."""
+    costs, fractions = observed_profile(
+        estimates, observations, entered, min_observations
+    )
+    candidate = propose_plan(costs, fractions, bushy_fraction)
+    old_cost = critical_path(current, costs, fractions)
+    new_cost = critical_path(candidate, costs, fractions)
+    switched = (
+        candidate != current
+        and new_cost < old_cost * (1.0 - improvement)
+    )
+    return ReplanDecision(
+        stage=stage,
+        switched=switched,
+        old_plan=current,
+        new_plan=candidate if switched else current,
+        old_cost=old_cost,
+        new_cost=new_cost,
+    )
+
+
+def plan_repr(plan: Plan) -> str:
+    """Compact human-readable plan string for span events."""
+    return " -> ".join(
+        f"({'+'.join(str(s) for s in node)})" for node in plan
+    )
+
+
+__all__ = [
+    "Plan",
+    "StageEstimate",
+    "StageObservation",
+    "ReplanDecision",
+    "left_deep",
+    "observed_profile",
+    "critical_path",
+    "propose_plan",
+    "checkpoint",
+    "plan_repr",
+]

@@ -81,6 +81,14 @@ class ResilienceManager:
         """Register one compute-node runtime (transport + soft state)."""
         self._runtimes.append(runtime)
         self.recovery.transports[runtime.node_id] = runtime.transport
+        cache = getattr(runtime, "cache", None)
+        if cache is not None and hasattr(cache, "cancel_reservation"):
+
+            def cancel_stranded(keys: list, c: Any = cache) -> None:
+                for key in keys:
+                    c.cancel_reservation(key)
+
+            self.recovery.reservation_cleanups[runtime.node_id] = cancel_stranded
 
     # ------------------------------------------------------------------
     # Event-loop wiring
@@ -146,6 +154,9 @@ class ResilienceManager:
         registry.counter("resilience.failover.regions_moved").inc(rec.regions_moved)
         registry.counter("resilience.failover.requests_replayed").inc(
             rec.requests_replayed
+        )
+        registry.counter("resilience.failover.reservations_cancelled").inc(
+            rec.reservations_cancelled
         )
         registry.counter("resilience.checkpoint.count").inc(self.checkpoints.taken)
         registry.counter("resilience.checkpoint.restored").inc(

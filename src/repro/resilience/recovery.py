@@ -95,9 +95,15 @@ class RecoveryManager:
         self.tracer = tracer
         #: ``node_id -> Transport`` of every attached compute node.
         self.transports: dict[int, "Transport"] = {}
+        #: ``node_id -> callback(keys)`` cancelling abandoned cache
+        #: reservations when that node's in-flight fetches die with a
+        #: data node and are *not* replayed (replay fulfills them at
+        #: the new owner; no-replay would leak the reserved slots).
+        self.reservation_cleanups: dict[int, Any] = {}
         self.failovers = 0
         self.regions_moved = 0
         self.requests_replayed = 0
+        self.reservations_cancelled = 0
         #: Silence-to-failover delay per death (recovery time component).
         self.detection_delays: list[float] = []
 
@@ -136,8 +142,19 @@ class RecoveryManager:
             moved += 1
         self.regions_moved += moved
         replayed = 0
-        for transport in self.transports.values():
-            replayed += transport.fail_node(dead, new_owner)
+        for node_id, transport in self.transports.items():
+            stranded = transport.pending_memory_keys(dead)
+            moved_batches = transport.fail_node(dead, new_owner)
+            replayed += moved_batches
+            if moved_batches == 0 and stranded:
+                # The batches were not replayed (side-effecting UDFs or
+                # no live successor for routing) — their memory-route
+                # reservations would never be fulfilled.  Release them;
+                # a late fulfill degrades safely to the disk tier.
+                cleanup = self.reservation_cleanups.get(node_id)
+                if cleanup is not None:
+                    cleanup(stranded)
+                    self.reservations_cancelled += len(stranded)
         self.requests_replayed += replayed
         if self.detector.detection_delays:
             self.detection_delays.append(self.detector.detection_delays[-1])

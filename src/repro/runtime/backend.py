@@ -32,11 +32,12 @@ from typing import TYPE_CHECKING, Any, Callable, Hashable, Protocol, Sequence, r
 from repro.placement.batch import SizeProfile
 from repro.faults.policy import FaultTolerance
 from repro.faults.schedule import FaultSchedule
+from repro.memory.options import MemoryOptions
 from repro.obs.registry import MetricsRegistry, ambient_registry
 from repro.obs.tracer import NO_TRACER, Tracer
 from repro.perf.mode import reference_mode
 from repro.resilience.options import ResilienceOptions
-from repro.vector.kernels import apply_udf_batch
+from repro.vector.kernels import apply_udf_batch, disk_service_times
 from repro.runtime.metrics import RuntimeMetrics, collect_runtime_metrics
 from repro.runtime.transport import ShuffleChannel
 from repro.sim.cluster import Cluster
@@ -173,6 +174,14 @@ class SimBackend:
     #: (:class:`repro.engine.elastic.MembershipEvent`); non-empty
     #: routes the ``engine`` runner through :class:`ElasticJoinJob`.
     membership: tuple = ()
+    #: Opt-in memory-adaptive execution
+    #: (:class:`repro.memory.options.MemoryOptions`).  The
+    #: request/response engines arm the full budget arbiter + spilling
+    #: hybrid build side; the analytic shuffle engines run a shadow
+    #: hybrid over the stored relation (spill traffic priced on the
+    #: reduce-side disk and added to the makespan) and charge shuffle
+    #: receive buffers against the per-node budgets.
+    memory: MemoryOptions | None = None
     memory_cache_bytes: float = 100e6
     #: Observability: span tracer threaded through whichever engine
     #: runs, and an optional registry the kernel metrics publish into.
@@ -224,6 +233,7 @@ class SimBackend:
             registry=self.registry,
             resilience=self.resilience,
             elastic=self.elastic,
+            memory=self.memory,
             seed=self.seed,
         )
         result = job.run(list(workload.keys), params=workload.params)
@@ -320,6 +330,7 @@ class SimBackend:
             registry=self.registry,
             resilience=self.resilience,
             elastic=self.elastic,
+            memory=self.memory,
             seed=self.seed,
         )
         result = sim.run(self.strategy, list(workload.keys))
@@ -342,7 +353,7 @@ class SimBackend:
     # ------------------------------------------------------------------
     # mapreduce / sparklite: the shuffle engines
     # ------------------------------------------------------------------
-    def _install_faults(self, cluster: Cluster):
+    def _install_faults(self, cluster: Cluster, budgets=None):
         """Arm chaos faults on a shuffle engine's cluster (if any)."""
         if self.fault_schedule is None:
             return None
@@ -351,15 +362,46 @@ class SimBackend:
         injector = FaultInjector(
             self.fault_schedule, trace=self.fault_trace, tracer=self.tracer
         )
-        injector.install(cluster)
+        injector.install(cluster, budgets=budgets)
         return injector
+
+    def _arm_shuffle_memory(
+        self, cluster: Cluster, workload: JoinWorkload
+    ) -> "_ShuffleMemory | None":
+        """Budget arbiters + shadow build side for the shuffle engines.
+
+        The analytic engines have no per-key serving loop to thread the
+        hybrid join through, so the stored relation itself becomes the
+        budget-governed build side: every reduce-side access to a
+        stored value goes through a :class:`HybridHashJoin` partitioned
+        across the node pool, and the spill/unspill seconds it accrues
+        are serialized onto the makespan.  Off → everything here is
+        skipped and the engines are bit-identical to before.
+        """
+        memory = self.memory
+        if memory is None or not memory.enabled:
+            return None
+        limit = memory.budget_bytes
+        if limit is None:
+            limit = self.memory_cache_bytes
+        return _ShuffleMemory(
+            cluster,
+            n_nodes=self.n_compute + self.n_data,
+            limit=limit,
+            options=memory,
+            values=workload.stored_values(),
+            value_size=workload.sizes.value_size,
+        )
 
     def _run_mapreduce(self, workload: JoinWorkload) -> BackendRun:
         from repro.mapreduce.api import MapReduceSpec
         from repro.mapreduce.simulated import SimulatedMapReduce
 
         cluster = self._cluster()
-        injector = self._install_faults(cluster)
+        mem = self._arm_shuffle_memory(cluster, workload)
+        injector = self._install_faults(
+            cluster, budgets=mem.budgets if mem is not None else None
+        )
         values = workload.stored_values()
         udf = workload.udf
         params = workload.params
@@ -372,7 +414,7 @@ class SimBackend:
         apply_fn = udf.apply_fn
 
         def reduce_fn(key: Hashable, pairs: list[tuple[int, Any]]):
-            stored = values[key]
+            stored = mem.lookup(key) if mem is not None else values[key]
             if columnar and len(pairs) > 1:
                 # One reduce group shares key and stored value; run the
                 # UDF over the param column in one sweep.
@@ -388,7 +430,11 @@ class SimBackend:
                 ]
             return [(tid, udf.apply(key, p, stored)) for tid, p in pairs]
 
-        channel = ShuffleChannel(cluster, tracer=self.tracer)
+        channel = ShuffleChannel(
+            cluster,
+            tracer=self.tracer,
+            budgets=mem.budgets if mem is not None else None,
+        )
         engine = SimulatedMapReduce(cluster, shuffle=channel, tracer=self.tracer)
         job_span = None
         if self.tracer.enabled:
@@ -404,11 +450,15 @@ class SimBackend:
         if job_span is not None:
             self.tracer.end(job_span, at=result.makespan)
         self._replay_resilience(cluster, result.makespan)
+        duration = result.makespan
+        if mem is not None:
+            duration += mem.io_seconds
+            mem.publish(channel, self.registry)
         return BackendRun(
             engine="mapreduce",
             backend="sim",
             outputs=dict(result.outputs),
-            duration=result.makespan,
+            duration=duration,
             metrics=collect_runtime_metrics(
                 cluster, channels=[channel], injector=injector,
                 registry=self.registry,
@@ -422,7 +472,10 @@ class SimBackend:
         from repro.sparklite.shuffle_exec import ShuffleExecutor
 
         cluster = self._cluster()
-        injector = self._install_faults(cluster)
+        mem = self._arm_shuffle_memory(cluster, workload)
+        injector = self._install_faults(
+            cluster, budgets=mem.budgets if mem is not None else None
+        )
         values = workload.stored_values()
         # The probe stream is the fact side; the stored relation is a
         # single dimension.  Grouping by tuple id with a max aggregate
@@ -445,7 +498,11 @@ class SimBackend:
             group_by=("tid",),
             aggregates=(("max", "v", "v"),),
         )
-        channel = ShuffleChannel(cluster, tracer=self.tracer)
+        channel = ShuffleChannel(
+            cluster,
+            tracer=self.tracer,
+            budgets=mem.budgets if mem is not None else None,
+        )
         job_span = None
         if self.tracer.enabled:
             job_span = self.tracer.start(
@@ -468,7 +525,10 @@ class SimBackend:
             # result, then apply the UDF in one columnar sweep.
             tids = [row[tid_at] for row in result.result.rows]
             keys = [workload.keys[tid] for tid in tids]
-            row_values = [row[value_at] for row in result.result.rows]
+            if mem is not None:
+                row_values = [mem.lookup(k) for k in keys]
+            else:
+                row_values = [row[value_at] for row in result.result.rows]
             p_col = (
                 [params[tid] for tid in tids] if params is not None else None
             )
@@ -478,13 +538,19 @@ class SimBackend:
             for row in result.result.rows:
                 tid = row[tid_at]
                 p = params[tid] if params is not None else None
-                outputs[tid] = udf.apply(workload.keys[tid], p, row[value_at])
+                key = workload.keys[tid]
+                stored = mem.lookup(key) if mem is not None else row[value_at]
+                outputs[tid] = udf.apply(key, p, stored)
         self._replay_resilience(cluster, result.makespan)
+        duration = result.makespan
+        if mem is not None:
+            duration += mem.io_seconds
+            mem.publish(channel, self.registry)
         return BackendRun(
             engine="sparklite",
             backend="sim",
             outputs=outputs,
-            duration=result.makespan,
+            duration=duration,
             metrics=collect_runtime_metrics(
                 cluster, channels=[channel], injector=injector,
                 registry=self.registry,
@@ -513,6 +579,90 @@ class SimBackend:
             publish_replay(replay, self.registry)
 
 
+class _ShuffleMemory:
+    """Shadow memory-adaptive state for the analytic shuffle engines.
+
+    The stored relation is hash-partitioned across per-node
+    :class:`~repro.memory.hybrid_join.HybridHashJoin` build sides, each
+    charged against its node's :class:`~repro.memory.budget.MemoryBudget`.
+    Reduce-side value accesses route through :meth:`lookup`; accrued
+    spill/unspill seconds are serialized onto the reported makespan by
+    the caller.  Lookups fall back to the plain values dict, so tight
+    budgets degrade latency but can never change outputs.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        n_nodes: int,
+        limit: float,
+        options: MemoryOptions,
+        values: dict[Hashable, Any],
+        value_size: float,
+    ) -> None:
+        from repro.memory.budget import MemoryBudget
+        from repro.memory.hybrid_join import HybridHashJoin
+
+        self.values = values
+        self.n_nodes = n_nodes
+        self.io_seconds = 0.0
+        self.budgets = {
+            nid: MemoryBudget(limit, node_id=nid) for nid in range(n_nodes)
+        }
+        self.hybrids: dict[int, Any] = {}
+        for nid in range(n_nodes):
+            spec = cluster.node(nid).spec
+
+            def io_cost(
+                nbytes: float,
+                op: str,
+                _seek: float = spec.disk_seek,
+                _bw: float = spec.disk_bandwidth,
+            ) -> float:
+                return disk_service_times([_seek], [nbytes], _bw, 1.0)[0]
+
+            self.hybrids[nid] = HybridHashJoin(
+                budget=self.budgets[nid],
+                n_partitions=options.join_partitions,
+                max_recursion=options.max_recursion,
+                owner=f"build-{nid}",
+                io_cost=io_cost,
+            )
+        for key, value in values.items():
+            self.io_seconds += self._hybrid(key).insert(key, value, value_size)
+
+    def _hybrid(self, key: Hashable) -> Any:
+        return self.hybrids[stable_hash(key) % self.n_nodes]
+
+    def lookup(self, key: Hashable) -> Any:
+        found, io = self._hybrid(key).lookup(key)
+        self.io_seconds += io
+        return found[0] if found else self.values[key]
+
+    def publish(
+        self, channel: ShuffleChannel | None, registry: MetricsRegistry | None
+    ) -> None:
+        from repro.memory.budget import publish_memory_counters
+
+        sources = [budget.counters() for budget in self.budgets.values()]
+        for hybrid in self.hybrids.values():
+            counts = hybrid.counters()
+            if any(counts.values()):
+                sources.append(counts)
+        if self.io_seconds:
+            sources.append({"spill_seconds": self.io_seconds})
+        if channel is not None and channel.budget_spills:
+            sources.append(
+                {
+                    "shuffle_refusals": float(channel.budget_spills),
+                    "shuffle_spill_seconds": channel.spill_seconds,
+                }
+            )
+        publish_memory_counters(ambient_registry(), *sources)
+        if registry is not None:
+            publish_memory_counters(registry, *sources)
+
+
 @dataclass
 class LocalBackend:
     """Execute a workload on real threads — no simulation anywhere.
@@ -537,6 +687,9 @@ class LocalBackend:
     #: Accepted for config symmetry with SimBackend; real threads have
     #: no simulated failures to survive, so the options are inert here.
     resilience: ResilienceOptions | None = None
+    #: Config symmetry again: real threads use real RAM, there is no
+    #: modeled disk tier to spill to, so memory options are inert.
+    memory: MemoryOptions | None = None
 
     def __post_init__(self) -> None:
         if self.max_workers < 1:

@@ -319,6 +319,32 @@ class Transport:
         """Live (unanswered, unabandoned) request batches."""
         return len(self._pending)
 
+    def pending_memory_keys(self, dst: int) -> list[Any]:
+        """Keys of in-flight memory-routed fetches addressed to ``dst``.
+
+        Each of these keys holds a cache reservation made at routing
+        time.  When ``dst`` dies and the batches are *not* replayed
+        (``replay_on_failover`` off), no response will ever fulfill
+        those reservations — the recovery path uses this accessor to
+        cancel them instead of leaking reserved memory.
+        """
+        keys: list[Any] = []
+        for entry in self._pending.values():
+            if entry.dst != dst:
+                continue
+            items = entry.items
+            if isinstance(items, RequestBlock):
+                keys.extend(
+                    key for key, route in zip(items.keys, items.routes)
+                    if route is Route.DATA_REQUEST_MEMORY
+                )
+            else:
+                keys.extend(
+                    item.key for item in items
+                    if item.route is Route.DATA_REQUEST_MEMORY
+                )
+        return keys
+
     def stats(self) -> TransportStats:
         """Snapshot of this transport's counters."""
         return TransportStats(
@@ -847,6 +873,7 @@ class ShuffleChannel:
         backoff_factor: float = 2.0,
         max_attempts: int = 64,
         tracer: Tracer = NO_TRACER,
+        budgets: "dict[int, Any] | None" = None,
     ) -> None:
         if retry_timeout <= 0:
             raise ValueError("retry_timeout must be positive")
@@ -863,6 +890,14 @@ class ShuffleChannel:
         self.retransmits = 0
         self.duplicates = 0
         self.bytes_retransmitted = 0.0
+        #: Memory-adaptive execution: ``dst -> MemoryBudget``.  Each
+        #: arriving partition transiently charges the receiver's budget
+        #: for its receive buffer; a refusal stages the partition
+        #: through the receiver's disk (spill + read-back) instead of
+        #: failing the transfer.  Empty = bit-identical to unbudgeted.
+        self.budgets: dict[int, Any] = budgets or {}
+        self.budget_spills = 0
+        self.spill_seconds = 0.0
 
     def transfer(
         self,
@@ -889,14 +924,16 @@ class ShuffleChannel:
                 extra = min(plan)
                 dup = len(plan) - 1
                 self.duplicates += dup
+                arrive = transfer.arrive + extra
+                arrive = self._charge_receive(dst, size, arrive)
                 if span is not None:
                     self.tracer.end(
-                        span, at=transfer.arrive + extra,
+                        span, at=arrive,
                         attempts=attempt + 1, duplicates=dup,
                     )
                 return ShuffleOutcome(
                     src=src, dst=dst, size=size, start=at,
-                    arrive=transfer.arrive + extra,
+                    arrive=arrive,
                     attempts=attempt + 1, duplicates=dup,
                 )
             # Dropped: the sender notices after a timeout and resends.
@@ -916,6 +953,30 @@ class ShuffleChannel:
             f"shuffle transfer {src}->{dst} dropped {self.max_attempts} "
             "times in a row; the fault schedule never lets it through"
         )
+
+    def _charge_receive(self, dst: int, size: float, arrive: float) -> float:
+        """Charge ``dst``'s memory budget for one receive buffer.
+
+        The charge is transient — the buffer drains into the reducer as
+        soon as the partition lands — so a fitting transfer releases
+        immediately.  A refused transfer is staged through the
+        receiver's disk: write the partition out, read it back, both
+        reserved on the disk arm, and the arrival is the read-back
+        finish.  Degraded, never dropped.
+        """
+        budget = self.budgets.get(dst)
+        if budget is None:
+            return arrive
+        if budget.try_reserve("shuffle", size):
+            budget.release("shuffle", size)
+            return arrive
+        node = self.cluster.node(dst)
+        spec = node.spec
+        io = 2.0 * (spec.disk_seek + size / spec.disk_bandwidth)
+        _start, done = node.disk.acquire(arrive, io)
+        self.budget_spills += 1
+        self.spill_seconds += io
+        return done
 
 
 class OnewayChannel:

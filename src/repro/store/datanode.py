@@ -22,6 +22,7 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass
 from heapq import heapreplace
+from typing import TYPE_CHECKING
 
 from repro.core.cost_model import CostParameters
 from repro.perf.mode import reference_mode
@@ -44,6 +45,9 @@ from repro.store.messages import (
 from repro.sim.cluster import Cluster, Node
 from repro.store.kvstore import KVStore
 from repro.vector.kernels import disk_service_times, serial_chain
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.memory.hybrid_join import HybridHashJoin
 
 
 @dataclass(frozen=True)
@@ -155,6 +159,102 @@ class DataNodeServer:
             and block_cache_bytes == 0
             and len(self._node.disk._free) == 1
         )
+        # Memory-adaptive execution (opt-in via :meth:`arm_memory`):
+        # a budget-governed spilling hybrid-hash build side standing in
+        # front of the disk.  ``None`` keeps serving bit-identical.
+        self.hybrid: "HybridHashJoin | None" = None
+        self._hybrid_keys: set = set()
+        self._hybrid_hits = 0
+        self._hybrid_unspills = 0
+
+    # ------------------------------------------------------------------
+    # Memory-adaptive execution
+    # ------------------------------------------------------------------
+    def arm_memory(self, budget, options, owner: str | None = None) -> None:
+        """Install the budget-governed spilling build side.
+
+        Rows read from disk enter a :class:`HybridHashJoin` charged
+        against ``budget``; later reads of a memory-resident row skip
+        the disk entirely, reads of a spilled row pay the (cheaper,
+        sequential) unspill instead of a random read, and budget
+        pressure spills whole partitions — degrading service latency
+        gracefully instead of failing.  Spill/unspill traffic is priced
+        through :func:`repro.vector.kernels.disk_service_times` and
+        reserved on this node's disk arm, so the cost shows up in
+        makespans the same way every other disk access does.
+
+        The columnar block-serve kernel assumes uniform per-item disk
+        service times, which hybrid hits break — serving falls back to
+        the hoisted per-item loop while armed.
+        """
+        from repro.memory.hybrid_join import HybridHashJoin
+
+        spec = self._node.spec
+        seek = spec.disk_seek * self.batched_seek_factor
+        bandwidth = spec.disk_bandwidth
+
+        def io_cost(nbytes: float, op: str) -> float:
+            # Whole-partition spills are sequential: one short seek
+            # plus the streamed bytes, both ways.
+            return disk_service_times([seek], [nbytes], bandwidth, 1.0)[0]
+
+        self.hybrid = HybridHashJoin(
+            budget=budget,
+            n_partitions=options.join_partitions,
+            max_recursion=options.max_recursion,
+            owner=owner or f"build-{self.node_id}",
+            io_cost=io_cost,
+        )
+        self._hybrid_keys = set()
+        self._block_serve = False
+
+    def memory_counters(self) -> dict[str, float]:
+        """Hybrid build-side counters (``memory.*`` registry fodder)."""
+        if self.hybrid is None:
+            return {}
+        counts = dict(self.hybrid.counters())
+        counts["build_hits"] = self._hybrid_hits
+        counts["build_unspill_reads"] = self._hybrid_unspills
+        return counts
+
+    def _hybrid_disk_arm(
+        self, at: float, key, size: float, slow: float
+    ) -> tuple[float, float] | None:
+        """Serve ``key``'s disk step through the hybrid build side.
+
+        Returns ``(disk_time, disk_done)``, or ``None`` when the hybrid
+        has never seen the key (caller performs the normal disk read
+        and then calls :meth:`_hybrid_admit`).
+        """
+        hybrid = self.hybrid
+        assert hybrid is not None
+        if key not in self._hybrid_keys:
+            return None
+        status, _values = hybrid.probe(key)
+        if status == "hit":
+            self._hybrid_hits += 1
+            return 0.0, at
+        # Spilled partition: pay the sequential unspill on the disk
+        # arm (recursive repartitions included in the returned cost).
+        _values, io = hybrid.fetch_spilled(key)
+        self._hybrid_unspills += 1
+        disk_time = io * slow
+        _start, disk_done = self._node.disk.acquire(at, disk_time)
+        return disk_time, disk_done
+
+    def _hybrid_admit(self, key, size: float, disk_done: float, slow: float) -> float:
+        """Insert a freshly read row; charge any spill it forced.
+
+        Returns the disk-arm finish time (``disk_done`` extended by the
+        spill write when the insert displaced a partition).
+        """
+        hybrid = self.hybrid
+        assert hybrid is not None
+        io = hybrid.insert(key, True, size)
+        self._hybrid_keys.add(key)
+        if io > 0.0:
+            _start, disk_done = self._node.disk.acquire(disk_done, io * slow)
+        return disk_done
 
     # ------------------------------------------------------------------
     # Fault injection
@@ -403,22 +503,38 @@ class DataNodeServer:
             disk_time = 0.0
             disk_done = at
         else:
-            seek = spec.disk_seek * (self.batched_seek_factor if short_seek else 1.0)
-            if self.block_cache_bytes > 0:
-                # Rows much smaller than an HFile block share seeks:
-                # only every Nth uncached read in a region positions
-                # the head; the rest ride along in the same block.
-                rows_per_block = max(int(self.block_bytes // max(row.size, 1.0)), 1)
-                region = self.kvstore.region_map.region_of(key)
-                reads = self._region_reads[region]
-                self._region_reads[region] = reads + 1
-                if reads % rows_per_block != 0:
-                    seek = 0.0
-            disk_time = (seek + row.size / spec.disk_bandwidth) * slow
-            _start, disk_done = self._node.disk.acquire(at, disk_time)
-            if self._block_cache_used + row.size <= self.block_cache_bytes:
-                self._block_cached.add(key)
-                self._block_cache_used += row.size
+            hybrid_step = (
+                self._hybrid_disk_arm(at, key, row.size, slow)
+                if self.hybrid is not None
+                else None
+            )
+            if hybrid_step is not None:
+                disk_time, disk_done = hybrid_step
+            else:
+                seek = spec.disk_seek * (
+                    self.batched_seek_factor if short_seek else 1.0
+                )
+                if self.block_cache_bytes > 0:
+                    # Rows much smaller than an HFile block share seeks:
+                    # only every Nth uncached read in a region positions
+                    # the head; the rest ride along in the same block.
+                    rows_per_block = max(
+                        int(self.block_bytes // max(row.size, 1.0)), 1
+                    )
+                    region = self.kvstore.region_map.region_of(key)
+                    reads = self._region_reads[region]
+                    self._region_reads[region] = reads + 1
+                    if reads % rows_per_block != 0:
+                        seek = 0.0
+                disk_time = (seek + row.size / spec.disk_bandwidth) * slow
+                _start, disk_done = self._node.disk.acquire(at, disk_time)
+                if self._block_cache_used + row.size <= self.block_cache_bytes:
+                    self._block_cached.add(key)
+                    self._block_cache_used += row.size
+                if self.hybrid is not None:
+                    disk_done = self._hybrid_admit(
+                        key, row.size, disk_done, slow
+                    )
         service = self.udf.cost(row)
         if execute_here:
             # The coprocessor hydrates the stored bytes into a live
@@ -534,9 +650,14 @@ class DataNodeServer:
                         f"key {key!r} not found in table {table.name!r}"
                     )
                 rsize = row.size
+                hybrid_step = None
                 if key in block_cached:
                     disk_time = 0.0
                     disk_done = at
+                elif self.hybrid is not None and (
+                    hybrid_step := self._hybrid_disk_arm(at, key, rsize, slow)
+                ) is not None:
+                    disk_time, disk_done = hybrid_step
                 else:
                     if compute_pass:
                         short = batched and index > 0
@@ -565,6 +686,10 @@ class DataNodeServer:
                     if self._block_cache_used + rsize <= bc_bytes:
                         block_cached.add(key)
                         self._block_cache_used += rsize
+                    if self.hybrid is not None:
+                        disk_done = self._hybrid_admit(
+                            key, rsize, disk_done, slow
+                        )
                 service = cost_fn(row) if cost_fn is not None else row.compute_cost
                 if compute_pass and index < d:
                     cpu_time = (row.hydration_cost + service + overhead) * slow

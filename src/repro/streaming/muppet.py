@@ -142,6 +142,8 @@ class MuppetJoinSimulation:
     resilience: Any = None
     #: Elastic placement passthrough (repro.placement); opt-in.
     elastic: Any = None
+    #: Memory-adaptive execution passthrough (repro.memory); opt-in.
+    memory: Any = None
     #: Span tracer and metrics registry passed through to the
     #: underlying JoinJob.
     tracer: Tracer = NO_TRACER
@@ -179,6 +181,7 @@ class MuppetJoinSimulation:
             registry=self.registry,
             resilience=self.resilience,
             elastic=self.elastic,
+            memory=self.memory,
             seed=self.seed,
         )
         self.last_job = job
