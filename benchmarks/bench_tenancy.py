@@ -1,0 +1,234 @@
+"""Multi-tenant fairness benchmark (CI-enforced).
+
+One deterministic contended scenario, written to
+``out/BENCH_tenancy.json``: three tenants with equal quotas share two
+data nodes; one of them ("burst") drives a 20x flash crowd through the
+middle of the run while the other two stay within quota.  The same
+trace runs twice through the open-loop :class:`~repro.tenancy.SimRunner`:
+
+* **baseline** — the PR 4 global admission controller
+  (``TenancyOptions.on(fair=False)``): one shared FIFO, so the flash
+  crowd's queueing smears over everyone and the steady tenants' SLOs
+  collapse with it;
+* **fair** — :class:`~repro.resilience.WeightedFairAdmission`: the
+  steady tenants keep their guaranteed slots, the aggressor's excess
+  ages out and is shed (served degraded, charged to it).
+
+Hard gates (``_assert_shape``): the worst *within-quota* tenant's SLO
+attainment must improve under fair admission and reach its target; no
+tenant's attainment may collapse while another tenant's quota sits
+unused; aggregate throughput must stay within 10% of the baseline; and
+nothing is ever dropped — completions equal offered load in both runs.
+
+``python benchmarks/bench_tenancy.py --check BENCH_tenancy.json``
+re-runs the scenario and compares attainments against the committed
+baseline (``--warn-only`` downgrades a miss to a warning — used on PRs
+where the author cannot re-baseline ``main``).
+"""
+
+from repro.api import RunConfig
+from repro.tenancy import (
+    SLO,
+    ArrivalProcess,
+    FlashCrowd,
+    SimRunner,
+    TenancyOptions,
+    TenantMix,
+    TenantSpec,
+    UpdateWave,
+    mix_workload,
+)
+
+#: Scenario constants — change together with the committed baseline.
+SEED = 11
+HORIZON = 10.0
+QUEUE_BOUND = 8
+COMPUTE_COST = 0.05
+SLO_DEADLINE = 0.5
+#: The tenants that stay inside their quota for the whole run.
+STEADY = ("steady-a", "steady-b")
+#: Minimum attainment the fair run must deliver to every steady tenant.
+MIN_STEADY_ATTAINMENT = 0.95
+#: Fair aggregate throughput must stay within this of the baseline.
+THROUGHPUT_TOLERANCE = 0.10
+
+
+def _mix() -> TenantMix:
+    crowd = FlashCrowd(start=2.0, duration=4.0, multiplier=20.0)
+    specs = (
+        TenantSpec(
+            "burst", ArrivalProcess(rate=30.0, flash_crowds=(crowd,)),
+            skew=0.0, quota=4, slo=SLO(deadline=SLO_DEADLINE),
+        ),
+        TenantSpec(
+            "steady-a", ArrivalProcess(rate=30.0),
+            skew=0.0, quota=4, slo=SLO(deadline=SLO_DEADLINE),
+        ),
+        TenantSpec(
+            "steady-b",
+            ArrivalProcess(rate=30.0, diurnal_amplitude=0.3,
+                           diurnal_period=5.0),
+            skew=0.0, quota=4, slo=SLO(deadline=SLO_DEADLINE),
+        ),
+    )
+    return TenantMix.even_split(
+        specs, n_keys=8192,
+        updates=(UpdateWave(start=3.0, interval=2.0, waves=3,
+                            fraction=0.05),),
+    )
+
+
+def _run(fair, mix, trace):
+    config = RunConfig(
+        engine="engine", backend="sim", n_compute=2, n_data=2, seed=SEED,
+        tenancy=TenancyOptions.on(fair=fair, queue_bound=QUEUE_BOUND),
+    )
+    workload = mix_workload(
+        mix, value_size=20_000.0, compute_cost=COMPUTE_COST, seed=SEED
+    )
+    return SimRunner(config=config, workload=workload).run(mix, trace)
+
+
+def _run_all():
+    mix = _mix()
+    trace = mix.trace(horizon=HORIZON, seed=SEED)
+    fair = _run(True, mix, trace)
+    baseline = _run(False, mix, trace)
+    worst_steady = {
+        "fair": min(fair.report.stats(t).attainment for t in STEADY),
+        "baseline": min(
+            baseline.report.stats(t).attainment for t in STEADY
+        ),
+    }
+    return {
+        "scenario": {
+            "seed": SEED,
+            "horizon": HORIZON,
+            "queue_bound": QUEUE_BOUND,
+            "compute_cost": COMPUTE_COST,
+            "offered": trace.offered_load(),
+        },
+        "fair": fair.report.payload(),
+        "baseline": baseline.report.payload(),
+        "worst_steady_attainment": worst_steady,
+        "throughput_ratio": (
+            fair.report.aggregate_throughput
+            / baseline.report.aggregate_throughput
+        ),
+        "shed_by_tenant": dict(fair.shed_by_tenant),
+    }
+
+
+def _assert_shape(results) -> None:
+    fair = results["fair"]
+    baseline = results["baseline"]
+    offered = results["scenario"]["offered"]
+    assert len(fair["tenants"]) >= 3, "need >= 3 tenants under contention"
+    # Nothing dropped, ever: sheds are served degraded, not discarded.
+    for payload in (fair, baseline):
+        for tenant, count in offered.items():
+            assert payload["tenants"][tenant]["completed"] == count
+    worst = results["worst_steady_attainment"]
+    assert worst["fair"] > worst["baseline"], (
+        "fair admission did not improve the worst within-quota tenant: "
+        f"{worst['fair']:.3f} vs {worst['baseline']:.3f}"
+    )
+    assert worst["fair"] >= MIN_STEADY_ATTAINMENT, (
+        f"steady tenants missed their SLO under fair admission: "
+        f"{worst['fair']:.3f}"
+    )
+    assert worst["baseline"] < MIN_STEADY_ATTAINMENT, (
+        "the baseline no longer hurts the steady tenants — the "
+        "scenario has lost its contention and gates nothing"
+    )
+    ratio = results["throughput_ratio"]
+    assert abs(ratio - 1.0) <= THROUGHPUT_TOLERANCE, (
+        f"fairness cost throughput: ratio {ratio:.3f}"
+    )
+    # Fairness gate: attainment may only collapse for tenants that
+    # over-drove their share (charged sheds); a tenant with no sheds
+    # charged kept inside its quota and must meet its SLO.
+    for tenant, stats in fair["tenants"].items():
+        if stats["shed"] == 0:
+            assert stats["slo_met"], (
+                f"within-quota tenant {tenant} missed its SLO while "
+                "another tenant's excess was being shed"
+            )
+        else:
+            assert tenant == "burst", (
+                f"sheds charged to within-quota tenant {tenant}"
+            )
+    assert results["shed_by_tenant"].get("burst", 0) > 0, (
+        "the flash crowd was never shed — no contention to gate"
+    )
+
+
+def test_tenancy(once):
+    results = once(_run_all)
+    _assert_shape(results)
+
+
+def _gate_rows(results):
+    """The (name, value) pairs the --check gate compares."""
+    rows = [
+        ("worst_steady.fair",
+         results["worst_steady_attainment"]["fair"]),
+        ("worst_steady.baseline",
+         results["worst_steady_attainment"]["baseline"]),
+        ("throughput_ratio", results["throughput_ratio"]),
+    ]
+    for tenant in sorted(results["fair"]["tenants"]):
+        rows.append(
+            (f"attainment.{tenant}",
+             results["fair"]["tenants"][tenant]["attainment"])
+        )
+    return rows
+
+
+def _main(argv) -> int:
+    import argparse
+    import json
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--check", metavar="BASELINE",
+                        help="compare attainments against a committed "
+                             "BENCH_tenancy.json")
+    parser.add_argument("--out", metavar="PATH",
+                        help="write the results JSON here")
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="absolute tolerance on attainment gates")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report regressions without failing")
+    ns = parser.parse_args(argv)
+
+    results = _run_all()
+    _assert_shape(results)
+    if ns.out:
+        with open(ns.out, "w") as fh:
+            json.dump(results, fh, indent=2, sort_keys=True)
+        print(f"wrote {ns.out}")
+    status = 0
+    if ns.check:
+        with open(ns.check) as fh:
+            baseline = json.load(fh)
+        want = dict(_gate_rows(baseline))
+        for name, value in _gate_rows(results):
+            expected = want.get(name)
+            if expected is None:
+                continue
+            drift = abs(value - expected)
+            marker = "ok" if drift <= ns.threshold else "REGRESSION"
+            print(f"{name:>24}: {value:.3f} vs baseline {expected:.3f} "
+                  f"({drift:+.3f}) {marker}")
+            if drift > ns.threshold and not ns.warn_only:
+                status = 1
+    else:
+        for name, value in _gate_rows(results):
+            print(f"{name:>24}: {value:.3f}")
+    return status
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(_main(sys.argv[1:]))

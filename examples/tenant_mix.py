@@ -1,0 +1,77 @@
+"""Two tenants, one cluster: fair queueing under a flash crowd.
+
+A steady, well-behaved tenant shares two data nodes with a tenant that
+suddenly drives 15x its base rate through the middle of the run.  The
+same trace is served twice through the open-loop tenancy runner:
+
+* with the **global** admission controller (``fair=False`` — the PR 4
+  baseline), the flash crowd's queueing delay lands on everyone and
+  the steady tenant's SLO attainment collapses with the aggressor's;
+* with **weighted-fair** admission (``fair=True``), the steady tenant
+  keeps its guaranteed slots and its SLO, while the aggressor's excess
+  ages out of its own queue and is shed — served degraded on the cheap
+  route, charged to the tenant that caused it, never dropped.
+
+Run:  PYTHONPATH=src python examples/tenant_mix.py
+"""
+
+from repro.api import RunConfig
+from repro.tenancy import (
+    SLO,
+    ArrivalProcess,
+    FlashCrowd,
+    SimRunner,
+    TenancyOptions,
+    TenantMix,
+    TenantSpec,
+    mix_workload,
+)
+
+MIX = TenantMix.even_split(
+    (
+        TenantSpec(
+            "burst",
+            ArrivalProcess(
+                rate=40.0,
+                flash_crowds=(FlashCrowd(start=2.0, duration=3.0,
+                                         multiplier=15.0),),
+            ),
+            skew=0.0, quota=4, slo=SLO(deadline=0.5),
+        ),
+        TenantSpec(
+            "steady", ArrivalProcess(rate=40.0),
+            skew=0.0, quota=4, slo=SLO(deadline=0.5),
+        ),
+    ),
+    n_keys=4096,
+)
+
+
+def run(fair, trace):
+    config = RunConfig(
+        engine="engine", backend="sim", n_compute=2, n_data=2, seed=23,
+        tenancy=TenancyOptions.on(fair=fair, queue_bound=8),
+    )
+    workload = mix_workload(
+        MIX, value_size=20_000.0, compute_cost=0.05, seed=23
+    )
+    return SimRunner(config=config, workload=workload).run(MIX, trace)
+
+
+def main():
+    trace = MIX.trace(horizon=8.0, seed=23)
+    offered = trace.offered_load()
+    print(f"trace: {len(trace)} requests "
+          f"(burst {offered['burst']}, steady {offered['steady']})\n")
+    for fair in (False, True):
+        label = "weighted-fair" if fair else "global FIFO (baseline)"
+        result = run(fair, trace)
+        print(f"=== admission: {label} ===")
+        print(result.report.render())
+        print()
+    print("The steady tenant's attainment is the point: identical traffic, "
+          "identical cluster —\nonly the admission discipline changed.")
+
+
+if __name__ == "__main__":
+    main()

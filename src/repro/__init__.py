@@ -33,6 +33,7 @@ from repro.api import (
     MemoryOptions,
     ResilienceOptions,
     RunConfig,
+    TenancyOptions,
     run_join,
 )
 from repro.core import (
@@ -70,6 +71,7 @@ __all__ = [
     "SkiRental",
     "Strategy",
     "StrategyConfig",
+    "TenancyOptions",
     "Tracer",
     "UDF",
     "quickstart_demo",

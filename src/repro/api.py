@@ -48,6 +48,7 @@ from repro.runtime.backend import (
 )
 from repro.store.messages import UDF
 from repro.store.table import Table
+from repro.tenancy.options import TenancyOptions
 
 #: Backends :func:`run_join` can target.  ``cluster`` executes on real
 #: driver/worker processes over IPC (:mod:`repro.cluster`).
@@ -245,6 +246,13 @@ class RunConfig:
     memory: MemoryOptions = field(default_factory=MemoryOptions)
     #: Per-compute-node tiered cache budget.
     memory_cache_bytes: float = 100e6
+    #: Multi-tenant admission: per-tenant weighted-fair queueing with
+    #: quotas and deadline sheds charged to the offending tenant
+    #: (``engine`` on ``sim``; the tenancy replay adapter covers the
+    #: other engines and backends per service window).
+    #: ``TenancyOptions.off()`` (the default) wires nothing — the run
+    #: is bit-identical to a pre-tenancy build.
+    tenancy: TenancyOptions = field(default_factory=TenancyOptions)
     #: Observability knobs.
     obs: ObsOptions = field(default_factory=ObsOptions)
     #: Deprecated flat kwargs — use ``batching=BatchOptions(...)`` /
@@ -374,6 +382,7 @@ def _backend_for(
             columnar=batching.columnar,
             tracer=tracer,
             registry=registry,
+            tenancy=cfg.tenancy if cfg.tenancy.enabled else None,
         )
     if cfg.backend == "cluster":
         # Imported here: repro.cluster pulls in multiprocessing
@@ -391,6 +400,7 @@ def _backend_for(
             resilience=cfg.resilience if cfg.resilience.enabled else None,
             elastic=cfg.elastic if cfg.elastic.enabled else None,
             memory=cfg.memory if cfg.memory.enabled else None,
+            tenancy=cfg.tenancy if cfg.tenancy.enabled else None,
             tracer=tracer,
             registry=registry,
             options=ClusterOptions(
@@ -415,6 +425,7 @@ def _backend_for(
         membership=tuple(cfg.membership),
         memory=cfg.memory if cfg.memory.enabled else None,
         memory_cache_bytes=cfg.memory_cache_bytes,
+        tenancy=cfg.tenancy if cfg.tenancy.enabled else None,
         tracer=tracer,
         registry=registry,
     )
@@ -433,5 +444,6 @@ __all__ = [
     "ResilienceOptions",
     "RunConfig",
     "RunReport",
+    "TenancyOptions",
     "run_join",
 ]

@@ -83,6 +83,11 @@ class ClusterBackend:
     #: Opt-in memory-adaptive execution: workers run budget-governed
     #: value caches and honour scheduled memory_pressure faults.
     memory: Any = None
+    #: Accepted for config symmetry with SimBackend: real worker
+    #: processes are driven per service window by the tenancy replay
+    #: adapter (repro.tenancy.runner), which applies fair queueing in
+    #: the harness; there is no per-tuple admission seam to wire here.
+    tenancy: Any = None
     tracer: Tracer = NO_TRACER
     registry: MetricsRegistry | None = None
     options: ClusterOptions = field(default_factory=ClusterOptions)

@@ -42,7 +42,11 @@ from repro.perf.mode import reference_mode
 from repro.engine.strategies import RoutingPolicy, StrategyConfig
 from repro.faults.policy import FaultTolerance
 from repro.obs.tracer import NO_TRACER, Span, Tracer
-from repro.resilience.admission import AdmissionController
+from repro.resilience.admission import (
+    AdmissionController,
+    TenantShare,
+    WeightedFairAdmission,
+)
 from repro.resilience.hedging import HedgePolicy
 from repro.resilience.options import ResilienceOptions
 from repro.runtime.transport import Transport
@@ -55,6 +59,7 @@ from repro.vector.kernels import ski_rental_lanes
 if False:  # pragma: no cover - import for type checkers only
     from repro.memory.budget import MemoryBudget
     from repro.metrics.trace import FaultTrace, RoutingTrace
+    from repro.tenancy.options import TenancyOptions
 
 
 class _RowInfo:
@@ -125,6 +130,9 @@ class ComputeNodeRuntime:
         tracer: Tracer = NO_TRACER,
         obs_parent: Span | None = None,
         resilience: ResilienceOptions | None = None,
+        tenancy: "TenancyOptions | None" = None,
+        tenant_of: Callable[[int], str] | None = None,
+        tenant_shares: dict[str, TenantShare] | None = None,
         vector_width: int = 64,
         columnar: bool = True,
         budget: "MemoryBudget | None" = None,
@@ -298,6 +306,38 @@ class ComputeNodeRuntime:
                     dispatch=self._dispatch_admitted,
                     shed=self._shed,
                     deadline=resilience.shed_deadline,
+                )
+        # ------------------------------------------------------------------
+        # Multi-tenant admission (opt-in; wins over the resilience
+        # controller when both are configured).  ``fair=False`` wires
+        # the plain global controller — the baseline the tenancy
+        # benchmark compares the weighted-fair scheme against.
+        # ------------------------------------------------------------------
+        self.tenancy = tenancy
+        if (
+            tenancy is not None
+            and tenancy.enabled
+            and tenancy.queue_bound is not None
+        ):
+            if tenancy.fair:
+                self.admission = WeightedFairAdmission(
+                    sim=cluster.sim,
+                    bound=tenancy.queue_bound,
+                    dispatch=self._dispatch_admitted,
+                    shed=self._shed,
+                    deadline=tenancy.shed_deadline,
+                    shares=tenant_shares,
+                    tenant_of=tenant_of,
+                    park_capacity=tenancy.park_capacity,
+                )
+            else:
+                self.admission = AdmissionController(
+                    sim=cluster.sim,
+                    bound=tenancy.queue_bound,
+                    dispatch=self._dispatch_admitted,
+                    shed=self._shed,
+                    deadline=tenancy.shed_deadline,
+                    park_capacity=tenancy.park_capacity,
                 )
         # ------------------------------------------------------------------
         # Optimized-mode fused submit: when the steady-state

@@ -35,6 +35,7 @@ from repro.obs.tracer import NO_TRACER, Tracer
 from repro.obs.usage import publish_job_result
 from repro.perf.mode import reference_mode
 from repro.placement import ElasticCoordinator, ElasticOptions, PlacementService
+from repro.resilience.admission import TenantShare
 from repro.resilience.manager import ResilienceManager
 from repro.resilience.options import ResilienceOptions
 from repro.sim.cluster import Cluster
@@ -43,6 +44,7 @@ from repro.store.datanode import DataNodeServer
 from repro.store.kvstore import KVStore
 from repro.store.partitioner import HashPartitioner
 from repro.store.table import Table
+from repro.tenancy.options import TenancyOptions
 
 
 @dataclass(frozen=True)
@@ -222,6 +224,16 @@ class JoinJob:
     #: ``memory_pressure`` fault kind.  ``None`` or ``enabled=False``
     #: wires no budgets — bit-identical to an unbudgeted run.
     memory: MemoryOptions | None = None
+    #: Opt-in multi-tenant admission (repro.tenancy): per-tenant
+    #: weighted-fair queueing with quotas and charged sheds at every
+    #: compute node.  ``None`` or ``enabled=False`` wires nothing and
+    #: is bit-identical to a pre-tenancy run.
+    tenancy: TenancyOptions | None = None
+    #: ``tuple_id -> tenant name`` (required for fair admission to
+    #: charge the right tenant; defaults to one shared tenant).
+    tenant_of: Any = None
+    #: Per-tenant weights/quotas/deadlines for fair admission.
+    tenant_shares: dict[str, TenantShare] | None = None
     seed: int = 0
     kvstore: KVStore = field(init=False)
     servers: dict[int, DataNodeServer] = field(init=False)
@@ -363,6 +375,9 @@ class JoinJob:
                 tracer=self.tracer,
                 obs_parent=job_span,
                 resilience=self.resilience,
+                tenancy=self.tenancy,
+                tenant_of=self.tenant_of,
+                tenant_shares=self.tenant_shares,
                 budget=self.budgets.get(cn),
                 seed=derive_seed(self.seed, f"cn:{cn}"),
             )
@@ -485,18 +500,55 @@ class JoinJob:
         if arrivals_per_second <= 0:
             raise ValueError("arrivals_per_second must be positive")
         key_list = list(keys)
+        arrival_time = [
+            i / arrivals_per_second for i in range(len(key_list))
+        ]
+        return self.run_trace(
+            key_list, arrival_time, arrival_rate=arrivals_per_second
+        )
+
+    def run_trace(
+        self,
+        keys: Iterable[Hashable],
+        arrivals: Sequence[float],
+        params: Sequence[Any] | None = None,
+        updates: Sequence[tuple[float, Hashable, Any]] | None = None,
+        arrival_rate: float | None = None,
+    ) -> RateRunResult:
+        """Open-loop run: tuple ``i`` arrives at ``arrivals[i]`` seconds.
+
+        The general form of :meth:`run_at_rate` (which delegates here
+        with evenly spaced arrivals): an explicit non-decreasing
+        arrival-time sequence — e.g. a multi-tenant Poisson trace from
+        ``repro.tenancy`` — optional per-tuple ``params``, and optional
+        mid-run data-store ``updates`` as in :meth:`run`.  Latency is
+        arrival to completion per tuple; there is no pipeline window
+        and no backpressure on the source (open loop), which is exactly
+        what admission control is for.
+        """
+        key_list = list(keys)
         n_tuples = len(key_list)
+        if len(arrivals) != n_tuples:
+            raise ValueError("arrivals must align one-to-one with keys")
+        if params is not None and len(params) != n_tuples:
+            raise ValueError("params must align one-to-one with keys")
+        arrival_time = [float(t) for t in arrivals]
+        if any(b < a for a, b in zip(arrival_time, arrival_time[1:])):
+            raise ValueError("arrivals must be non-decreasing")
+        if arrival_time and arrival_time[0] < 0:
+            raise ValueError("arrivals must be non-negative")
         job_span = None
         if self.tracer.enabled:
-            job_span = self.tracer.start(
-                "job",
-                at=self.cluster.sim.now,
+            span_attrs: dict[str, Any] = dict(
                 engine="engine",
                 strategy=self.strategy.name,
                 n_tuples=n_tuples,
-                arrival_rate=arrivals_per_second,
             )
-        arrival_time = [i / arrivals_per_second for i in range(n_tuples)]
+            if arrival_rate is not None:
+                span_attrs["arrival_rate"] = arrival_rate
+            job_span = self.tracer.start(
+                "job", at=self.cluster.sim.now, **span_attrs
+            )
         latencies: list[float] = [0.0] * n_tuples
         last_finish = 0.0
         completions = 0
@@ -536,16 +588,27 @@ class JoinJob:
                 tracer=self.tracer,
                 obs_parent=job_span,
                 resilience=self.resilience,
+                tenancy=self.tenancy,
+                tenant_of=self.tenant_of,
+                tenant_shares=self.tenant_shares,
                 budget=self.budgets.get(cn),
                 seed=derive_seed(self.seed, f"cn:{cn}"),
             )
         self.runtimes.update(runtimes)
         sim = self.cluster.sim
+        for time, key, new_value in updates or ():
+            def apply_update(k=key, v=new_value, t=time) -> None:
+                self.kvstore.update_value(k, v, at_time=t)
+
+            sim.schedule_at(time, apply_update)
         for tuple_id, key in enumerate(key_list):
             target = self.compute_nodes[tuple_id % len(self.compute_nodes)]
+            p = params[tuple_id] if params is not None else None
             sim.schedule_at(
                 arrival_time[tuple_id],
-                lambda tid=tuple_id, k=key, cn=target: runtimes[cn].submit(tid, k),
+                lambda tid=tuple_id, k=key, cn=target, pp=p: (
+                    runtimes[cn].submit(tid, k, pp)
+                ),
             )
         if n_tuples:
             last_arrival = arrival_time[-1]
@@ -562,10 +625,13 @@ class JoinJob:
             )
         if job_span is not None:
             self.tracer.end(job_span, at=last_finish)
+        if arrival_rate is None:
+            horizon = arrival_time[-1] if arrival_time else 0.0
+            arrival_rate = n_tuples / horizon if horizon > 0 else 0.0
         return RateRunResult(
             strategy=self.strategy.name,
             n_tuples=n_tuples,
-            arrival_rate=arrivals_per_second,
+            arrival_rate=arrival_rate,
             duration=last_finish,
             latencies=latencies,
         )

@@ -187,6 +187,21 @@ def render_run_report(report: RunReport) -> str:
             f"- {name}: {value:g}"
             for name, value in sorted(resilience.items())
         ]
+    # Per-tenant accounting spans counters (volumes) and gauges
+    # (attainment / percentiles), so merge both metric kinds here.
+    gauges = report.snapshot.get("gauges", {})
+    tenancy = {
+        name: value
+        for source in (counters, gauges)
+        for name, value in source.items()
+        if name.startswith("tenancy.") and value
+    }
+    if tenancy:
+        lines += ["", "## Tenancy", ""]
+        lines += [
+            f"- {name}: {value:g}"
+            for name, value in sorted(tenancy.items())
+        ]
     if report.tracer is not None and report.tracer.enabled:
         lines += ["", "## Trace", ""]
         by_name: dict[str, int] = {}

@@ -13,12 +13,19 @@ directly on :class:`repro.engine.JoinJob`):
   straggling requests (first response wins on the idempotent ids).
 * :class:`AdmissionController` — bounded per-data-node queues with
   FIFO backpressure and deadline shedding onto the cheap route.
+  :class:`WeightedFairAdmission` is its multi-tenant extension
+  (per-tenant weighted-fair parking, quotas, sheds charged to the
+  offending tenant) used by ``repro.tenancy``.
 
 ``ResilienceOptions.off()`` wires nothing and is bit-identical to a
 build without this package.
 """
 
-from repro.resilience.admission import AdmissionController
+from repro.resilience.admission import (
+    AdmissionController,
+    TenantShare,
+    WeightedFairAdmission,
+)
 from repro.resilience.detector import FailureDetector, NodeState
 from repro.resilience.hedging import HedgePolicy
 from repro.resilience.manager import (
@@ -40,6 +47,8 @@ __all__ = [
     "RecoveryManager",
     "ResilienceManager",
     "ResilienceOptions",
+    "TenantShare",
+    "WeightedFairAdmission",
     "publish_replay",
     "replay_heartbeats",
 ]

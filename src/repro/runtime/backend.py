@@ -183,6 +183,18 @@ class SimBackend:
     #: receive buffers against the per-node budgets.
     memory: MemoryOptions | None = None
     memory_cache_bytes: float = 100e6
+    #: Opt-in multi-tenant admission
+    #: (:class:`repro.tenancy.TenancyOptions`).  The ``engine`` runner
+    #: wires per-tenant weighted-fair admission into every compute
+    #: node; the streaming and analytic shuffle engines have no
+    #: per-tuple admission seam, so the tenancy replay adapter
+    #: (:mod:`repro.tenancy.runner`) applies fair queueing in the
+    #: harness for them instead.
+    tenancy: Any = None
+    #: ``tuple_id -> tenant`` map and per-tenant shares for fair
+    #: admission (supplied by the tenancy runners).
+    tenant_of: Any = None
+    tenant_shares: Any = None
     #: Observability: span tracer threaded through whichever engine
     #: runs, and an optional registry the kernel metrics publish into.
     tracer: Tracer = NO_TRACER
@@ -234,6 +246,9 @@ class SimBackend:
             resilience=self.resilience,
             elastic=self.elastic,
             memory=self.memory,
+            tenancy=self.tenancy,
+            tenant_of=self.tenant_of,
+            tenant_shares=self.tenant_shares,
             seed=self.seed,
         )
         result = job.run(list(workload.keys), params=workload.params)
@@ -690,6 +705,10 @@ class LocalBackend:
     #: Config symmetry again: real threads use real RAM, there is no
     #: modeled disk tier to spill to, so memory options are inert.
     memory: MemoryOptions | None = None
+    #: Config symmetry once more: the tenancy replay adapter drives
+    #: this backend per service window and applies fair queueing in
+    #: the harness, so the options are inert here too.
+    tenancy: Any = None
 
     def __post_init__(self) -> None:
         if self.max_workers < 1:

@@ -15,7 +15,11 @@
   workload (Section 2.2).
 """
 
-from repro.workloads.zipf import ZipfKeySequence, zipf_probabilities
+from repro.workloads.zipf import (
+    ZipfKeySequence,
+    sliced_zipf_keys,
+    zipf_probabilities,
+)
 from repro.workloads.synthetic import SyntheticWorkload
 from repro.workloads.annotation import AnnotationWorkload
 from repro.workloads.genome import GenomeWorkload
@@ -25,6 +29,7 @@ from repro.workloads.tpcds import TPCDSLite
 
 __all__ = [
     "ZipfKeySequence",
+    "sliced_zipf_keys",
     "zipf_probabilities",
     "SyntheticWorkload",
     "AnnotationWorkload",

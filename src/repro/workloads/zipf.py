@@ -90,3 +90,30 @@ class ZipfKeySequence:
     def expected_counts(self, n_tuples: int) -> np.ndarray:
         """Expected number of accesses per rank for analysis/tests."""
         return self._probabilities * n_tuples
+
+
+def sliced_zipf_keys(
+    n_tuples: int,
+    *,
+    key_lo: int,
+    key_hi: int,
+    skew: float,
+    seed: int,
+) -> np.ndarray:
+    """Zipf-distributed keys confined to the slice ``[key_lo, key_hi)``.
+
+    Multi-tenant runs give each tenant a contiguous slice of the shared
+    key universe; within the slice the tenant's own skew applies, with
+    rank 1 at ``key_lo``.  Same parameters → identical stream.
+
+    Examples
+    --------
+    >>> keys = sliced_zipf_keys(100, key_lo=10, key_hi=20, skew=1.0, seed=3)
+    >>> bool((keys >= 10).all() and (keys < 20).all())
+    True
+    """
+    if key_lo < 0 or key_hi <= key_lo:
+        raise ValueError("need 0 <= key_lo < key_hi")
+    width = key_hi - key_lo
+    local = ZipfKeySequence(width, skew, seed).draw(n_tuples)
+    return local.astype(np.int64) + key_lo

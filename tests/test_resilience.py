@@ -179,7 +179,7 @@ class TestHedgePolicy:
 # Admission controller
 # ----------------------------------------------------------------------
 class TestAdmissionController:
-    def make(self, bound=2, deadline=None):
+    def make(self, bound=2, deadline=None, park_capacity=None):
         sim = Simulator()
         dispatched, shed = [], []
         ctl = AdmissionController(
@@ -188,6 +188,7 @@ class TestAdmissionController:
             dispatch=lambda dst, tid, payload: dispatched.append(tid),
             shed=lambda dst, tid, payload: shed.append(tid),
             deadline=deadline,
+            park_capacity=park_capacity,
         )
         return sim, ctl, dispatched, shed
 
@@ -221,6 +222,54 @@ class TestAdmissionController:
         # A shed token must not be re-dispatched on release.
         ctl.release(1)
         assert dispatched == []
+
+    def test_shed_cause_accounting_is_split(self):
+        # Queue-full sheds happen at arrival (the parked queue is at
+        # capacity), deadline sheds happen later; the two causes are
+        # counted separately and sum to shed_count.
+        sim, ctl, dispatched, shed = self.make(
+            bound=1, deadline=0.1, park_capacity=2
+        )
+        for tid in range(1, 7):
+            ctl.submit(9, tid, "x")
+        # 1 admitted, 2 parked, 3 shed on arrival (queue full).
+        assert ctl.shed_queue_full == 3
+        assert ctl.shed_deadline_expired == 0
+        assert shed == [4, 5, 6]
+        sim.run()  # the 2 parked age out
+        assert ctl.shed_deadline_expired == 2
+        assert ctl.shed_count == ctl.shed_queue_full + ctl.shed_deadline_expired == 5
+
+    def test_zero_deadline_sheds_immediately(self):
+        # deadline=0.0 is a legal degenerate: overflow never waits.
+        sim, ctl, dispatched, shed = self.make(bound=1, deadline=0.0)
+        ctl.submit(9, 1, "a")
+        ctl.submit(9, 2, "b")
+        sim.run()
+        assert shed == [2] and dispatched == []
+        assert ctl.shed_deadline_expired == 1
+
+    def test_zero_park_capacity_sheds_all_overflow(self):
+        sim, ctl, dispatched, shed = self.make(bound=1, park_capacity=0)
+        assert ctl.submit(9, 1, "a")
+        assert not ctl.submit(9, 2, "b")
+        assert shed == [2] and ctl.shed_queue_full == 1
+        assert ctl.parked(9) == 0
+
+    def test_release_of_unknown_tuple_is_a_noop(self):
+        sim, ctl, dispatched, shed = self.make(bound=1)
+        ctl.submit(9, 1, "a")
+        ctl.release(42)  # never admitted here (local route, or shed)
+        assert ctl.occupancy(9) == 1
+        assert dispatched == [] and shed == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make(bound=0)
+        with pytest.raises(ValueError):
+            self.make(deadline=-0.1)
+        with pytest.raises(ValueError):
+            self.make(park_capacity=-1)
 
 
 # ----------------------------------------------------------------------
